@@ -1,0 +1,466 @@
+// Benchmarks regenerating the paper's evaluation artifacts (one bench
+// per experiment E1–E10; the reported custom metrics carry the paper
+// comparison, while ns/op measures this Go implementation's wall-clock
+// cost of running the experiment), plus wall-clock micro-benchmarks of
+// the wait-free data structures and the real message path.
+package flipc_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"flipc/internal/baseline/nx"
+	"flipc/internal/baseline/pam"
+	"flipc/internal/baseline/sunmos"
+	"flipc/internal/commbuf"
+	"flipc/internal/core"
+	"flipc/internal/experiments"
+	"flipc/internal/interconnect"
+	"flipc/internal/mem"
+	"flipc/internal/stats"
+	"flipc/internal/waitfree"
+	"flipc/internal/wire"
+)
+
+// --- Paper artifact benches -------------------------------------------
+
+// BenchmarkE1Figure4Latency regenerates Figure 4 and reports the fit.
+func BenchmarkE1Figure4Latency(b *testing.B) {
+	var r *experiments.E1Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.E1Figure4(1996)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Fit.Intercept, "intercept-µs")
+	b.ReportMetric(r.Fit.Slope*1000, "slope-ns/B")
+}
+
+// BenchmarkE2ComparisonTable regenerates the 120-byte comparison.
+func BenchmarkE2ComparisonTable(b *testing.B) {
+	var r *experiments.E2Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.E2Comparison(1996)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.FLIPCMicros, "flipc-µs")
+	b.ReportMetric(r.NXMicros, "nx-µs")
+	b.ReportMetric(r.PAMMicros, "pam-µs")
+	b.ReportMetric(r.SUNMOSMicros, "sunmos-µs")
+}
+
+// BenchmarkE3ValidityChecks regenerates the +2 µs check overhead.
+func BenchmarkE3ValidityChecks(b *testing.B) {
+	var r *experiments.E3Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.E3ValidityChecks(1996)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.DeltaMicros, "checks-delta-µs")
+}
+
+// BenchmarkE4CacheAblation regenerates the locks+false-sharing ablation.
+func BenchmarkE4CacheAblation(b *testing.B) {
+	var r *experiments.E4Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.E4CacheAblation(1996)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.TunedMicros, "tuned-µs")
+	b.ReportMetric(r.UntunedMicros, "untuned-µs")
+	b.ReportMetric(r.Factor, "factor")
+}
+
+// BenchmarkE5ColdStart regenerates the start-up transient.
+func BenchmarkE5ColdStart(b *testing.B) {
+	var r *experiments.E5Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.E5ColdStart(1996)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.DeltaMicros, "cold-delta-µs")
+}
+
+// BenchmarkE6BandwidthSlope regenerates the slope→bandwidth claim.
+func BenchmarkE6BandwidthSlope(b *testing.B) {
+	var r *experiments.E6Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.E6BandwidthSlope(1996)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.ImpliedMBs, "MB/s")
+}
+
+// BenchmarkE7SmallMessageCrossover regenerates the PAM comparison.
+func BenchmarkE7SmallMessageCrossover(b *testing.B) {
+	var r *experiments.E7Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.E7SmallMessageCrossover(1996)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.CrossoverBytes), "crossover-B")
+}
+
+// BenchmarkE8LargeMessageThroughput regenerates the bulk positioning.
+func BenchmarkE8LargeMessageThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E8LargeMessageThroughput(1996); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9DropsAndFlowControl regenerates the drop-semantics study.
+func BenchmarkE9DropsAndFlowControl(b *testing.B) {
+	var r *experiments.E9Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.E9DropsAndFlowControl(1996)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.DroppedRaw), "raw-drops")
+	b.ReportMetric(float64(r.DroppedWindowed), "windowed-drops")
+}
+
+// BenchmarkE10KKTVsNative regenerates the engine-binding comparison.
+func BenchmarkE10KKTVsNative(b *testing.B) {
+	var r *experiments.E10Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.E10KKTVsNative(1996)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.NativeMicros, "native-µs")
+	b.ReportMetric(r.KKTMicros, "kkt-µs")
+}
+
+// --- Baseline model benches -------------------------------------------
+
+func BenchmarkBaselineModels(b *testing.B) {
+	nxs, pams, suns := nx.New(), pam.New(), sunmos.New()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += int64(nxs.OneWayLatency(120))
+		sink += int64(pams.OneWayLatency(120))
+		sink += int64(suns.OneWayLatency(120))
+	}
+	_ = sink
+}
+
+// --- Wall-clock micro-benchmarks of the real implementation ------------
+
+// BenchmarkQueueReleaseProcessAcquire measures one full buffer cycle
+// through the three-pointer wait-free queue (this Go implementation's
+// cost, not the Paragon's).
+func BenchmarkQueueReleaseProcessAcquire(b *testing.B) {
+	a, err := mem.New(mem.Config{ControlWords: 4096, LineWords: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, _ := a.AllocLines(waitfree.QueueWords(8, 4, true) / 4)
+	q, err := waitfree.NewQueue(a, base, 8, 4, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := mem.NewView(a, mem.ActorApp)
+	eng := mem.NewView(a, mem.ActorEngine)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !q.Release(app, uint64(i)) {
+			b.Fatal("release failed")
+		}
+		if _, ok := q.ProcessPeek(eng); !ok {
+			b.Fatal("peek failed")
+		}
+		q.AdvanceProcess(eng)
+		if _, ok := q.Acquire(app); !ok {
+			b.Fatal("acquire failed")
+		}
+	}
+}
+
+// BenchmarkQueuePaddedVsUnpadded compares layouts under real Go
+// hardware (the modern echo of the paper's false-sharing finding).
+func BenchmarkQueuePaddedVsUnpadded(b *testing.B) {
+	for _, padded := range []bool{true, false} {
+		name := "unpadded"
+		if padded {
+			name = "padded"
+		}
+		b.Run(name, func(b *testing.B) {
+			a, err := mem.New(mem.Config{ControlWords: 4096, LineWords: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var base int
+			if padded {
+				base, _ = a.AllocLines(waitfree.QueueWords(8, 8, true) / 8)
+			} else {
+				base, _ = a.AllocWords(waitfree.QueueWords(8, 8, false))
+			}
+			q, err := waitfree.NewQueue(a, base, 8, 8, padded)
+			if err != nil {
+				b.Fatal(err)
+			}
+			app := mem.NewView(a, mem.ActorApp)
+			eng := mem.NewView(a, mem.ActorEngine)
+			stop := make(chan struct{})
+			go func() {
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if _, ok := q.ProcessPeek(eng); ok {
+						q.AdvanceProcess(eng)
+					} else {
+						runtime.Gosched() // keep single-CPU hosts live
+					}
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for !q.Release(app, uint64(i)) {
+					q.Acquire(app)
+				}
+				q.Acquire(app)
+			}
+			b.StopTimer()
+			close(stop)
+		})
+	}
+}
+
+// BenchmarkCounterIncr measures the two-location counter's increment.
+func BenchmarkCounterIncr(b *testing.B) {
+	a, _ := mem.New(mem.Config{ControlWords: 64, LineWords: 4})
+	base, _ := a.AllocLines(waitfree.CounterWords(4, true) / 4)
+	c, err := waitfree.NewCounter(a, base, 4, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := mem.NewView(a, mem.ActorEngine)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Incr(eng)
+	}
+}
+
+// BenchmarkEndToEndMessage measures a full five-step message transfer
+// between two in-process nodes, manual pumping (single-threaded cost of
+// the whole path in this implementation).
+func BenchmarkEndToEndMessage(b *testing.B) {
+	for _, size := range []int{64, 128, 512} {
+		b.Run(fmt.Sprintf("msg%d", size), func(b *testing.B) {
+			fabric := interconnect.NewFabric(64)
+			mk := func(node wire.NodeID) *core.Domain {
+				tr, err := fabric.Attach(node)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, err := core.NewDomain(core.Config{Node: node, MessageSize: size, NumBuffers: 8}, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return d
+			}
+			src := mk(0)
+			defer src.Close()
+			dst := mk(1)
+			defer dst.Close()
+			sep, _ := src.NewSendEndpoint(4)
+			rep, _ := dst.NewRecvEndpoint(4)
+			sm, _ := src.AllocBuffer()
+			rm, _ := dst.AllocBuffer()
+			payload := src.MaxPayload()
+			b.SetBytes(int64(payload))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rep.Post(rm); err != nil {
+					b.Fatal(err)
+				}
+				if err := sep.Send(sm, rep.Addr(), payload); err != nil {
+					b.Fatal(err)
+				}
+				for {
+					src.Poll()
+					dst.Poll()
+					if m, ok := rep.Receive(); ok {
+						rm = m
+						break
+					}
+				}
+				if m, ok := sep.Acquire(); !ok {
+					b.Fatal("reclaim failed")
+				} else {
+					sm = m
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLockedVsLockFree measures the application-side interface
+// variants on real hardware.
+func BenchmarkLockedVsLockFree(b *testing.B) {
+	run := func(b *testing.B, locked bool) {
+		fabric := interconnect.NewFabric(64)
+		tr, _ := fabric.Attach(0)
+		sink, _ := fabric.Attach(1) // drained each iteration so the port never fills
+		d, err := core.NewDomain(core.Config{Node: 0, MessageSize: 64, NumBuffers: 8}, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer d.Close()
+		sep, _ := d.NewSendEndpoint(4)
+		m, _ := d.AllocBuffer()
+		dstAddr, _ := wire.MakeAddr(1, 0, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if locked {
+				err = sep.SendLocked(m, dstAddr, 8)
+			} else {
+				err = sep.Send(m, dstAddr, 8)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			d.Poll()
+			sink.Poll()
+			var ok bool
+			if locked {
+				m, ok = sep.AcquireLocked()
+			} else {
+				m, ok = sep.Acquire()
+			}
+			if !ok {
+				b.Fatal("acquire failed")
+			}
+		}
+	}
+	b.Run("lockfree", func(b *testing.B) { run(b, false) })
+	b.Run("locked", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkBufferAllocFree measures the application buffer pool.
+func BenchmarkBufferAllocFree(b *testing.B) {
+	buf, err := commbuf.New(commbuf.Config{Node: 0, MessageSize: 64, NumBuffers: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := buf.AllocMsg()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := buf.FreeMsg(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWireEncodeDecode measures frame marshaling.
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	dst, _ := wire.MakeAddr(1, 2, 3)
+	payload := make([]byte, 56)
+	p := &wire.Packet{Dst: dst, Size: 56, Payload: payload}
+	frame := make([]byte, 64)
+	b.SetBytes(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := wire.Encode(p, frame); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStatsFit measures the analysis path used by E1/E6.
+func BenchmarkStatsFit(b *testing.B) {
+	xs := make([]float64, 64)
+	ys := make([]float64, 64)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 15.45 + 0.00625*float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.LinearFit(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (A-series; see DESIGN.md §4) ----------------------
+
+// BenchmarkA1PollInterval regenerates the engine-cadence ablation.
+func BenchmarkA1PollInterval(b *testing.B) {
+	var r *experiments.A1Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.A1PollInterval(1996)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.MeanMicros[0], "fastest-poll-µs")
+	b.ReportMetric(r.MeanMicros[len(r.MeanMicros)-1], "slowest-poll-µs")
+}
+
+// BenchmarkA2PriorityTransport regenerates the prioritized-transport
+// ablation.
+func BenchmarkA2PriorityTransport(b *testing.B) {
+	var r *experiments.A2Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.A2PriorityTransport(1996)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.RoundRobinUrgentMicros, "rr-urgent-µs")
+	b.ReportMetric(r.PriorityUrgentMicros, "prio-urgent-µs")
+}
+
+// BenchmarkA3ReceiveWindow regenerates the window-vs-loss ablation.
+func BenchmarkA3ReceiveWindow(b *testing.B) {
+	var r *experiments.A3Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.A3ReceiveWindow(1996)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.DropRates[0]*100, "window1-loss-%")
+}

@@ -1,0 +1,167 @@
+// Command flipcbench regenerates the paper's evaluation artifacts —
+// Figure 4 and every quantitative claim — from the reproduction's
+// measured implementation and models (experiments E1–E10; see
+// DESIGN.md §4 and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	flipcbench                  # run every experiment
+//	flipcbench -experiment E4   # one experiment
+//	flipcbench -seed 7          # change the jitter seed
+//	flipcbench -list            # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flipc/internal/experiments"
+)
+
+type entry struct {
+	id, what string
+	run      func(seed int64) (experiments.Table, error)
+}
+
+var entries = []entry{
+	{"E1", "Figure 4: latency vs message size", func(s int64) (experiments.Table, error) {
+		r, err := experiments.E1Figure4(s)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table, nil
+	}},
+	{"E2", "120-byte latency across Paragon messaging systems", func(s int64) (experiments.Table, error) {
+		r, err := experiments.E2Comparison(s)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table, nil
+	}},
+	{"E3", "validity-check overhead", func(s int64) (experiments.Table, error) {
+		r, err := experiments.E3ValidityChecks(s)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table, nil
+	}},
+	{"E4", "cache-tuning ablation (locks + false sharing)", func(s int64) (experiments.Table, error) {
+		r, err := experiments.E4CacheAblation(s)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table, nil
+	}},
+	{"E5", "cold-start anomaly", func(s int64) (experiments.Table, error) {
+		r, err := experiments.E5ColdStart(s)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table, nil
+	}},
+	{"E6", "bandwidth implied by the slope", func(s int64) (experiments.Table, error) {
+		r, err := experiments.E6BandwidthSlope(s)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table, nil
+	}},
+	{"E7", "small-message crossover vs PAM", func(s int64) (experiments.Table, error) {
+		r, err := experiments.E7SmallMessageCrossover(s)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table, nil
+	}},
+	{"E8", "large-message throughput positioning", func(s int64) (experiments.Table, error) {
+		r, err := experiments.E8LargeMessageThroughput(s)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table, nil
+	}},
+	{"E9", "drop semantics and layered flow control", func(s int64) (experiments.Table, error) {
+		r, err := experiments.E9DropsAndFlowControl(s)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table, nil
+	}},
+	{"E10", "KKT development binding vs native engine", func(s int64) (experiments.Table, error) {
+		r, err := experiments.E10KKTVsNative(s)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table, nil
+	}},
+	{"A1", "ablation: engine poll cadence", func(s int64) (experiments.Table, error) {
+		r, err := experiments.A1PollInterval(s)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table, nil
+	}},
+	{"A2", "ablation: prioritized transport extension", func(s int64) (experiments.Table, error) {
+		r, err := experiments.A2PriorityTransport(s)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table, nil
+	}},
+	{"A3", "ablation: receive window vs burst loss", func(s int64) (experiments.Table, error) {
+		r, err := experiments.A3ReceiveWindow(s)
+		if err != nil {
+			return experiments.Table{}, err
+		}
+		return r.Table, nil
+	}},
+}
+
+func main() {
+	var (
+		exp  = flag.String("experiment", "all", "experiment ID (E1..E10, A1..A3) or 'all'")
+		seed = flag.Int64("seed", 1996, "jitter seed (results are deterministic per seed)")
+		list = flag.Bool("list", false, "list experiments and exit")
+		csv  = flag.Bool("csv", false, "emit CSV instead of the aligned table (single experiment only)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range entries {
+			fmt.Printf("%-4s %s\n", e.id, e.what)
+		}
+		return
+	}
+	want := strings.ToUpper(*exp)
+	if want == "ALL" {
+		if err := experiments.RunAll(os.Stdout, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "flipcbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, e := range entries {
+		if e.id == want {
+			t, err := e.run(*seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "flipcbench: %s: %v\n", e.id, err)
+				os.Exit(1)
+			}
+			var perr error
+			if *csv {
+				perr = t.Fcsv(os.Stdout)
+			} else {
+				perr = t.Fprint(os.Stdout)
+			}
+			if perr != nil {
+				fmt.Fprintf(os.Stderr, "flipcbench: %v\n", perr)
+				os.Exit(1)
+			}
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "flipcbench: unknown experiment %q (use -list)\n", *exp)
+	os.Exit(2)
+}

@@ -1,0 +1,155 @@
+// Command flipcd runs one FLIPC node over TCP — the ethernet-cluster
+// development platform of the paper, as a standalone process. It hosts
+// a domain, an echo service on a named receive endpoint, and prints the
+// endpoint address for flipcping (the out-of-band address exchange
+// FLIPC expects a name service to provide).
+//
+// Usage (two terminals):
+//
+//	flipcd -node 0 -listen 127.0.0.1:7000
+//	flipcd -node 1 -listen 127.0.0.1:7001 -peer 0=127.0.0.1:7000
+//
+// then:
+//
+//	flipcping -node 2 -listen 127.0.0.1:7002 \
+//	          -peer 0=127.0.0.1:7000 -target <addr printed by node 0>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"flipc/internal/core"
+	"flipc/internal/nettrans"
+	"flipc/internal/wire"
+)
+
+func main() {
+	var (
+		node    = flag.Int("node", 0, "this node's ID")
+		listen  = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		peers   = flag.String("peer", "", "comma-separated peer list: id=host:port,...")
+		msgSize = flag.Int("msgsize", 128, "fixed message size (>=64, multiple of 32)")
+		depth   = flag.Int("depth", 16, "echo endpoint queue depth")
+	)
+	flag.Parse()
+
+	tr, err := nettrans.Listen(wire.NodeID(*node), *listen, *msgSize)
+	if err != nil {
+		fatal(err)
+	}
+	defer tr.Close()
+	fmt.Printf("flipcd: node %d listening on %s (message size %d)\n", *node, tr.Addr(), *msgSize)
+
+	if err := dialPeers(tr, *peers); err != nil {
+		fatal(err)
+	}
+
+	d, err := core.NewDomain(core.Config{
+		Node:        wire.NodeID(*node),
+		MessageSize: *msgSize,
+		NumBuffers:  64,
+	}, tr)
+	if err != nil {
+		fatal(err)
+	}
+	defer d.Close()
+	d.Start()
+
+	// Echo service: reply to each message's embedded reply address.
+	// FLIPC does not deliver sender identity, so pingers put their
+	// reply address in the first four payload bytes.
+	rep, err := d.NewRecvEndpoint(*depth)
+	if err != nil {
+		fatal(err)
+	}
+	sep, err := d.NewSendEndpoint(*depth)
+	if err != nil {
+		fatal(err)
+	}
+	for i := 0; i < *depth-1; i++ {
+		m, err := d.AllocBuffer()
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.Post(m); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("flipcd: echo endpoint address %#x (%v)\n", uint32(rep.Addr()), rep.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	echoed := 0
+	for {
+		select {
+		case <-stop:
+			fmt.Printf("flipcd: %d messages echoed; drops=%d\n", echoed, rep.Drops())
+			return
+		default:
+		}
+		m, ok := rep.Receive()
+		if !ok {
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		if m.Len() >= 4 {
+			replyTo := wire.Addr(uint32(m.Payload()[0])<<24 | uint32(m.Payload()[1])<<16 |
+				uint32(m.Payload()[2])<<8 | uint32(m.Payload()[3]))
+			if replyTo.Valid() {
+				out, err := d.AllocBuffer()
+				if err == nil {
+					n := copy(out.Payload(), m.Payload()[:m.Len()])
+					if sep.Send(out, replyTo, n) != nil {
+						d.FreeBuffer(out)
+					}
+					// Reclaim completed sends opportunistically.
+					for {
+						done, ok := sep.Acquire()
+						if !ok {
+							break
+						}
+						d.FreeBuffer(done)
+					}
+				}
+			}
+		}
+		echoed++
+		if rep.Post(m) != nil {
+			d.FreeBuffer(m)
+		}
+	}
+}
+
+// dialPeers parses "id=addr,id=addr" and dials each.
+func dialPeers(tr *nettrans.Transport, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("bad -peer entry %q (want id=host:port)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return fmt.Errorf("bad peer id %q: %v", kv[0], err)
+		}
+		if err := tr.Dial(wire.NodeID(id), kv[1]); err != nil {
+			return err
+		}
+		fmt.Printf("flipcd: connected to node %d at %s\n", id, kv[1])
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "flipcd: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package flipc is a reproduction of "FLIPC: A Low Latency Messaging
+// System for Distributed Real Time Environments" (Black, Smith, Sears,
+// Dean — OSF Research Institute; USENIX Annual Technical Conference,
+// January 1996).
+//
+// The application-facing library lives in internal/core; the messaging
+// engine in internal/engine; the communication buffer and its wait-free
+// structures in internal/commbuf and internal/waitfree. See README.md
+// for a tour, DESIGN.md for the system inventory and substitutions, and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmarks
+// in bench_test.go regenerate every evaluation artifact (run
+// cmd/flipcbench for the printed tables).
+package flipc

@@ -1,0 +1,3 @@
+module flipc
+
+go 1.22

@@ -1,0 +1,39 @@
+package baseline
+
+import (
+	"testing"
+
+	"flipc/internal/sim"
+)
+
+func TestWireTime(t *testing.T) {
+	w := Wire{NSPerByte: 6.25, Fixed: 1200}
+	if got := w.Time(160); got != 1200+1000 {
+		t.Fatalf("Time(160) = %v", got)
+	}
+	if got := w.Time(-5); got != 1200 {
+		t.Fatalf("negative bytes: %v", got)
+	}
+}
+
+func TestMBPerSecond(t *testing.T) {
+	// 1 MB in 1 ms = 1000 MB/s.
+	if got := MBPerSecond(1_000_000, sim.Millisecond); got != 1000 {
+		t.Fatalf("MBPerSecond = %v", got)
+	}
+	if MBPerSecond(100, 0) != 0 {
+		t.Fatal("zero elapsed")
+	}
+}
+
+func TestCheckCalibration(t *testing.T) {
+	if err := CheckCalibration("x", 46100*sim.Nanosecond, 46, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckCalibration("x", 50*sim.Microsecond, 46, 0.5); err == nil {
+		t.Fatal("out-of-tolerance accepted")
+	}
+	if err := CheckCalibration("x", 45*sim.Microsecond, 46, 0.5); err == nil {
+		t.Fatal("low out-of-tolerance accepted")
+	}
+}

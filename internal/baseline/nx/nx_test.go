@@ -1,0 +1,60 @@
+package nx
+
+import (
+	"testing"
+
+	"flipc/internal/baseline"
+	"flipc/internal/sim"
+)
+
+func TestPublishedAnchor120Bytes(t *testing.T) {
+	s := New()
+	got := s.OneWayLatency(120)
+	// Paper: "NX (Paragon O/S R1.3.2), 46µs".
+	if err := baseline.CheckCalibration(s.Name(), got, 46, 1.0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyMonotonic(t *testing.T) {
+	s := New()
+	prev := sim.Time(-1)
+	for size := 0; size <= 4096; size += 64 {
+		l := s.OneWayLatency(size)
+		if l <= prev {
+			t.Fatalf("latency not increasing at %d bytes", size)
+		}
+		prev = l
+	}
+	if s.OneWayLatency(-5) != s.OneWayLatency(0) {
+		t.Fatal("negative size not clamped")
+	}
+}
+
+func TestLargeMessageBandwidth(t *testing.T) {
+	s := New()
+	// Paper: "NX achieves a bandwidth of over 140 MB/sec" for
+	// sufficiently large messages.
+	const bytes = 8 << 20
+	bw := baseline.MBPerSecond(bytes, s.BulkTransferTime(bytes))
+	if bw < 135 || bw > 142 {
+		t.Fatalf("bulk bandwidth = %.1f MB/s, want ≈140", bw)
+	}
+	if s.BulkTransferTime(0) != 0 {
+		t.Fatal("zero-byte bulk transfer nonzero")
+	}
+}
+
+func TestSmallBulkDominatedByHandshake(t *testing.T) {
+	s := New()
+	bw := baseline.MBPerSecond(1024, s.BulkTransferTime(1024))
+	if bw > 40 {
+		t.Fatalf("1 KB transfer at %.1f MB/s — handshake cost missing", bw)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() == "" {
+		t.Fatal("empty name")
+	}
+}

@@ -1,0 +1,67 @@
+// Package sunmos models SUNMOS [Wheat et al., PUMA], the single
+// application operating system comparator.
+//
+// SUNMOS runs alone on a subset of Paragon nodes and optimizes two
+// cases: zero-length messages and bandwidth on large messages
+// (approaching 160 MB/s). Its basic protocol assumes a
+// non-multiprogrammed machine and sends even multi-megabyte messages
+// as a *single packet*, occupying the interconnect path for the whole
+// duration — the responsiveness hazard the paper flags for real-time
+// use. Published anchors: 28 µs for a 120-byte message; ~160 MB/s for
+// sufficiently large ones. The zero-length fast-path constant is an
+// assumption (no figure is published; documented in DESIGN.md).
+//
+// Model: a fixed kernel send/receive path plus one single-packet wire
+// time at 6.25 ns/B.
+package sunmos
+
+import (
+	"flipc/internal/baseline"
+	"flipc/internal/sim"
+)
+
+// Model constants.
+const (
+	// fixedPath is the kernel-mediated send+receive processing cost of
+	// the single-packet protocol (calibrated: 28 µs at 120 bytes).
+	fixedPath = 26000 * sim.Nanosecond
+	// zeroLenPath is the optimized zero-length-message path
+	// (assumption; the paper gives no number).
+	zeroLenPath = 14000 * sim.Nanosecond
+)
+
+// System is the SUNMOS model.
+type System struct {
+	wire baseline.Wire
+}
+
+// New returns the calibrated SUNMOS model.
+func New() *System {
+	return &System{wire: baseline.Wire{NSPerByte: 6.25, Fixed: 1200 * sim.Nanosecond}}
+}
+
+// Name implements baseline.System.
+func (s *System) Name() string { return "SUNMOS" }
+
+// OneWayLatency implements baseline.System.
+func (s *System) OneWayLatency(appBytes int) sim.Time {
+	if appBytes <= 0 {
+		return zeroLenPath
+	}
+	return fixedPath + s.wire.Time(appBytes)
+}
+
+// BulkTransferTime implements baseline.System: the whole payload as a
+// single packet.
+func (s *System) BulkTransferTime(totalBytes int) sim.Time {
+	if totalBytes <= 0 {
+		return 0
+	}
+	return fixedPath + s.wire.Time(totalBytes)
+}
+
+// PathOccupancy returns how long one message monopolizes the mesh path
+// — the single-packet protocol's real-time hazard (§Related Work).
+func (s *System) PathOccupancy(totalBytes int) sim.Time {
+	return s.wire.Time(totalBytes)
+}

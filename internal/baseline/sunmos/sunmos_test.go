@@ -1,0 +1,56 @@
+package sunmos
+
+import (
+	"testing"
+
+	"flipc/internal/baseline"
+)
+
+func TestPublishedAnchor120Bytes(t *testing.T) {
+	s := New()
+	// Paper: "SUNMOS, 28µs" for a 120-byte message.
+	if err := baseline.CheckCalibration(s.Name(), s.OneWayLatency(120), 28, 1.0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroLengthOptimized(t *testing.T) {
+	s := New()
+	z := s.OneWayLatency(0)
+	one := s.OneWayLatency(1)
+	if z >= one {
+		t.Fatalf("zero-length path (%v) not faster than 1-byte path (%v)", z, one)
+	}
+	if s.OneWayLatency(-3) != z {
+		t.Fatal("negative size not treated as zero")
+	}
+}
+
+func TestLargeMessageBandwidth(t *testing.T) {
+	s := New()
+	// Paper: "SUNMOS approaches 160 MB/s for sufficiently large messages".
+	const bytes = 16 << 20
+	bw := baseline.MBPerSecond(bytes, s.BulkTransferTime(bytes))
+	if bw < 155 || bw > 161 {
+		t.Fatalf("bulk bandwidth = %.1f MB/s, want ≈160", bw)
+	}
+	if s.BulkTransferTime(0) != 0 {
+		t.Fatal("zero bulk nonzero")
+	}
+}
+
+func TestPathOccupancyHazard(t *testing.T) {
+	s := New()
+	// A multi-megabyte single-packet message occupies the path for
+	// milliseconds — the paper's real-time responsiveness concern.
+	occ := s.PathOccupancy(4 << 20)
+	if occ.Micros() < 20000 {
+		t.Fatalf("4 MB path occupancy = %v, expected tens of ms", occ)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() == "" {
+		t.Fatal("empty name")
+	}
+}

@@ -1,0 +1,246 @@
+package cachesim
+
+import (
+	"testing"
+
+	"flipc/internal/mem"
+	"flipc/internal/sim"
+)
+
+func newTraced(t *testing.T) (*mem.Arena, *Model) {
+	t.Helper()
+	a, err := mem.New(mem.Config{ControlWords: 64, LineWords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(a.LineWords())
+	a.SetTracer(m)
+	return a, m
+}
+
+func TestProcOf(t *testing.T) {
+	if ProcOf(mem.ActorEngine) != ProcEngine {
+		t.Fatal("engine actor not on msg cpu")
+	}
+	for _, a := range []mem.Actor{mem.ActorApp, mem.ActorKernel, mem.ActorNone} {
+		if ProcOf(a) != ProcApp {
+			t.Fatalf("%v not on app cpu", a)
+		}
+	}
+}
+
+func TestProcString(t *testing.T) {
+	if ProcApp.String() != "app-cpu" || ProcEngine.String() != "msg-cpu" {
+		t.Fatal("proc names")
+	}
+	if Proc(7).String() == "" {
+		t.Fatal("unknown proc name empty")
+	}
+}
+
+func TestColdReadMiss(t *testing.T) {
+	a, m := newTraced(t)
+	a.Load(mem.ActorApp, 0)
+	c := m.Counts()
+	if c.ReadMisses[ProcApp] != 1 || c.Loads[ProcApp] != 1 {
+		t.Fatalf("counts = %v", c)
+	}
+	// Second load hits.
+	a.Load(mem.ActorApp, 1) // same line (words 0-3)
+	c = m.Counts()
+	if c.ReadMisses[ProcApp] != 1 {
+		t.Fatalf("warm load missed: %v", c)
+	}
+}
+
+func TestWriteInvalidatesRemoteCopy(t *testing.T) {
+	a, m := newTraced(t)
+	a.Load(mem.ActorEngine, 0) // engine caches line 0
+	a.Store(mem.ActorApp, 0, 1)
+	c := m.Counts()
+	if c.Invalidations[ProcApp] != 1 {
+		t.Fatalf("app store did not invalidate engine copy: %v", c)
+	}
+	if c.WriteMisses[ProcApp] != 1 {
+		t.Fatalf("cold write not a miss: %v", c)
+	}
+	// Engine reads again: read miss + dirty transfer from app cache.
+	a.Load(mem.ActorEngine, 0)
+	c = m.Counts()
+	if c.ReadMisses[ProcEngine] != 2 || c.Transfers[ProcEngine] != 1 {
+		t.Fatalf("dirty supply not counted: %v", c)
+	}
+}
+
+func TestRepeatedExclusiveWritesAreFree(t *testing.T) {
+	a, m := newTraced(t)
+	a.Store(mem.ActorApp, 0, 1)
+	before := m.Counts()
+	for i := 0; i < 10; i++ {
+		a.Store(mem.ActorApp, 0, uint64(i))
+	}
+	d := m.Counts().Sub(before)
+	if d.WriteMisses.Total() != 0 || d.Invalidations.Total() != 0 {
+		t.Fatalf("exclusive rewrites caused protocol traffic: %v", d)
+	}
+	if d.Stores[ProcApp] != 10 {
+		t.Fatalf("stores = %v", d.Stores)
+	}
+}
+
+// False sharing: app writes word 0, engine writes word 1 — same line.
+// Each alternation must invalidate the other's copy.
+func TestFalseSharingPingPong(t *testing.T) {
+	a, m := newTraced(t)
+	before := m.Counts()
+	for i := 0; i < 10; i++ {
+		a.Store(mem.ActorApp, 0, uint64(i))
+		a.Store(mem.ActorEngine, 1, uint64(i))
+	}
+	d := m.Counts().Sub(before)
+	// After warmup every store invalidates the other processor's copy:
+	// 20 stores, at least 18 invalidations.
+	if d.Invalidations.Total() < 18 {
+		t.Fatalf("false sharing produced only %d invalidations: %v", d.Invalidations.Total(), d)
+	}
+}
+
+// Padded: app writes line 0, engine writes line 1 — no cross-invalidations.
+func TestPaddedNoInvalidations(t *testing.T) {
+	a, m := newTraced(t)
+	for i := 0; i < 10; i++ {
+		a.Store(mem.ActorApp, 0, uint64(i))
+		a.Store(mem.ActorEngine, 4, uint64(i))
+	}
+	c := m.Counts()
+	if c.Invalidations.Total() != 0 {
+		t.Fatalf("padded writers caused invalidations: %v", c)
+	}
+}
+
+func TestBusLockFlushesLine(t *testing.T) {
+	a, m := newTraced(t)
+	a.Load(mem.ActorApp, 8)
+	a.Load(mem.ActorEngine, 8)
+	a.TestAndSet(mem.ActorApp, 8)
+	c := m.Counts()
+	if c.BusLocks[ProcApp] != 1 {
+		t.Fatalf("bus lock not counted: %v", c)
+	}
+	if c.Invalidations[ProcApp] != 2 {
+		t.Fatalf("bus lock should flush both cached copies: %v", c)
+	}
+	// Next app load misses again (lock is not cache resident).
+	before := m.Counts()
+	a.Load(mem.ActorApp, 8)
+	if d := m.Counts().Sub(before); d.ReadMisses[ProcApp] != 1 {
+		t.Fatalf("post-lock load did not miss: %v", d)
+	}
+}
+
+func TestSharedLines(t *testing.T) {
+	a, m := newTraced(t)
+	a.Load(mem.ActorApp, 0)
+	a.Load(mem.ActorEngine, 0)
+	a.Load(mem.ActorApp, 4)
+	if m.SharedLines() != 1 {
+		t.Fatalf("SharedLines = %d, want 1", m.SharedLines())
+	}
+	a.Store(mem.ActorApp, 0, 1)
+	if m.SharedLines() != 0 {
+		t.Fatalf("SharedLines after invalidation = %d", m.SharedLines())
+	}
+}
+
+func TestFlushAllKeepsCounters(t *testing.T) {
+	a, m := newTraced(t)
+	a.Load(mem.ActorApp, 0)
+	before := m.Counts()
+	m.FlushAll()
+	if m.Counts() != before {
+		t.Fatal("FlushAll changed counters")
+	}
+	a.Load(mem.ActorApp, 0)
+	if d := m.Counts().Sub(before); d.ReadMisses[ProcApp] != 1 {
+		t.Fatalf("load after flush did not miss: %v", d)
+	}
+}
+
+// The cold-start anomaly in miniature: the first producer/consumer
+// exchange costs write misses; steady-state exchanges cost
+// invalidations + transfers, which the Paragon-calibrated cost model
+// makes more expensive.
+func TestColdStartCheaperThanSteadyState(t *testing.T) {
+	a, m := newTraced(t)
+	cm := CostModel{ReadMiss: 100, WriteMiss: 120, Invalidation: 250, Transfer: 200, BusLock: 1500}
+	exchange := func() Counts {
+		before := m.Counts()
+		a.Store(mem.ActorApp, 0, 1) // app writes its line
+		a.Load(mem.ActorEngine, 0)  // engine reads it
+		a.Store(mem.ActorEngine, 4, 1)
+		a.Load(mem.ActorApp, 4)
+		return m.Counts().Sub(before)
+	}
+	cold := cm.Cost(exchange())
+	for i := 0; i < 5; i++ {
+		exchange()
+	}
+	steady := cm.Cost(exchange())
+	if cold >= steady {
+		t.Fatalf("cold exchange (%v) not cheaper than steady state (%v)", cold, steady)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cm := CostModel{ReadMiss: 1, WriteMiss: 2, Invalidation: 3, Transfer: 4, BusLock: 5}
+	d := Counts{}
+	d.ReadMisses[ProcApp] = 2
+	d.WriteMisses[ProcEngine] = 1
+	d.Invalidations[ProcApp] = 1
+	d.Transfers[ProcEngine] = 1
+	d.BusLocks[ProcApp] = 2
+	want := sim.Time(2*1 + 1*2 + 1*3 + 1*4 + 2*5)
+	if got := cm.Cost(d); got != want {
+		t.Fatalf("Cost = %v, want %v", got, want)
+	}
+}
+
+func TestCountsString(t *testing.T) {
+	if (Counts{}).String() == "" {
+		t.Fatal("empty Counts string")
+	}
+}
+
+func TestNewDefaultLineWords(t *testing.T) {
+	m := New(0)
+	if m.lineWords != mem.DefaultLineWords {
+		t.Fatalf("lineWords = %d", m.lineWords)
+	}
+}
+
+func TestHottestLines(t *testing.T) {
+	a, m := newTraced(t)
+	// Line 0: heavy app/engine ping-pong. Line 2: one exchange.
+	for i := 0; i < 10; i++ {
+		a.Store(mem.ActorApp, 0, uint64(i))
+		a.Store(mem.ActorEngine, 1, uint64(i))
+	}
+	a.Store(mem.ActorApp, 8, 1)
+	a.Load(mem.ActorEngine, 8)
+	a.Store(mem.ActorEngine, 8, 2)
+
+	top := m.HottestLines(2)
+	if len(top) != 2 {
+		t.Fatalf("reports = %d", len(top))
+	}
+	if top[0].Line != 0 || top[0].FirstWord != 0 {
+		t.Fatalf("hottest = %+v, want line 0", top[0])
+	}
+	if top[0].Invalidations <= top[1].Invalidations {
+		t.Fatal("not sorted by invalidations")
+	}
+	// Unlimited.
+	if got := m.HottestLines(0); len(got) < 2 {
+		t.Fatalf("unlimited = %d", len(got))
+	}
+}

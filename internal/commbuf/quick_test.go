@@ -1,0 +1,164 @@
+package commbuf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flipc/internal/mem"
+	"flipc/internal/wire"
+)
+
+// Property: across arbitrary alloc/free sequences, live endpoint
+// addresses are unique and never equal any previously freed address
+// (the generation bump makes stale addresses unroutable).
+func TestQuickEndpointAddressesNeverReused(t *testing.T) {
+	prop := func(ops []bool) bool {
+		b, err := New(Config{Node: 3, MessageSize: 64, MaxEndpoints: 4})
+		if err != nil {
+			return false
+		}
+		live := map[wire.Addr]*Endpoint{}
+		dead := map[wire.Addr]bool{}
+		for _, alloc := range ops {
+			if alloc {
+				ep, err := b.AllocEndpoint(EndpointRecv, 4)
+				if err != nil {
+					continue // slots exhausted
+				}
+				if dead[ep.Addr()] {
+					return false // resurrected a freed address
+				}
+				if _, dup := live[ep.Addr()]; dup {
+					return false // duplicate live address
+				}
+				live[ep.Addr()] = ep
+			} else {
+				for a, ep := range live {
+					if err := b.FreeEndpoint(ep); err != nil {
+						return false
+					}
+					dead[a] = true
+					delete(live, a)
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any alloc/free interleaving of message buffers conserves
+// the pool: free count + live count == NumBuffers, no ID handed out
+// twice concurrently.
+func TestQuickBufferPoolConservation(t *testing.T) {
+	prop := func(ops []bool) bool {
+		const n = 6
+		b, err := New(Config{Node: 1, MessageSize: 64, NumBuffers: n})
+		if err != nil {
+			return false
+		}
+		live := map[int]*Msg{}
+		for _, alloc := range ops {
+			if alloc {
+				m, err := b.AllocMsg()
+				if err != nil {
+					if len(live) != n {
+						return false // spurious exhaustion
+					}
+					continue
+				}
+				if _, dup := live[m.ID()]; dup {
+					return false
+				}
+				live[m.ID()] = m
+			} else {
+				for id, m := range live {
+					if err := b.FreeMsg(m); err != nil {
+						return false
+					}
+					delete(live, id)
+					break
+				}
+			}
+			if b.FreeBufferCount()+len(live) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the meta word round-trips every representable field
+// combination (the 8-byte header is the whole per-message overhead).
+func TestQuickMetaWordRoundTrip(t *testing.T) {
+	prop := func(rawAddr uint32, size uint16, flags uint8, stateSel uint8) bool {
+		w := metaWord{
+			addr:  wire.Addr(rawAddr),
+			size:  size,
+			flags: flags,
+			state: State(stateSel % 5),
+		}
+		return unpackMeta(packMeta(w)) == w
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the endpoint descriptor config word round-trips.
+func TestQuickEpCfgRoundTrip(t *testing.T) {
+	prop := func(state uint8, typSel uint8, depthSel uint8, gen uint16, prio uint8) bool {
+		st := uint64(state % 3)
+		typ := EndpointType(typSel%2 + 1)
+		depth := 1 << (depthSel % 12)
+		gotSt, gotTyp, gotDepth, gotGen, gotPrio := unpackEpCfg(packEpCfg(st, typ, depth, gen, prio))
+		return gotSt == st && gotTyp == typ && gotDepth == depth && gotGen == gen && gotPrio == prio
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeAllowedMask(t *testing.T) {
+	b, err := New(Config{Node: 2, MessageSize: 64, AllowedNodes: []wire.NodeID{5, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := b.View(mem.ActorEngine)
+	for node, want := range map[wire.NodeID]bool{
+		2: true, // local always allowed
+		5: true,
+		7: true,
+		6: false,
+		0: false,
+	} {
+		if got := b.NodeAllowed(v, node); got != want {
+			t.Errorf("NodeAllowed(%d) = %v, want %v", node, got, want)
+		}
+	}
+	// Unconfigured: everything allowed.
+	open, err := New(Config{Node: 2, MessageSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !open.NodeAllowed(open.View(mem.ActorEngine), 999) {
+		t.Fatal("unconfigured mask restricted sends")
+	}
+}
+
+func TestNodeAllowedMaskUnpadded(t *testing.T) {
+	b, err := New(Config{Node: 1, MessageSize: 64, AllowedNodes: []wire.NodeID{3}, Padded: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := b.View(mem.ActorEngine)
+	if !b.NodeAllowed(v, 3) || b.NodeAllowed(v, 4) {
+		t.Fatal("unpadded mask wrong")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"flipc/internal/commbuf"
+	"flipc/internal/rtsched"
+)
+
+// Group logically combines several receive endpoints into a single
+// receive abstraction (paper §Architecture and Design). The receive
+// operation returns a message from *any* member endpoint.
+//
+// The group is implemented entirely in the library: the resource
+// control model ties buffers to endpoints, so the endpoint queues
+// cannot be merged — the library scans members instead, round-robin so
+// a busy member cannot starve the others.
+type Group struct {
+	d   *Domain
+	eps []*Endpoint
+	rr  int
+	sem *rtsched.Semaphore
+}
+
+// ErrEmptyGroup is returned when constructing a group with no members.
+var ErrEmptyGroup = errors.New("flipc: endpoint group needs at least one member")
+
+// NewGroup builds a group from receive endpoints of one domain.
+func (d *Domain) NewGroup(eps ...*Endpoint) (*Group, error) {
+	if len(eps) == 0 {
+		return nil, ErrEmptyGroup
+	}
+	for _, e := range eps {
+		if e == nil || e.d != d {
+			return nil, fmt.Errorf("flipc: group member from another domain")
+		}
+		if e.ep.Type() != commbuf.EndpointRecv {
+			return nil, fmt.Errorf("flipc: group member %v is not a receive endpoint", e.Addr())
+		}
+	}
+	return &Group{d: d, eps: append([]*Endpoint(nil), eps...), sem: rtsched.NewSemaphore(0)}, nil
+}
+
+// Members returns the group's endpoints (in construction order).
+func (g *Group) Members() []*Endpoint { return append([]*Endpoint(nil), g.eps...) }
+
+// Receive returns the next available message from any member endpoint,
+// scanning round-robin from after the last successful member.
+func (g *Group) Receive() (*Message, *Endpoint, bool) {
+	n := len(g.eps)
+	for k := 0; k < n; k++ {
+		e := g.eps[(g.rr+k)%n]
+		if msg, ok := e.Receive(); ok {
+			g.rr = (g.rr + k + 1) % n
+			return msg, e, true
+		}
+	}
+	return nil, nil, false
+}
+
+// ReceiveBlock blocks until any member endpoint has a message, waking
+// through the same kernel/scheduler path as Endpoint.ReceiveBlock. All
+// members share one semaphore registration while the call is blocked.
+func (g *Group) ReceiveBlock(prio Priority) (*Message, *Endpoint, error) {
+	if msg, e, ok := g.Receive(); ok {
+		return msg, e, nil
+	}
+	for _, e := range g.eps {
+		if err := g.d.kernel.Register(e.ep.Index(), rtsched.Registration{Sem: g.sem, Prio: prio}); err != nil {
+			return nil, nil, err
+		}
+		e.ep.SetWakeup(g.d.app, true)
+	}
+	defer func() {
+		for _, e := range g.eps {
+			e.ep.SetWakeup(g.d.app, false)
+			g.d.kernel.Unregister(e.ep.Index())
+		}
+	}()
+	for {
+		if msg, e, ok := g.Receive(); ok {
+			return msg, e, nil
+		}
+		if g.d.isClosed() {
+			return nil, nil, ErrClosed
+		}
+		g.sem.WaitTimeout(prio, wakePollFallback)
+	}
+}
+
+// Drops sums the members' discarded-message counts (without resetting).
+func (g *Group) Drops() uint64 {
+	var total uint64
+	for _, e := range g.eps {
+		total += e.Drops()
+	}
+	return total
+}

@@ -1,0 +1,396 @@
+// Package engine implements FLIPC's messaging engine: the body of
+// hardware and software that moves messages between nodes.
+//
+// On the Paragon the engine runs on the dedicated message coprocessor;
+// here it is driven either by discrete-event ticks (virtual-time
+// experiments) or by a host goroutine (real-concurrency mode). Either
+// way it obeys the controller restrictions the paper designs around
+// (§Communication Interface Architecture):
+//
+//   - it is a non-preemptible event loop: each Poll pass does a bounded
+//     quantum of work and never blocks, so one application's backlog
+//     cannot delay unrelated communication;
+//   - it synchronizes with applications only through wait-free
+//     loads/stores in the communication buffer — never read-modify-write,
+//     never a lock — so an errant application cannot stall it;
+//   - the inter-node protocol is optimistic: messages are sent
+//     aggressively with no acknowledgment, and an arrival that finds no
+//     posted receive buffer is discarded and counted on the endpoint's
+//     wait-free drop counter. Because every node therefore always
+//     drains the interconnect, a reliable interconnect cannot deadlock.
+//
+// Validity checks (Config.ValidityChecks) protect the engine against a
+// corrupted or malicious communication buffer; the paper measures them
+// at about +2 µs and allows trusted configurations to remove them.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"flipc/internal/commbuf"
+	"flipc/internal/interconnect"
+	"flipc/internal/mem"
+	"flipc/internal/trace"
+	"flipc/internal/wire"
+)
+
+// SendPolicy selects how the engine scans send endpoints.
+type SendPolicy uint8
+
+// Send policies. PolicyPriority is the paper's future-work transport
+// prioritization: higher-priority endpoints are drained first each pass.
+const (
+	PolicyRoundRobin SendPolicy = iota
+	PolicyPriority
+)
+
+// Config tunes one engine instance.
+type Config struct {
+	// ValidityChecks enables the defensive checks on everything the
+	// engine reads from the communication buffer.
+	ValidityChecks bool
+	// SendQuantum bounds send-side work per Poll pass (messages).
+	// Zero selects the default (8).
+	SendQuantum int
+	// RecvQuantum bounds receive-side work per Poll pass (frames).
+	// Zero selects the default (8).
+	RecvQuantum int
+	// Policy selects the send-endpoint scan order.
+	Policy SendPolicy
+	// RateLimit, when positive, caps messages sent per Poll pass for
+	// endpoints at priority 0 while higher priorities are unlimited —
+	// a minimal form of the future-work capacity control extension.
+	RateLimit int
+	// Trace, when non-nil, records engine events (sends, deliveries,
+	// drops, refusals) for post-mortem inspection. Tracing costs one
+	// ring append per event; leave nil on hot paths.
+	Trace *trace.Ring
+}
+
+func (c *Config) applyDefaults() {
+	if c.SendQuantum == 0 {
+		c.SendQuantum = 8
+	}
+	if c.RecvQuantum == 0 {
+		c.RecvQuantum = 8
+	}
+}
+
+// Stats counts engine activity. Read via Engine.Stats; written only by
+// the engine's own loop.
+type Stats struct {
+	Sent        uint64 // messages transmitted
+	Received    uint64 // frames taken from the transport
+	Delivered   uint64 // messages placed into posted receive buffers
+	RecvDrops   uint64 // arrivals discarded: no posted buffer
+	AddrDrops   uint64 // arrivals discarded: bad/stale destination
+	SendRefused uint64 // queued sends refused by validity checks
+	WireBusy    uint64 // TrySend rejections (left queued, retried)
+	BadFrames   uint64 // undecodable frames from the transport
+	Doorbells   uint64 // wakeups posted to the kernel ring
+	Polls       uint64 // Poll passes executed
+}
+
+// Engine is one node's messaging engine instance.
+type Engine struct {
+	buf  *commbuf.Buffer
+	tr   interconnect.Transport
+	view mem.View
+	cfg  Config
+
+	eps      []epCache
+	scan     int // round-robin cursor
+	frame    []byte
+	sendSeqs []uint8
+	stats    Stats
+}
+
+type epCache struct {
+	cfgWord uint64 // value the cache was built from
+	info    *commbuf.EndpointInfo
+}
+
+// New creates an engine for a communication buffer bound to a transport.
+func New(buf *commbuf.Buffer, tr interconnect.Transport, cfg Config) (*Engine, error) {
+	if buf == nil || tr == nil {
+		return nil, fmt.Errorf("engine: nil communication buffer or transport")
+	}
+	if tr.LocalNode() != buf.Node() {
+		return nil, fmt.Errorf("engine: transport node %d != buffer node %d", tr.LocalNode(), buf.Node())
+	}
+	cfg.applyDefaults()
+	return &Engine{
+		buf:      buf,
+		tr:       tr,
+		view:     buf.View(mem.ActorEngine),
+		cfg:      cfg,
+		eps:      make([]epCache, buf.Config().MaxEndpoints),
+		frame:    make([]byte, buf.Config().MessageSize),
+		sendSeqs: make([]uint8, buf.Config().MaxEndpoints),
+	}, nil
+}
+
+// Stats returns a snapshot of the engine's counters. Only safe to call
+// from the engine's own driving context (tick or host loop) — the
+// counters are loop-local by design.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// endpoint returns the engine's cached handle for slot i, rebuilding it
+// when the shared descriptor changed (allocation, free, generation bump).
+func (e *Engine) endpoint(i int) *commbuf.EndpointInfo {
+	// Cheap change detection: reread the config word; OpenEndpoint
+	// validates the rest.
+	info, ok := e.buf.OpenEndpoint(e.view, i)
+	if !ok {
+		e.eps[i] = epCache{}
+		return nil
+	}
+	c := &e.eps[i]
+	if c.info == nil || c.info.Gen != info.Gen || c.info.Type != info.Type {
+		c.info = info
+	}
+	return c.info
+}
+
+// Poll runs one pass of the engine's event loop: first drain incoming
+// frames (bounded by RecvQuantum), then service send endpoints (bounded
+// by SendQuantum). It never blocks and returns whether any work was done.
+func (e *Engine) Poll() bool {
+	e.stats.Polls++
+	work := false
+	if e.pollReceive() {
+		work = true
+	}
+	if e.pollSend() {
+		work = true
+	}
+	return work
+}
+
+// traceEvent records an engine event when tracing is configured.
+func (e *Engine) traceEvent(what string, args ...interface{}) {
+	if e.cfg.Trace != nil {
+		e.cfg.Trace.Add(what, args...)
+	}
+}
+
+func (e *Engine) pollReceive() bool {
+	work := false
+	for n := 0; n < e.cfg.RecvQuantum; n++ {
+		frame, ok := e.tr.Poll()
+		if !ok {
+			break
+		}
+		work = true
+		e.stats.Received++
+		e.deliver(frame)
+	}
+	return work
+}
+
+// deliver places one arrived frame into its destination endpoint, or
+// discards it with accounting. This is the receiving half of the
+// optimistic protocol: there is never feedback to the sender.
+func (e *Engine) deliver(frame []byte) {
+	pkt, err := wire.Decode(frame)
+	if err != nil {
+		e.stats.BadFrames++
+		e.traceEvent("recv.badframe")
+		return
+	}
+	dst := pkt.Dst
+	if dst.Node() != e.tr.LocalNode() {
+		e.stats.AddrDrops++
+		e.traceEvent("recv.wrongnode", dst)
+		return
+	}
+	slot, ok := e.buf.SlotForAddrIndex(int(dst.Index()))
+	if !ok {
+		// Another communication buffer's endpoint range (multi-buffer
+		// nodes demultiplex with interconnect.Mux, so this engine should
+		// never see such frames; count and drop if it does).
+		e.stats.AddrDrops++
+		e.traceEvent("recv.foreignrange", dst)
+		return
+	}
+	info := e.endpoint(slot)
+	if info == nil || info.Type != commbuf.EndpointRecv || info.Gen != dst.Gen() {
+		// Unallocated, wrong-type, or stale-generation destination.
+		e.stats.AddrDrops++
+		e.traceEvent("recv.badendpoint", dst)
+		return
+	}
+	id, ok := info.Queue.ProcessPeek(e.view)
+	if !ok {
+		// No posted receive buffer: discard and count. The application
+		// reads this counter via flipc's read-and-reset interface; flow
+		// control is its job (or internal/flowctl's), not the transport's.
+		info.Drops.Incr(e.view)
+		e.stats.RecvDrops++
+		e.traceEvent("recv.nobuffer", dst)
+		return
+	}
+	if e.cfg.ValidityChecks {
+		if err := e.checkRecvBuffer(id); err != nil {
+			// A corrupted queue slot: refuse to touch memory, drop the
+			// message, and skip the slot so the queue keeps moving.
+			info.Drops.Incr(e.view)
+			e.stats.RecvDrops++
+			info.Queue.AdvanceProcess(e.view)
+			return
+		}
+	}
+	msg, err := e.buf.MsgByID(id)
+	if err != nil {
+		info.Drops.Incr(e.view)
+		e.stats.RecvDrops++
+		info.Queue.AdvanceProcess(e.view)
+		return
+	}
+	copy(msg.Payload(), pkt.Payload)
+	msg.EngineFillRecv(e.view, int(pkt.Size), pkt.Flags)
+	info.Queue.AdvanceProcess(e.view)
+	e.stats.Delivered++
+	e.traceEvent("recv.delivered", dst, int(pkt.Size))
+	if info.WakeupRequested(e.view) {
+		if e.buf.Doorbell().Push(e.view, uint64(info.Index)) {
+			e.stats.Doorbells++
+		}
+		// A full doorbell is harmless: the receiver also polls.
+	}
+}
+
+func (e *Engine) checkRecvBuffer(id uint64) error {
+	if !e.buf.ValidBufID(id) {
+		return fmt.Errorf("engine: posted buffer id %d out of range", id)
+	}
+	msg, err := e.buf.MsgByID(id)
+	if err != nil {
+		return err
+	}
+	if _, _, _, state := msg.EngineMeta(e.view); state != commbuf.StateQueued {
+		return fmt.Errorf("engine: posted buffer %d in state %v", id, state)
+	}
+	return nil
+}
+
+// sendOrder returns the endpoint scan order for this pass.
+func (e *Engine) sendOrder() []int {
+	n := len(e.eps)
+	order := make([]int, 0, n)
+	switch e.cfg.Policy {
+	case PolicyPriority:
+		type pe struct {
+			idx  int
+			prio uint8
+		}
+		var pes []pe
+		for i := 0; i < n; i++ {
+			if info := e.endpoint(i); info != nil && info.Type == commbuf.EndpointSend {
+				pes = append(pes, pe{i, info.Priority})
+			}
+		}
+		sort.SliceStable(pes, func(a, b int) bool { return pes[a].prio > pes[b].prio })
+		for _, p := range pes {
+			order = append(order, p.idx)
+		}
+	default:
+		for k := 0; k < n; k++ {
+			order = append(order, (e.scan+k)%n)
+		}
+		e.scan = (e.scan + 1) % n
+	}
+	return order
+}
+
+func (e *Engine) pollSend() bool {
+	work := false
+	budget := e.cfg.SendQuantum
+	for _, i := range e.sendOrder() {
+		if budget <= 0 {
+			break
+		}
+		info := e.endpoint(i)
+		if info == nil || info.Type != commbuf.EndpointSend {
+			continue
+		}
+		sent := 0
+		for budget > 0 {
+			if e.cfg.RateLimit > 0 && info.Priority == 0 && sent >= e.cfg.RateLimit {
+				break // capacity control extension: low-priority cap
+			}
+			id, ok := info.Queue.ProcessPeek(e.view)
+			if !ok {
+				break
+			}
+			advance, didWork := e.transmit(info, id)
+			if didWork {
+				work = true
+			}
+			if !advance {
+				break // wire busy: preserve order, retry next pass
+			}
+			info.Queue.AdvanceProcess(e.view)
+			budget--
+			sent++
+		}
+	}
+	return work
+}
+
+// transmit attempts to put one queued send buffer on the wire.
+// It reports (advance past this buffer, any work done).
+func (e *Engine) transmit(info *commbuf.EndpointInfo, id uint64) (advance, work bool) {
+	if e.cfg.ValidityChecks && !e.buf.ValidBufID(id) {
+		// Corrupt slot: count on the endpoint and skip it.
+		info.Drops.Incr(e.view)
+		e.stats.SendRefused++
+		return true, true
+	}
+	msg, err := e.buf.MsgByID(id)
+	if err != nil {
+		info.Drops.Incr(e.view)
+		e.stats.SendRefused++
+		return true, true
+	}
+	dst, size, flags, state := msg.EngineMeta(e.view)
+	if e.cfg.ValidityChecks {
+		if state != commbuf.StateQueued || !dst.Valid() ||
+			size < 0 || size > e.buf.Config().MaxPayload() ||
+			!e.buf.NodeAllowed(e.view, dst.Node()) {
+			msg.EngineDropSend(e.view)
+			info.Drops.Incr(e.view)
+			e.stats.SendRefused++
+			return true, true
+		}
+	}
+	e.sendSeqs[info.Index]++
+	pkt := wire.Packet{
+		Dst:     dst,
+		Size:    uint16(size),
+		Flags:   flags,
+		Seq:     e.sendSeqs[info.Index],
+		Payload: msg.Payload()[:size],
+	}
+	if err := wire.Encode(&pkt, e.frame); err != nil {
+		// Unencodable without checks enabled (e.g. invalid dst): treat
+		// as a refused send rather than wedging the queue.
+		msg.EngineDropSend(e.view)
+		info.Drops.Incr(e.view)
+		e.stats.SendRefused++
+		return true, true
+	}
+	if !e.tr.TrySend(dst.Node(), e.frame) {
+		e.sendSeqs[info.Index]-- // not sent; reuse the sequence number
+		e.stats.WireBusy++
+		return false, false
+	}
+	msg.EngineCompleteSend(e.view)
+	e.stats.Sent++
+	e.traceEvent("send.ok", dst, size)
+	return true, true
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import "testing"
+
+func TestA1PollIntervalMonotone(t *testing.T) {
+	r, err := A1PollInterval(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.MeanMicros) < 4 {
+		t.Fatalf("too few points: %v", r.MeanMicros)
+	}
+	// Slower polling must never reduce latency, and the slowest cadence
+	// must clearly dominate the fastest.
+	for i := 1; i < len(r.MeanMicros); i++ {
+		if r.MeanMicros[i] < r.MeanMicros[i-1] {
+			t.Errorf("latency fell when polling slowed: %.2f -> %.2f at %v µs",
+				r.MeanMicros[i-1], r.MeanMicros[i], r.IntervalsMicros[i])
+		}
+	}
+	first, last := r.MeanMicros[0], r.MeanMicros[len(r.MeanMicros)-1]
+	if last < 3*first {
+		t.Errorf("8µs polling (%.2f) should be several times slower than 0.25µs (%.2f)", last, first)
+	}
+}
+
+func TestA2PriorityProtectsUrgent(t *testing.T) {
+	r, err := A2PriorityTransport(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PriorityUrgentMicros >= r.RoundRobinUrgentMicros {
+		t.Errorf("priority policy did not help the urgent class: %.2f vs %.2f",
+			r.PriorityUrgentMicros, r.RoundRobinUrgentMicros)
+	}
+	// The urgent class should approach its unloaded latency (one poll
+	// alignment + wire ≈ 4 µs at these settings), i.e. well under the
+	// round-robin figure.
+	if r.PriorityUrgentMicros > 0.75*r.RoundRobinUrgentMicros {
+		t.Errorf("priority improvement too small: %.2f vs %.2f",
+			r.PriorityUrgentMicros, r.RoundRobinUrgentMicros)
+	}
+}
+
+func TestA3WindowReducesLoss(t *testing.T) {
+	r, err := A3ReceiveWindow(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.DropRates) < 3 {
+		t.Fatalf("too few points")
+	}
+	// Loss must be non-increasing in window size, and the smallest
+	// window must lose most of the burst.
+	for i := 1; i < len(r.DropRates); i++ {
+		if r.DropRates[i] > r.DropRates[i-1]+1e-9 {
+			t.Errorf("loss rose with a larger window: %.2f -> %.2f at window %d",
+				r.DropRates[i-1], r.DropRates[i], r.Windows[i])
+		}
+	}
+	if r.DropRates[0] < 0.5 {
+		t.Errorf("window=1 loss = %.2f, expected severe", r.DropRates[0])
+	}
+}

@@ -1,0 +1,145 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation (see DESIGN.md §4 for the experiment index E1–E10).
+//
+// Methodology: the experiments *execute the actual implementation* —
+// internal/core endpoints over internal/engine over a transport — one
+// exchange at a time, with a cachesim model attached to each node's
+// communication buffer. Virtual time for one message is then composed
+// from (a) fixed instruction-path constants below, (b) wire time from
+// the Paragon mesh model, (c) coherency-event costs realized by the
+// *actual* memory accesses the code performed, and (d) seeded jitter
+// reproducing the paper's reported standard deviations. The shapes the
+// paper reports (lock/false-sharing penalty, cold-start anomaly,
+// validity-check cost, size slope) therefore emerge from the code and
+// models rather than from per-experiment constants.
+package experiments
+
+import (
+	"flipc/internal/cachesim"
+	"flipc/internal/interconnect"
+	"flipc/internal/sim"
+)
+
+// Costs is the calibrated virtual-time decomposition. One set of
+// constants serves every experiment.
+//
+// Calibration (see EXPERIMENTS.md): the tuned steady-state one-way
+// latency at 96+ bytes must follow the paper's fit
+//
+//	Latency = 15.45 µs + 6.25 ns/byte.
+//
+// The slope comes entirely from the mesh serialization rate
+// (6.25 ns/B = 160 MB/s, matching the paper's bandwidth observation).
+// The intercept decomposes as:
+//
+//	application send path           1.00 µs  (queue insert, meta stage)
+//	engine pickup + injection       2.17 µs  (poll pickup, DMA start)
+//	wire fixed part                 1.30 µs  (route setup + 1 hop)
+//	engine delivery                 2.17 µs  (poll pickup, buffer fill)
+//	application receive path        1.00 µs  (acquire, meta read)
+//	poll-phase alignment (mean)     1.00 µs  (expected half poll period)
+//	steady-state coherency traffic  ≈6.8 µs  (realized event counts ×
+//	                                          per-event costs below)
+//
+// The coherency term is not a constant: it is whatever the cache model
+// charges for the accesses the implementation actually made, which is
+// what lets E4 (locks + false sharing) and E5 (cold start) reproduce
+// the paper's findings with the same constants.
+type Costs struct {
+	AppSend           sim.Time
+	AppRecv           sim.Time
+	EngineSendPickup  sim.Time
+	EngineRecvDeliver sim.Time
+
+	// CheckSend/CheckRecv are the validity-check costs (paper: +2 µs
+	// total when configured).
+	CheckSend sim.Time
+	CheckRecv sim.Time
+
+	// SmallDMAThreshold/SmallDMABonus: messages below 96 bytes go out
+	// in a single DMA burst and are "slightly faster due to changes in
+	// hardware behavior".
+	SmallDMAThreshold int
+	SmallDMABonus     sim.Time
+
+	// JitterMean is the expected poll-phase alignment (folded into the
+	// intercept); JitterSD reproduces the paper's 0.5–0.65 µs standard
+	// deviations.
+	JitterMean sim.Time
+	JitterSD   sim.Time
+
+	// Cache converts realized coherency events into time. BusLock is
+	// the severe Paragon penalty that motivated the lock-free
+	// interface variants.
+	Cache cachesim.CostModel
+
+	// Mesh is the interconnect model (slope lives here).
+	Mesh interconnect.MeshConfig
+}
+
+// Calibrated returns the one calibrated constant set used by all
+// experiments.
+func Calibrated() Costs {
+	return Costs{
+		AppSend:           1000 * sim.Nanosecond,
+		AppRecv:           1000 * sim.Nanosecond,
+		EngineSendPickup:  2165 * sim.Nanosecond,
+		EngineRecvDeliver: 2165 * sim.Nanosecond,
+
+		CheckSend: 1000 * sim.Nanosecond,
+		CheckRecv: 1000 * sim.Nanosecond,
+
+		SmallDMAThreshold: 96,
+		SmallDMABonus:     350 * sim.Nanosecond,
+
+		JitterMean: 1000 * sim.Nanosecond,
+		JitterSD:   550 * sim.Nanosecond,
+
+		Cache: cachesim.CostModel{
+			// The i860 has no secondary cache: a plain memory fetch is
+			// pipelined and cheap next to coherency actions, which stall
+			// both processors and the bus.
+			ReadMiss:     10 * sim.Nanosecond,
+			WriteMiss:    10 * sim.Nanosecond,
+			Invalidation: 600 * sim.Nanosecond,
+			Transfer:     72 * sim.Nanosecond,
+			// A bus-locked test-and-set bypasses the cache and locks
+			// the memory bus — "a severe impact on performance".
+			BusLock: 2970 * sim.Nanosecond,
+		},
+
+		Mesh: interconnect.MeshConfig{
+			Width:      4,
+			Height:     4,
+			NSPerByte:  6.25, // 160 MB/s — the measured slope
+			HopLatency: 100 * sim.Nanosecond,
+			RouteSetup: 1200 * sim.Nanosecond,
+		},
+	}
+}
+
+// WireTime returns the modeled wire time for a full fixed-size message
+// between neighbouring nodes (1 hop), the configuration the paper's
+// two-node measurements use.
+func (c Costs) WireTime(messageSize int) sim.Time {
+	return c.Mesh.RouteSetup + c.Mesh.HopLatency +
+		sim.Time(float64(messageSize)*c.Mesh.NSPerByte)
+}
+
+// OneWay composes the one-way latency of a single message from the
+// fixed path, the wire, the realized coherency events of the exchange
+// (split over its two directions), and seeded jitter. checks selects
+// the validity-check configuration.
+func (c Costs) OneWay(messageSize int, exchange cachesim.Counts, checks bool, rng *sim.RNG) sim.Time {
+	t := c.AppSend + c.EngineSendPickup + c.WireTime(messageSize) +
+		c.EngineRecvDeliver + c.AppRecv
+	if checks {
+		t += c.CheckSend + c.CheckRecv
+	}
+	if messageSize < c.SmallDMAThreshold {
+		t -= c.SmallDMABonus
+	}
+	t += c.Cache.Cost(exchange) / 2 // a two-way exchange, halved per direction
+	t += rng.Normal(c.JitterMean, c.JitterSD)
+	return t
+}

@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"flipc/internal/stats"
+)
+
+const seed = 1996
+
+func TestE1Figure4Shape(t *testing.T) {
+	r, err := E1Figure4(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's fit: 15.45 µs + 6.25 ns/B over sizes >= 96 B.
+	if math.Abs(r.Fit.Intercept-15.45) > 0.25 {
+		t.Errorf("intercept = %.2f µs, paper 15.45", r.Fit.Intercept)
+	}
+	if math.Abs(r.Fit.Slope*1000-6.25) > 0.25 {
+		t.Errorf("slope = %.3f ns/B, paper 6.25", r.Fit.Slope*1000)
+	}
+	if r.Fit.R2 < 0.99 {
+		t.Errorf("r2 = %.4f, expected near-perfect linearity", r.Fit.R2)
+	}
+	// Sub-96-byte sizes sit below the fit line ("slightly faster due to
+	// changes in hardware behavior").
+	for i, size := range r.Sizes {
+		if size < 96 {
+			fitAt := r.Fit.Intercept + r.Fit.Slope*float64(size)
+			if r.MeanMicros[i] >= fitAt {
+				t.Errorf("size %d not below the fit (%.2f >= %.2f)", size, r.MeanMicros[i], fitAt)
+			}
+		}
+	}
+	// Standard deviations in the paper's 0.5-0.65 µs range (±0.15 slack).
+	for i, sd := range r.SDMicros {
+		if sd < 0.35 || sd > 0.80 {
+			t.Errorf("sd at %dB = %.2f, paper reports 0.5-0.65", r.Sizes[i], sd)
+		}
+	}
+	// Latency monotone nondecreasing in message size (within jitter).
+	for i := 1; i < len(r.MeanMicros); i++ {
+		if r.MeanMicros[i] < r.MeanMicros[i-1]-0.2 {
+			t.Errorf("latency decreased at %dB: %.2f -> %.2f",
+				r.Sizes[i], r.MeanMicros[i-1], r.MeanMicros[i])
+		}
+	}
+}
+
+func TestE2ComparisonOrdering(t *testing.T) {
+	r, err := E2Comparison(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: FLIPC 16.2, PAM 26, SUNMOS 28, NX 46.
+	if math.Abs(r.FLIPCMicros-16.2) > 0.5 {
+		t.Errorf("FLIPC = %.1f, paper 16.2", r.FLIPCMicros)
+	}
+	if math.Abs(r.PAMMicros-26) > 1 {
+		t.Errorf("PAM = %.1f, paper 26", r.PAMMicros)
+	}
+	if math.Abs(r.SUNMOSMicros-28) > 1 {
+		t.Errorf("SUNMOS = %.1f, paper 28", r.SUNMOSMicros)
+	}
+	if math.Abs(r.NXMicros-46) > 1 {
+		t.Errorf("NX = %.1f, paper 46", r.NXMicros)
+	}
+	if !(r.FLIPCMicros < r.PAMMicros && r.PAMMicros < r.SUNMOSMicros && r.SUNMOSMicros < r.NXMicros) {
+		t.Error("ordering FLIPC < PAM < SUNMOS < NX broken")
+	}
+}
+
+func TestE3ValidityChecksDelta(t *testing.T) {
+	r, err := E3ValidityChecks(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.DeltaMicros-2.0) > 0.3 {
+		t.Errorf("checks delta = %.2f µs, paper ~2", r.DeltaMicros)
+	}
+}
+
+func TestE4CacheAblationFactor(t *testing.T) {
+	r, err := E4CacheAblation(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: untuned ~15 µs slower, "almost a factor of two".
+	delta := r.UntunedMicros - r.TunedMicros
+	if delta < 12 || delta > 17 {
+		t.Errorf("untuned penalty = %.1f µs, paper ~15", delta)
+	}
+	if r.Factor < 1.7 || r.Factor > 2.1 {
+		t.Errorf("factor = %.2f, paper 'almost a factor of two'", r.Factor)
+	}
+	// The lock penalty must dominate (the bus-locked TAS is the severe
+	// Paragon effect).
+	if r.LockedMicros <= r.TunedMicros+8 {
+		t.Errorf("locked = %.1f vs tuned %.1f; lock penalty too small", r.LockedMicros, r.TunedMicros)
+	}
+}
+
+func TestE5ColdStartDelta(t *testing.T) {
+	r, err := E5ColdStart(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ~3 µs faster at start-up.
+	if r.DeltaMicros < 2 || r.DeltaMicros > 4 {
+		t.Errorf("cold-start delta = %.2f µs, paper ~3", r.DeltaMicros)
+	}
+	if r.ColdMicros >= r.SteadyMicros {
+		t.Error("cold not faster than steady")
+	}
+}
+
+func TestE6BandwidthOver150(t *testing.T) {
+	r, err := E6BandwidthSlope(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ImpliedMBs < 150 || r.ImpliedMBs > 170 {
+		t.Errorf("implied bandwidth = %.0f MB/s, paper >150 (best software 160)", r.ImpliedMBs)
+	}
+}
+
+func TestE7Crossover(t *testing.T) {
+	r, err := E7SmallMessageCrossover(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PAM wins at 20 bytes by roughly a third.
+	var pam20, flipc20 float64
+	for i, size := range r.Sizes {
+		if size == 20 {
+			pam20, flipc20 = r.PAMMicros[i], r.FLIPCMicros[i]
+		}
+	}
+	if pam20 == 0 || pam20 >= 10 {
+		t.Errorf("PAM at 20B = %.1f, paper <10", pam20)
+	}
+	ratio := pam20 / flipc20
+	if ratio < 0.5 || ratio > 0.8 {
+		t.Errorf("PAM/FLIPC at 20B = %.2f, paper ~2/3", ratio)
+	}
+	// FLIPC takes over within the medium class (50-500 B).
+	if r.CrossoverBytes < 40 || r.CrossoverBytes > 88 {
+		t.Errorf("crossover at %dB, expected within the 40-88B band", r.CrossoverBytes)
+	}
+}
+
+func TestE8Positioning(t *testing.T) {
+	r, err := E8LargeMessageThroughput(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the largest transfer, parse the table's last row: FLIPC at its
+	// real-time message size must be far below NX and SUNMOS, and
+	// SUNMOS must approach 160.
+	last := r.Table.Rows[len(r.Table.Rows)-1]
+	flipc64 := atofOrFail(t, last[1])
+	nxMBs := atofOrFail(t, last[3])
+	sunmosMBs := atofOrFail(t, last[5])
+	if flipc64 > nxMBs/5 {
+		t.Errorf("FLIPC@64B (%.0f MB/s) not clearly dominated by NX (%.0f)", flipc64, nxMBs)
+	}
+	if nxMBs < 135 {
+		t.Errorf("NX = %.0f MB/s, paper >140", nxMBs)
+	}
+	if sunmosMBs < 155 {
+		t.Errorf("SUNMOS = %.0f MB/s, paper ->160", sunmosMBs)
+	}
+}
+
+func atofOrFail(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestE9Semantics(t *testing.T) {
+	r, err := E9DropsAndFlowControl(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeliveredRaw != 4 {
+		t.Errorf("raw delivered = %d, want exactly the posted window (4)", r.DeliveredRaw)
+	}
+	if r.DroppedRaw != 60 {
+		t.Errorf("raw dropped = %d, want 60", r.DroppedRaw)
+	}
+	// The counter must account for every drop exactly despite the
+	// mid-stream read-and-resets.
+	if r.CounterHarvested != r.DroppedRaw {
+		t.Errorf("counter harvested %d, drops %d — lossy reset", r.CounterHarvested, r.DroppedRaw)
+	}
+	if r.DroppedWindowed != 0 {
+		t.Errorf("windowed drops = %d, want 0", r.DroppedWindowed)
+	}
+	if r.SentWindowed != r.SentRaw {
+		t.Errorf("windowed sent = %d, want %d", r.SentWindowed, r.SentRaw)
+	}
+}
+
+func TestE10KKTSlower(t *testing.T) {
+	r, err := E10KKTVsNative(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.KKTMicros < r.NativeMicros*1.5 {
+		t.Errorf("KKT (%.1f) not clearly slower than native (%.1f)", r.KKTMicros, r.NativeMicros)
+	}
+	if r.KKTRPCs == 0 {
+		t.Error("KKT binding issued no RPCs")
+	}
+}
+
+func TestRunAllPrintsEveryExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := RunAll(&sb, seed); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"} {
+		if !strings.Contains(out, "== "+id+":") {
+			t.Errorf("RunAll output missing %s", id)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := RunPingPong(PingPongConfig{MessageSize: 128, Exchanges: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPingPong(PingPongConfig{MessageSize: 128, Exchanges: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.OneWayMicros {
+		if a.OneWayMicros[i] != b.OneWayMicros[i] {
+			t.Fatalf("same seed diverged at exchange %d", i)
+		}
+	}
+	c, err := RunPingPong(PingPongConfig{MessageSize: 128, Exchanges: 50, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mean(a.OneWayMicros) == stats.Mean(c.OneWayMicros) {
+		t.Fatal("different seeds produced identical means")
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tab := Table{ID: "EX", Title: "t", Note: "n", Columns: []string{"a", "b"},
+		Rows: [][]string{{"1", "2"}}}
+	var sb strings.Builder
+	if err := tab.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "EX") || !strings.Contains(sb.String(), "paper: n") {
+		t.Fatalf("output = %q", sb.String())
+	}
+}
+
+func TestFlipcPublishedFit(t *testing.T) {
+	if got := flipcPublished(120); math.Abs(got-16.2) > 0.01 {
+		t.Fatalf("published fit at 120B = %.2f", got)
+	}
+}
+
+func TestTableFcsv(t *testing.T) {
+	tab := Table{Columns: []string{"a", "b"}, Rows: [][]string{{"1", "with,comma"}, {"2", `with"quote`}}}
+	var sb strings.Builder
+	if err := tab.Fcsv(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"with,comma\"\n2,\"with\"\"quote\"\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flipc/internal/cachesim"
+	"flipc/internal/core"
+	"flipc/internal/engine"
+	"flipc/internal/interconnect"
+	"flipc/internal/sim"
+	"flipc/internal/wire"
+)
+
+// PingPongConfig selects one measurement configuration — the knobs the
+// paper's evaluation turns.
+type PingPongConfig struct {
+	// MessageSize is the boot-time fixed message size (the Figure 4
+	// sweep variable).
+	MessageSize int
+	// Exchanges is the number of two-way exchanges ("hundreds" for the
+	// steady-state numbers; small counts expose the cold-start anomaly).
+	Exchanges int
+	// Checks configures the engine validity checks (+~2 µs).
+	Checks bool
+	// Locked uses the test-and-set-locked interface variants instead of
+	// the tuned lock-free ones.
+	Locked bool
+	// Unpadded uses the legacy communication-buffer layout with
+	// app/engine false sharing.
+	Unpadded bool
+	// Seed drives the jitter source.
+	Seed int64
+}
+
+// PingPongResult carries per-exchange measurements.
+type PingPongResult struct {
+	// OneWayMicros is the modeled one-way latency of each exchange, µs.
+	OneWayMicros []float64
+	// Exchange is the realized coherency-event delta of each exchange.
+	Exchange []cachesim.Counts
+	// ModelA and ModelB are the nodes' cache models, exposed for
+	// post-run inspection (hottest-line reports in cmd/flipcstat).
+	ModelA, ModelB *cachesim.Model
+}
+
+// Steady returns the samples after the first warm exchanges (the
+// paper's steady state).
+func (r *PingPongResult) Steady() []float64 {
+	if len(r.OneWayMicros) <= coldExchanges {
+		return r.OneWayMicros
+	}
+	return r.OneWayMicros[coldExchanges:]
+}
+
+// Cold returns the first (cache-cold) samples.
+func (r *PingPongResult) Cold() []float64 {
+	if len(r.OneWayMicros) <= coldExchanges {
+		return r.OneWayMicros
+	}
+	return r.OneWayMicros[:coldExchanges]
+}
+
+// coldExchanges is how many leading exchanges we class as start-up
+// transient (the paper: "running the test program for a small number of
+// exchanges yields results about 3µs faster"). In our cache model the
+// producer/consumer sharing pattern equilibrates after a single
+// exchange, so the transient window is one exchange; on the real
+// Paragon the window was longer but the mechanism — writes that find no
+// remote copy to invalidate until sharing is established — is the same.
+const coldExchanges = 1
+
+// RunPingPong executes cfg.Exchanges two-way message exchanges between
+// applications on two neighbouring nodes — the paper's measurement
+// methodology ("a test program that measures the time consumed by
+// multiple two-way message exchanges between a pair of nodes") — using
+// the real library and engine code, and models each exchange's time.
+func RunPingPong(cfg PingPongConfig) (*PingPongResult, error) {
+	if cfg.MessageSize == 0 {
+		cfg.MessageSize = wire.MinMessageSize
+	}
+	if cfg.Exchanges <= 0 {
+		cfg.Exchanges = 400
+	}
+	costs := Calibrated()
+	rng := sim.NewRNG(cfg.Seed)
+
+	fabric := interconnect.NewFabric(64)
+	mk := func(node wire.NodeID) (*core.Domain, *cachesim.Model, error) {
+		tr, err := fabric.Attach(node)
+		if err != nil {
+			return nil, nil, err
+		}
+		d, err := core.NewDomain(core.Config{
+			Node:           node,
+			MessageSize:    cfg.MessageSize,
+			NumBuffers:     8,
+			MaxEndpoints:   4,
+			UnpaddedLayout: cfg.Unpadded,
+			// Validity checks change the code the engine executes (and
+			// the loads the cache model sees); the +2 µs constant covers
+			// the instruction path, realized events cover the rest.
+			Engine: engine.Config{ValidityChecks: cfg.Checks},
+		}, tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		model := cachesim.New(d.Buffer().Arena().LineWords())
+		d.Buffer().Arena().SetTracer(model)
+		return d, model, nil
+	}
+	a, modelA, err := mk(0)
+	if err != nil {
+		return nil, err
+	}
+	defer a.Close()
+	b, modelB, err := mk(1)
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close()
+
+	// Endpoints: each side has a send endpoint and a receive endpoint.
+	sepA, err := a.NewSendEndpoint(4)
+	if err != nil {
+		return nil, err
+	}
+	repA, err := a.NewRecvEndpoint(4)
+	if err != nil {
+		return nil, err
+	}
+	sepB, err := b.NewSendEndpoint(4)
+	if err != nil {
+		return nil, err
+	}
+	repB, err := b.NewRecvEndpoint(4)
+	if err != nil {
+		return nil, err
+	}
+
+	// Message buffers, reused across every exchange (steady state).
+	ping, err := a.AllocBuffer()
+	if err != nil {
+		return nil, err
+	}
+	pingRecv, err := b.AllocBuffer()
+	if err != nil {
+		return nil, err
+	}
+	pong, err := b.AllocBuffer()
+	if err != nil {
+		return nil, err
+	}
+	pongRecv, err := a.AllocBuffer()
+	if err != nil {
+		return nil, err
+	}
+
+	payload := a.MaxPayload()
+	// tick models the engines' continuous event loops: the message
+	// coprocessors poll regardless of pending work, which is what makes
+	// false sharing of polled lines expensive in the unpadded layout.
+	tick := func() {
+		a.Poll()
+		b.Poll()
+	}
+	pump := func() {
+		for i := 0; i < 64; i++ {
+			work := a.Poll()
+			if b.Poll() {
+				work = true
+			}
+			if !work {
+				return
+			}
+		}
+	}
+
+	post := func(ep *core.Endpoint, m *core.Message) error {
+		if cfg.Locked {
+			return ep.PostLocked(m)
+		}
+		return ep.Post(m)
+	}
+	send := func(ep *core.Endpoint, m *core.Message, dst core.Addr) error {
+		if cfg.Locked {
+			return ep.SendLocked(m, dst, payload)
+		}
+		return ep.Send(m, dst, payload)
+	}
+	recv := func(ep *core.Endpoint) (*core.Message, bool) {
+		if cfg.Locked {
+			return ep.ReceiveLocked()
+		}
+		return ep.Receive()
+	}
+	acquire := func(ep *core.Endpoint) (*core.Message, bool) {
+		if cfg.Locked {
+			return ep.AcquireLocked()
+		}
+		return ep.Acquire()
+	}
+
+	res := &PingPongResult{
+		OneWayMicros: make([]float64, 0, cfg.Exchanges),
+		Exchange:     make([]cachesim.Counts, 0, cfg.Exchanges),
+		ModelA:       modelA,
+		ModelB:       modelB,
+	}
+	for x := 0; x < cfg.Exchanges; x++ {
+		beforeA := modelA.Counts()
+		beforeB := modelB.Counts()
+
+		// Receiver-side buffers posted first (step 1 both directions),
+		// with engine event-loop passes interleaved as they would be on
+		// the free-running coprocessors.
+		if err := post(repB, pingRecv); err != nil {
+			return nil, fmt.Errorf("exchange %d: post ping buffer: %w", x, err)
+		}
+		tick()
+		if err := post(repA, pongRecv); err != nil {
+			return nil, fmt.Errorf("exchange %d: post pong buffer: %w", x, err)
+		}
+		tick()
+		// A sends the ping (step 2); engines move it (step 3).
+		if err := send(sepA, ping, repB.Addr()); err != nil {
+			return nil, fmt.Errorf("exchange %d: ping send: %w", x, err)
+		}
+		pump()
+		got, ok := recv(repB)
+		if !ok {
+			return nil, fmt.Errorf("exchange %d: ping lost (drops=%d)", x, repB.Drops())
+		}
+		pingRecv = got
+		tick()
+		// B replies.
+		if err := send(sepB, pong, repA.Addr()); err != nil {
+			return nil, fmt.Errorf("exchange %d: pong send: %w", x, err)
+		}
+		pump()
+		got, ok = recv(repA)
+		if !ok {
+			return nil, fmt.Errorf("exchange %d: pong lost (drops=%d)", x, repA.Drops())
+		}
+		pongRecv = got
+		// Both senders reclaim their buffers (step 5).
+		if m, ok := acquire(sepA); !ok || m.ID() != ping.ID() {
+			return nil, fmt.Errorf("exchange %d: ping reclaim failed", x)
+		}
+		if m, ok := acquire(sepB); !ok || m.ID() != pong.ID() {
+			return nil, fmt.Errorf("exchange %d: pong reclaim failed", x)
+		}
+
+		delta := modelA.Counts().Sub(beforeA)
+		deltaB := modelB.Counts().Sub(beforeB)
+		delta = addCounts(delta, deltaB)
+		res.Exchange = append(res.Exchange, delta)
+		oneWay := costs.OneWay(cfg.MessageSize, delta, cfg.Checks, rng)
+		res.OneWayMicros = append(res.OneWayMicros, oneWay.Micros())
+	}
+	return res, nil
+}
+
+func addCounts(a, b cachesim.Counts) cachesim.Counts {
+	return cachesim.Counts{
+		Loads:         addPerProc(a.Loads, b.Loads),
+		Stores:        addPerProc(a.Stores, b.Stores),
+		ReadMisses:    addPerProc(a.ReadMisses, b.ReadMisses),
+		WriteMisses:   addPerProc(a.WriteMisses, b.WriteMisses),
+		Invalidations: addPerProc(a.Invalidations, b.Invalidations),
+		Transfers:     addPerProc(a.Transfers, b.Transfers),
+		BusLocks:      addPerProc(a.BusLocks, b.BusLocks),
+	}
+}
+
+func addPerProc(a, b cachesim.PerProc) cachesim.PerProc {
+	var r cachesim.PerProc
+	for i := range a {
+		r[i] = a[i] + b[i]
+	}
+	return r
+}

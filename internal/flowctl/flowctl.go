@@ -1,0 +1,280 @@
+// Package flowctl provides flow control *above* FLIPC.
+//
+// FLIPC's transport deliberately has no flow control: the optimistic
+// protocol discards arrivals that find no posted buffer, and "flow
+// control to avoid discarded messages can be provided either by
+// applications or by libraries designed to fit between applications and
+// FLIPC" (§Message Transfer). This package is such a library:
+//
+//   - Sender/Receiver implement a credit window (the customization PAM
+//     chose for its active-message facility): the sender spends one
+//     credit per message and the receiver returns batched credits on a
+//     reverse FLIPC channel, so the receive endpoint can never be
+//     overrun;
+//   - RPCBuffers and PeriodicBuffers are the paper's two static-sizing
+//     examples, where application structure removes the need for any
+//     runtime flow control at all.
+package flowctl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"flipc/internal/core"
+)
+
+// creditMagic tags credit-return messages on the reverse channel.
+const creditMagic = 0xC4
+
+// creditMsgBytes is the credit message payload: magic(1) | pad(1) | count(2).
+const creditMsgBytes = 4
+
+// ErrNoCredit is returned by TrySend when the window is exhausted.
+var ErrNoCredit = errors.New("flowctl: send window exhausted")
+
+// Sender is the sending half of a credit-windowed channel. It wraps a
+// FLIPC send endpoint plus a private receive endpoint on which the
+// peer returns credits. Not safe for concurrent use (match it with the
+// lock-free endpoint variants; wrap externally for multithreading).
+type Sender struct {
+	d        *core.Domain
+	sep      *core.Endpoint // data out
+	creditEp *core.Endpoint // credits in
+	dst      core.Addr
+	credits  int
+	window   int
+	sent     uint64
+}
+
+// NewSender creates a windowed sender to dst. window must match the
+// number of buffers the receiver guarantees (Receiver's bufs). The
+// returned sender's CreditAddr must be conveyed to the receiver.
+func NewSender(d *core.Domain, dst core.Addr, window int) (*Sender, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("flowctl: window %d must be positive", window)
+	}
+	sep, err := d.NewSendEndpoint(0)
+	if err != nil {
+		return nil, err
+	}
+	creditEp, err := d.NewRecvEndpoint(0)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sender{d: d, sep: sep, creditEp: creditEp, dst: dst, credits: window, window: window}
+	// Keep credit buffers posted: one per possible in-flight credit batch.
+	for i := 0; i < creditEp.QueueDepth()-1; i++ {
+		m, err := d.AllocBuffer()
+		if err != nil {
+			return nil, fmt.Errorf("flowctl: posting credit buffers: %w", err)
+		}
+		if err := creditEp.Post(m); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// CreditAddr is the address the receiver must send credits to.
+func (s *Sender) CreditAddr() core.Addr { return s.creditEp.Addr() }
+
+// Retarget redirects the sender's data messages. Sender and receiver
+// each need the other's address, so the usual wiring is: create the
+// sender against a provisional address, create the receiver with the
+// sender's CreditAddr, then Retarget the sender at the receiver's Addr.
+func (s *Sender) Retarget(dst core.Addr) { s.dst = dst }
+
+// Credits returns the currently available window.
+func (s *Sender) Credits() int {
+	s.harvest()
+	return s.credits
+}
+
+// harvest collects returned credits and completed send buffers.
+func (s *Sender) harvest() {
+	for {
+		m, ok := s.creditEp.Receive()
+		if !ok {
+			break
+		}
+		p := m.Payload()
+		if m.Len() == creditMsgBytes && p[0] == creditMagic {
+			s.credits += int(binary.BigEndian.Uint16(p[2:4]))
+			if s.credits > s.window {
+				s.credits = s.window // defensive clamp
+			}
+		}
+		// Repost the credit buffer.
+		if err := s.creditEp.Post(m); err != nil {
+			s.d.FreeBuffer(m)
+		}
+	}
+	// Reclaim completed data buffers so the pool does not leak.
+	for {
+		m, ok := s.sep.Acquire()
+		if !ok {
+			break
+		}
+		s.d.FreeBuffer(m)
+	}
+}
+
+// TrySend sends payload if a credit is available, returning ErrNoCredit
+// otherwise. With correct wiring the receiver can never be overrun, so
+// its drop counter stays at zero (experiment E9).
+func (s *Sender) TrySend(payload []byte) error {
+	s.harvest()
+	if s.credits == 0 {
+		return ErrNoCredit
+	}
+	m, err := s.d.AllocBuffer()
+	if err != nil {
+		return err
+	}
+	n := copy(m.Payload(), payload)
+	if n < len(payload) {
+		s.d.FreeBuffer(m)
+		return fmt.Errorf("flowctl: payload %d exceeds message capacity %d", len(payload), n)
+	}
+	if err := s.sep.Send(m, s.dst, n); err != nil {
+		s.d.FreeBuffer(m)
+		return err
+	}
+	s.credits--
+	s.sent++
+	return nil
+}
+
+// Sent returns the number of messages sent.
+func (s *Sender) Sent() uint64 { return s.sent }
+
+// Receiver is the receiving half: it keeps bufs buffers posted on its
+// receive endpoint and returns credits in batches after messages are
+// consumed. Not safe for concurrent use.
+type Receiver struct {
+	d         *core.Domain
+	rep       *core.Endpoint
+	creditSep *core.Endpoint
+	creditDst core.Addr
+	batch     int
+	owed      int
+	received  uint64
+}
+
+// NewReceiver creates the receiving half. bufs is the window size
+// (buffers kept posted); creditDst is the sender's CreditAddr;
+// batch is how many consumed messages accumulate before a credit
+// message is returned (1 = immediate, higher amortizes credit traffic).
+func NewReceiver(d *core.Domain, creditDst core.Addr, bufs, batch int) (*Receiver, error) {
+	if bufs < 1 {
+		return nil, fmt.Errorf("flowctl: bufs %d must be positive", bufs)
+	}
+	if batch < 1 || batch > bufs {
+		return nil, fmt.Errorf("flowctl: batch %d must be in [1,%d]", batch, bufs)
+	}
+	if !creditDst.Valid() {
+		return nil, fmt.Errorf("flowctl: invalid credit destination %v", creditDst)
+	}
+	depth := 2
+	for depth < bufs+1 {
+		depth *= 2
+	}
+	rep, err := d.NewRecvEndpoint(depth)
+	if err != nil {
+		return nil, err
+	}
+	creditSep, err := d.NewSendEndpoint(0)
+	if err != nil {
+		return nil, err
+	}
+	r := &Receiver{d: d, rep: rep, creditSep: creditSep, creditDst: creditDst, batch: batch}
+	for i := 0; i < bufs; i++ {
+		m, err := d.AllocBuffer()
+		if err != nil {
+			return nil, fmt.Errorf("flowctl: posting window buffers: %w", err)
+		}
+		if err := rep.Post(m); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Addr is the data address senders target.
+func (r *Receiver) Addr() core.Addr { return r.rep.Addr() }
+
+// Receive returns the next message payload (copied), reposting the
+// buffer and returning credits per the batch policy.
+func (r *Receiver) Receive() ([]byte, bool) {
+	m, ok := r.rep.Receive()
+	if !ok {
+		return nil, false
+	}
+	out := append([]byte(nil), m.Payload()[:m.Len()]...)
+	if err := r.rep.Post(m); err != nil {
+		r.d.FreeBuffer(m)
+	}
+	r.received++
+	r.owed++
+	if r.owed >= r.batch {
+		r.returnCredits()
+	}
+	return out, true
+}
+
+// returnCredits sends one credit message for everything owed.
+func (r *Receiver) returnCredits() {
+	// Reclaim previous credit sends first.
+	for {
+		m, ok := r.creditSep.Acquire()
+		if !ok {
+			break
+		}
+		r.d.FreeBuffer(m)
+	}
+	m, err := r.d.AllocBuffer()
+	if err != nil {
+		return // retry on next Receive; credits stay owed
+	}
+	p := m.Payload()
+	p[0] = creditMagic
+	p[1] = 0
+	binary.BigEndian.PutUint16(p[2:4], uint16(r.owed))
+	if err := r.creditSep.Send(m, r.creditDst, creditMsgBytes); err != nil {
+		r.d.FreeBuffer(m)
+		return
+	}
+	r.owed = 0
+}
+
+// Drops exposes the data endpoint's discard counter; with an honest
+// sender it stays zero.
+func (r *Receiver) Drops() uint64 { return r.rep.Drops() }
+
+// Received returns the number of messages consumed.
+func (r *Receiver) Received() uint64 { return r.received }
+
+// Static sizing: the paper's two examples of application structure
+// eliminating runtime flow control (§Message Transfer).
+
+// RPCBuffers returns the receive-buffer count that makes an RPC server
+// with a fixed client population overrun-free: each of maxClients
+// clients has at most outstandingPerClient requests in flight.
+func RPCBuffers(maxClients, outstandingPerClient int) int {
+	if maxClients < 0 || outstandingPerClient < 0 {
+		return 0
+	}
+	return maxClients * outstandingPerClient
+}
+
+// PeriodicBuffers returns the worst-case buffer need of a strictly
+// periodic component: producers together send at most msgsPerPeriod
+// messages per period, and the consumer is guaranteed to drain within
+// drainPeriods periods.
+func PeriodicBuffers(msgsPerPeriod, drainPeriods int) int {
+	if msgsPerPeriod < 0 || drainPeriods < 1 {
+		return 0
+	}
+	return msgsPerPeriod * drainPeriods
+}

@@ -1,0 +1,209 @@
+package flowctl
+
+import (
+	"errors"
+	"testing"
+
+	"flipc/internal/core"
+	"flipc/internal/interconnect"
+	"flipc/internal/wire"
+)
+
+func newPair(t *testing.T) (*core.Domain, *core.Domain) {
+	t.Helper()
+	fabric := interconnect.NewFabric(256)
+	mk := func(node wire.NodeID) *core.Domain {
+		tr, err := fabric.Attach(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.NewDomain(core.Config{Node: node, MessageSize: 64, NumBuffers: 64}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Close)
+		return d
+	}
+	return mk(0), mk(1)
+}
+
+func pump(doms ...*core.Domain) {
+	for pass := 0; pass < 200; pass++ {
+		work := false
+		for _, d := range doms {
+			if d.Poll() {
+				work = true
+			}
+		}
+		if !work {
+			return
+		}
+	}
+}
+
+// newChannel wires a windowed channel using the documented handshake:
+// sender created against a provisional address, receiver created with
+// the sender's credit address, sender retargeted at the receiver.
+func newChannel(t *testing.T, a, b *core.Domain, window, batch int) (*Sender, *Receiver) {
+	t.Helper()
+	if _, err := NewReceiver(b, wire.NilAddr, window, batch); err == nil {
+		t.Fatal("receiver accepted nil credit destination")
+	}
+	snd, err := NewSender(a, provisionalAddr(t), window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := NewReceiver(b, snd.CreditAddr(), window, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snd.Retarget(rcv.Addr())
+	return snd, rcv
+}
+
+func provisionalAddr(t *testing.T) wire.Addr {
+	t.Helper()
+	a, err := wire.MakeAddr(1, wire.MaxEndpoints-1, wire.MaxGen-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestWindowNeverOverruns(t *testing.T) {
+	a, b := newPair(t)
+	snd, rcv := newChannel(t, a, b, 4, 1)
+	// Blast many more messages than the window; credits must throttle
+	// the sender so the receiver never drops.
+	const total = 50
+	sent, got := 0, 0
+	for got < total {
+		for sent < total {
+			err := snd.TrySend([]byte{byte(sent)})
+			if errors.Is(err, ErrNoCredit) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+		pump(a, b)
+		for {
+			p, ok := rcv.Receive()
+			if !ok {
+				break
+			}
+			if p[0] != byte(got) {
+				t.Fatalf("message %d out of order (%d)", got, p[0])
+			}
+			got++
+		}
+		pump(a, b)
+	}
+	if rcv.Drops() != 0 {
+		t.Fatalf("window overrun: %d drops", rcv.Drops())
+	}
+	if snd.Sent() != total || rcv.Received() != total {
+		t.Fatalf("sent=%d received=%d", snd.Sent(), rcv.Received())
+	}
+}
+
+func TestNoCreditWhenWindowExhausted(t *testing.T) {
+	a, b := newPair(t)
+	snd, _ := newChannel(t, a, b, 2, 1)
+	if err := snd.TrySend([]byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := snd.TrySend([]byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := snd.TrySend([]byte("3")); !errors.Is(err, ErrNoCredit) {
+		t.Fatalf("window not enforced: %v", err)
+	}
+	if snd.Credits() != 0 {
+		t.Fatalf("credits = %d", snd.Credits())
+	}
+}
+
+func TestCreditsReturnAfterConsumption(t *testing.T) {
+	a, b := newPair(t)
+	snd, rcv := newChannel(t, a, b, 2, 2)
+	snd.TrySend([]byte("1"))
+	snd.TrySend([]byte("2"))
+	pump(a, b)
+	// batch=2: no credits until both consumed.
+	rcv.Receive()
+	pump(a, b)
+	if snd.Credits() != 0 {
+		t.Fatalf("credit returned before batch complete: %d", snd.Credits())
+	}
+	rcv.Receive()
+	pump(a, b)
+	if snd.Credits() != 2 {
+		t.Fatalf("credits after batch = %d", snd.Credits())
+	}
+}
+
+func TestWithoutFlowControlDrops(t *testing.T) {
+	// Control case for E9: a raw sender overruns a small receive window.
+	a, b := newPair(t)
+	sep, _ := a.NewSendEndpoint(16)
+	rep, _ := b.NewRecvEndpoint(4)
+	m, _ := b.AllocBuffer()
+	rep.Post(m) // one buffer only
+	for i := 0; i < 8; i++ {
+		sm, _ := a.AllocBuffer()
+		if err := sep.Send(sm, rep.Addr(), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pump(a, b)
+	if rep.Drops() != 7 {
+		t.Fatalf("drops = %d, want 7", rep.Drops())
+	}
+}
+
+func TestSenderValidation(t *testing.T) {
+	a, _ := newPair(t)
+	if _, err := NewSender(a, provisionalAddr(t), 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestReceiverValidation(t *testing.T) {
+	_, b := newPair(t)
+	dst := provisionalAddr(t)
+	if _, err := NewReceiver(b, dst, 0, 1); err == nil {
+		t.Fatal("zero bufs accepted")
+	}
+	if _, err := NewReceiver(b, dst, 4, 0); err == nil {
+		t.Fatal("zero batch accepted")
+	}
+	if _, err := NewReceiver(b, dst, 4, 5); err == nil {
+		t.Fatal("batch > bufs accepted")
+	}
+}
+
+func TestOversizePayloadRejected(t *testing.T) {
+	a, b := newPair(t)
+	snd, _ := newChannel(t, a, b, 2, 1)
+	if err := snd.TrySend(make([]byte, 100)); err == nil {
+		t.Fatal("oversize payload accepted")
+	}
+}
+
+func TestStaticSizing(t *testing.T) {
+	if got := RPCBuffers(10, 2); got != 20 {
+		t.Fatalf("RPCBuffers = %d", got)
+	}
+	if got := RPCBuffers(-1, 2); got != 0 {
+		t.Fatalf("RPCBuffers negative = %d", got)
+	}
+	if got := PeriodicBuffers(5, 3); got != 15 {
+		t.Fatalf("PeriodicBuffers = %d", got)
+	}
+	if got := PeriodicBuffers(5, 0); got != 0 {
+		t.Fatalf("PeriodicBuffers bad period = %d", got)
+	}
+}

@@ -1,0 +1,197 @@
+// Package frag layers fragmentation and reassembly above FLIPC for
+// payloads larger than the boot-time fixed message size.
+//
+// FLIPC itself does not support transfers larger than the fixed size
+// (§Architecture and Design) and the paper positions bulk transport as
+// complementary future work ("FLIPC ... needs to be integrated into a
+// system that provides excellent performance for messages of all
+// sizes"). This package is the simplest such integration: it splits a
+// large payload into fixed-size fragments, relies on FLIPC's per
+// endpoint-pair ordering guarantee for in-order arrival, and
+// reassembles on the far side. Experiment E8 uses it to show the
+// positioning claim: a medium-message system pays per-message overhead
+// on bulk data, so NX/SUNMOS-style bulk protocols win at large sizes.
+//
+// Fragment header (inside the FLIPC payload, 8 bytes):
+//
+//	[0]   magic 0xF6
+//	[1]   flags (bit0: first, bit1: last)
+//	[2:4] stream ID (per-sender sequence of large transfers)
+//	[4:8] total payload length (first fragment) / fragment index (rest)
+package frag
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"flipc/internal/core"
+	"flipc/internal/msglib"
+)
+
+const (
+	magic       = 0xF6
+	flagFirst   = 1 << 0
+	flagLast    = 1 << 1
+	headerBytes = 8
+)
+
+// Errors.
+var (
+	ErrTooLarge = errors.New("frag: payload exceeds MaxTransfer")
+	ErrCorrupt  = errors.New("frag: corrupt fragment stream")
+)
+
+// MaxFragments bounds a single transfer (64 Ki fragments).
+const MaxFragments = 1 << 16
+
+// ChunkBytes returns the usable payload bytes per fragment given the
+// domain's per-message payload capacity.
+func ChunkBytes(maxPayload int) int { return maxPayload - headerBytes }
+
+// MaxTransfer returns the largest payload one Send can carry for the
+// given per-message payload capacity.
+func MaxTransfer(maxPayload int) int { return ChunkBytes(maxPayload) * MaxFragments }
+
+// Sender fragments large payloads onto an Outbox. Single-threaded,
+// like the lock-free endpoints it sits on.
+type Sender struct {
+	d      *core.Domain
+	out    *msglib.Outbox
+	stream uint16
+}
+
+// NewSender wraps an outbox belonging to domain d.
+func NewSender(d *core.Domain, out *msglib.Outbox) *Sender {
+	return &Sender{d: d, out: out}
+}
+
+// Send fragments payload to dst. pump is invoked when the outbox
+// reports backpressure, giving manual-mode callers a chance to drive
+// the engines; pass nil when a host loop is running (Send then spins
+// until the engine drains the queue). Fragments of one transfer arrive
+// in order because they share one endpoint pair.
+func (s *Sender) Send(dst core.Addr, payload []byte, pump func()) error {
+	chunk := ChunkBytes(s.d.MaxPayload())
+	if chunk <= 0 {
+		return fmt.Errorf("frag: message size too small for fragment header")
+	}
+	frags := (len(payload) + chunk - 1) / chunk
+	if frags == 0 {
+		frags = 1 // empty payload still sends one (empty) fragment
+	}
+	if frags > MaxFragments {
+		return fmt.Errorf("%w: %d bytes needs %d fragments", ErrTooLarge, len(payload), frags)
+	}
+	s.stream++
+	buf := make([]byte, s.d.MaxPayload())
+	for i := 0; i < frags; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		var flags byte
+		if i == 0 {
+			flags |= flagFirst
+		}
+		if i == frags-1 {
+			flags |= flagLast
+		}
+		buf[0] = magic
+		buf[1] = flags
+		binary.BigEndian.PutUint16(buf[2:4], s.stream)
+		if i == 0 {
+			binary.BigEndian.PutUint32(buf[4:8], uint32(len(payload)))
+		} else {
+			binary.BigEndian.PutUint32(buf[4:8], uint32(i))
+		}
+		n := copy(buf[headerBytes:], payload[lo:hi])
+		for {
+			err := s.out.Send(dst, buf[:headerBytes+n])
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, msglib.ErrBackpressure) {
+				return err
+			}
+			if pump != nil {
+				pump()
+			}
+		}
+	}
+	return nil
+}
+
+// Receiver reassembles fragment streams from an Inbox. Because FLIPC
+// preserves order per source→destination endpoint pair, fragments of
+// one transfer arrive sequentially; interleaving across *different*
+// senders sharing one inbox is not supported (use one inbox per bulk
+// peer, as a real bulk protocol would set up a channel per transfer).
+type Receiver struct {
+	in *msglib.Inbox
+
+	cur    []byte
+	want   int
+	stream uint16
+	active bool
+}
+
+// NewReceiver wraps an inbox.
+func NewReceiver(in *msglib.Inbox) *Receiver {
+	return &Receiver{in: in}
+}
+
+// Poll consumes available fragments and returns a completed payload if
+// one finished, else ok=false. A fragment-stream violation returns
+// ErrCorrupt (a dropped fragment — meaning the application did not
+// provision the inbox window — surfaces this way rather than silently).
+func (r *Receiver) Poll() ([]byte, bool, error) {
+	for {
+		p, _, ok := r.in.Receive()
+		if !ok {
+			return nil, false, nil
+		}
+		done, payload, err := r.feed(p)
+		if err != nil {
+			return nil, false, err
+		}
+		if done {
+			return payload, true, nil
+		}
+	}
+}
+
+func (r *Receiver) feed(p []byte) (bool, []byte, error) {
+	if len(p) < headerBytes || p[0] != magic {
+		return false, nil, fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	flags := p[1]
+	stream := binary.BigEndian.Uint16(p[2:4])
+	body := p[headerBytes:]
+	if flags&flagFirst != 0 {
+		total := int(binary.BigEndian.Uint32(p[4:8]))
+		r.cur = make([]byte, 0, total)
+		r.want = total
+		r.stream = stream
+		r.active = true
+	} else if !r.active || stream != r.stream {
+		return false, nil, fmt.Errorf("%w: fragment for unknown stream %d", ErrCorrupt, stream)
+	}
+	r.cur = append(r.cur, body...)
+	if len(r.cur) > r.want {
+		r.active = false
+		return false, nil, fmt.Errorf("%w: overrun (%d > %d)", ErrCorrupt, len(r.cur), r.want)
+	}
+	if flags&flagLast != 0 {
+		if len(r.cur) != r.want {
+			r.active = false
+			return false, nil, fmt.Errorf("%w: short transfer (%d of %d bytes)", ErrCorrupt, len(r.cur), r.want)
+		}
+		out := r.cur
+		r.cur = nil
+		r.active = false
+		return true, out, nil
+	}
+	return false, nil, nil
+}

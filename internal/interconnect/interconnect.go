@@ -1,0 +1,262 @@
+// Package interconnect defines the transport abstraction the messaging
+// engine drives, plus two implementations:
+//
+//   - Mesh: a discrete-event model of the Paragon's 2D mesh
+//     interconnect (wormhole-routed, 200 MB/s peak links of which the
+//     best software achieves 160 MB/s, i.e. 6.25 ns/byte), used by the
+//     virtual-time experiments;
+//   - Fabric: a real, goroutine-safe in-process transport used by the
+//     concurrency tests, examples, and wall-clock benchmarks.
+//
+// Both deliver fixed-size frames reliably and in order per source →
+// destination pair, which is the transport guarantee FLIPC's optimistic
+// protocol relies on (§Message Transfer): because receivers always
+// accept from the interconnect (discarding when no buffer is posted),
+// a reliable interconnect cannot deadlock.
+package interconnect
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"flipc/internal/sim"
+	"flipc/internal/wire"
+)
+
+// Transport moves fixed-size frames between nodes. The messaging
+// engine calls these from its non-preemptible event loop, so
+// implementations must never block:
+//
+//   - TrySend queues a frame for dst, returning false if the local
+//     injection port is saturated (the engine retries on a later loop
+//     pass). The transport copies the frame before returning.
+//   - Poll returns the next frame addressed to the local node, or
+//     false. The returned slice is owned by the caller.
+type Transport interface {
+	TrySend(dst wire.NodeID, frame []byte) bool
+	Poll() ([]byte, bool)
+	LocalNode() wire.NodeID
+}
+
+// Stats counts transport activity at one port.
+type Stats struct {
+	Sent      uint64 // frames accepted by TrySend
+	Delivered uint64 // frames returned by Poll
+	SendBusy  uint64 // TrySend rejections (port saturated)
+}
+
+// MeshConfig describes the simulated mesh.
+type MeshConfig struct {
+	// Width and Height give the mesh dimensions; node n sits at
+	// (n%Width, n/Width).
+	Width, Height int
+	// NSPerByte is the link serialization cost. The paper's measured
+	// slope is 6.25 ns/byte (160 MB/s).
+	NSPerByte float64
+	// HopLatency is the per-hop routing latency.
+	HopLatency sim.Time
+	// RouteSetup is the fixed per-message wire cost (head flit routing,
+	// DMA engine startup at both ends).
+	RouteSetup sim.Time
+	// PortDepth bounds each node's inbox; 0 means unbounded. FLIPC's
+	// deadlock-avoidance argument assumes nodes always drain the
+	// interconnect, so experiments use a generous depth.
+	PortDepth int
+}
+
+// DefaultMeshConfig returns the Paragon-calibrated mesh (values
+// documented in internal/experiments/calibration.go).
+func DefaultMeshConfig() MeshConfig {
+	return MeshConfig{
+		Width:      4,
+		Height:     4,
+		NSPerByte:  6.25,
+		HopLatency: 100 * sim.Nanosecond,
+		RouteSetup: 1200 * sim.Nanosecond,
+	}
+}
+
+// Mesh is the simulated Paragon interconnect. It is single-threaded:
+// all calls must come from simulation events on the same clock.
+type Mesh struct {
+	clock *sim.Clock
+	cfg   MeshConfig
+	ports map[wire.NodeID]*meshPort
+}
+
+// NewMesh creates a mesh on the given clock.
+func NewMesh(clock *sim.Clock, cfg MeshConfig) (*Mesh, error) {
+	if cfg.Width < 1 || cfg.Height < 1 {
+		return nil, fmt.Errorf("interconnect: mesh %dx%d must be at least 1x1", cfg.Width, cfg.Height)
+	}
+	if cfg.NSPerByte < 0 || cfg.HopLatency < 0 || cfg.RouteSetup < 0 {
+		return nil, fmt.Errorf("interconnect: negative mesh timing")
+	}
+	return &Mesh{clock: clock, cfg: cfg, ports: make(map[wire.NodeID]*meshPort)}, nil
+}
+
+// Attach creates the transport port for a node. Each node may attach
+// once.
+func (m *Mesh) Attach(node wire.NodeID) (Transport, error) {
+	if int(node) >= m.cfg.Width*m.cfg.Height {
+		return nil, fmt.Errorf("interconnect: node %d outside %dx%d mesh", node, m.cfg.Width, m.cfg.Height)
+	}
+	if _, dup := m.ports[node]; dup {
+		return nil, fmt.Errorf("interconnect: node %d already attached", node)
+	}
+	p := &meshPort{mesh: m, node: node}
+	m.ports[node] = p
+	return p, nil
+}
+
+// Hops returns the Manhattan routing distance between two nodes.
+func (m *Mesh) Hops(a, b wire.NodeID) int {
+	ax, ay := int(a)%m.cfg.Width, int(a)/m.cfg.Width
+	bx, by := int(b)%m.cfg.Width, int(b)/m.cfg.Width
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// WireTime returns the modeled time for a frame of n bytes to travel
+// from a to b, excluding injection-port queueing.
+func (m *Mesh) WireTime(a, b wire.NodeID, n int) sim.Time {
+	return m.cfg.RouteSetup +
+		sim.Time(m.Hops(a, b))*m.cfg.HopLatency +
+		sim.Time(float64(n)*m.cfg.NSPerByte)
+}
+
+type meshPort struct {
+	mesh   *Mesh
+	node   wire.NodeID
+	inbox  [][]byte
+	txFree sim.Time // when the injection link is next idle
+	stats  Stats
+}
+
+// TrySend implements Transport. The sending link serializes frames at
+// NSPerByte, so back-to-back sends queue behind each other — this is
+// what bounds throughput in the bandwidth experiments.
+func (p *meshPort) TrySend(dst wire.NodeID, frame []byte) bool {
+	dp := p.mesh.ports[dst]
+	if dp == nil {
+		return false // unreachable node: drop at source
+	}
+	if p.mesh.cfg.PortDepth > 0 && len(dp.inbox) >= p.mesh.cfg.PortDepth {
+		p.stats.SendBusy++
+		return false
+	}
+	cp := append([]byte(nil), frame...)
+	now := p.mesh.clock.Now()
+	start := now
+	if p.txFree > start {
+		start = p.txFree
+	}
+	serial := sim.Time(float64(len(frame)) * p.mesh.cfg.NSPerByte)
+	p.txFree = start + serial
+	arrive := start + p.mesh.cfg.RouteSetup +
+		sim.Time(p.mesh.Hops(p.node, dst))*p.mesh.cfg.HopLatency + serial
+	p.mesh.clock.At(arrive, func() {
+		dp.inbox = append(dp.inbox, cp)
+	})
+	p.stats.Sent++
+	return true
+}
+
+// Poll implements Transport.
+func (p *meshPort) Poll() ([]byte, bool) {
+	if len(p.inbox) == 0 {
+		return nil, false
+	}
+	f := p.inbox[0]
+	p.inbox = p.inbox[1:]
+	p.stats.Delivered++
+	return f, true
+}
+
+// LocalNode implements Transport.
+func (p *meshPort) LocalNode() wire.NodeID { return p.node }
+
+// Stats returns a snapshot of the port's counters.
+func (p *meshPort) Stats() Stats { return p.stats }
+
+// Fabric is a real in-process transport: per-node bounded queues,
+// safe for concurrent use by engine goroutines on every node. Delivery
+// is immediate (no modeled latency) — wall-clock behaviour comes from
+// the real Go scheduler and memory system.
+type Fabric struct {
+	depth int
+	mu    sync.Mutex
+	ports map[wire.NodeID]*fabricPort
+}
+
+// NewFabric creates a fabric whose ports queue up to depth frames
+// (default 256).
+func NewFabric(depth int) *Fabric {
+	if depth <= 0 {
+		depth = 256
+	}
+	return &Fabric{depth: depth, ports: make(map[wire.NodeID]*fabricPort)}
+}
+
+// Attach creates the port for a node.
+func (f *Fabric) Attach(node wire.NodeID) (Transport, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.ports[node]; dup {
+		return nil, fmt.Errorf("interconnect: node %d already attached", node)
+	}
+	p := &fabricPort{fabric: f, node: node, ch: make(chan []byte, f.depth)}
+	f.ports[node] = p
+	return p, nil
+}
+
+type fabricPort struct {
+	fabric    *Fabric
+	node      wire.NodeID
+	ch        chan []byte
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	busy      atomic.Uint64
+}
+
+func (p *fabricPort) TrySend(dst wire.NodeID, frame []byte) bool {
+	p.fabric.mu.Lock()
+	dp := p.fabric.ports[dst]
+	p.fabric.mu.Unlock()
+	if dp == nil {
+		return false
+	}
+	cp := append([]byte(nil), frame...)
+	select {
+	case dp.ch <- cp:
+		p.sent.Add(1)
+		return true
+	default:
+		p.busy.Add(1)
+		return false
+	}
+}
+
+func (p *fabricPort) Poll() ([]byte, bool) {
+	select {
+	case f := <-p.ch:
+		p.delivered.Add(1)
+		return f, true
+	default:
+		return nil, false
+	}
+}
+
+func (p *fabricPort) LocalNode() wire.NodeID { return p.node }
+
+// Stats returns a snapshot of the port's counters.
+func (p *fabricPort) Stats() Stats {
+	return Stats{Sent: p.sent.Load(), Delivered: p.delivered.Load(), SendBusy: p.busy.Load()}
+}

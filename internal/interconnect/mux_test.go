@@ -1,0 +1,119 @@
+package interconnect
+
+import (
+	"testing"
+
+	"flipc/internal/wire"
+)
+
+func encodeTo(t *testing.T, idx uint16, tag byte) []byte {
+	t.Helper()
+	dst, err := wire.MakeAddr(0, idx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, 64)
+	p := &wire.Packet{Dst: dst, Size: 1, Payload: []byte{tag}}
+	if err := wire.Encode(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func TestMuxAttachValidation(t *testing.T) {
+	fabric := NewFabric(16)
+	tr, _ := fabric.Attach(0)
+	m := NewMux(tr)
+	if _, err := m.Attach(-1, 4); err == nil {
+		t.Fatal("negative range accepted")
+	}
+	if _, err := m.Attach(4, 4); err == nil {
+		t.Fatal("empty range accepted")
+	}
+	if _, err := m.Attach(0, wire.MaxEndpoints+1); err == nil {
+		t.Fatal("oversized range accepted")
+	}
+	if _, err := m.Attach(0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Attach(4, 12); err == nil {
+		t.Fatal("overlapping range accepted")
+	}
+	if _, err := m.Attach(8, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuxDemultiplexesByRange(t *testing.T) {
+	fabric := NewFabric(64)
+	tr, _ := fabric.Attach(0)
+	injector, _ := fabric.Attach(1)
+	m := NewMux(tr)
+	lowT, _ := m.Attach(0, 8)
+	highT, _ := m.Attach(8, 16)
+
+	injector.TrySend(0, encodeTo(t, 2, 'L'))
+	injector.TrySend(0, encodeTo(t, 9, 'H'))
+	injector.TrySend(0, encodeTo(t, 99, 'X')) // unclaimed
+
+	// High polls first but must only see its own frame.
+	f, ok := highT.Poll()
+	if !ok {
+		t.Fatal("high range got nothing")
+	}
+	pkt, _ := wire.Decode(f)
+	if pkt.Payload[0] != 'H' {
+		t.Fatalf("high range saw %q", pkt.Payload)
+	}
+	if _, ok := highT.Poll(); ok {
+		t.Fatal("high range saw a second frame")
+	}
+	f, ok = lowT.Poll()
+	if !ok {
+		t.Fatal("low range got nothing")
+	}
+	pkt, _ = wire.Decode(f)
+	if pkt.Payload[0] != 'L' {
+		t.Fatalf("low range saw %q", pkt.Payload)
+	}
+	if m.Unclaimed() != 1 {
+		t.Fatalf("unclaimed = %d", m.Unclaimed())
+	}
+	if lowT.LocalNode() != 0 {
+		t.Fatal("LocalNode wrong")
+	}
+}
+
+func TestMuxSendPassThrough(t *testing.T) {
+	fabric := NewFabric(64)
+	tr, _ := fabric.Attach(0)
+	sink, _ := fabric.Attach(1)
+	m := NewMux(tr)
+	sub, _ := m.Attach(0, 8)
+	if !sub.TrySend(1, encodeTo(t, 3, 'S')) {
+		t.Fatal("send failed")
+	}
+	f, ok := sink.Poll()
+	if !ok {
+		t.Fatal("frame not forwarded")
+	}
+	pkt, _ := wire.Decode(f)
+	if pkt.Payload[0] != 'S' {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestMuxBadFrameCountedUnclaimed(t *testing.T) {
+	fabric := NewFabric(64)
+	tr, _ := fabric.Attach(0)
+	injector, _ := fabric.Attach(1)
+	m := NewMux(tr)
+	sub, _ := m.Attach(0, 8)
+	injector.TrySend(0, make([]byte, 64)) // nil destination: undecodable
+	if _, ok := sub.Poll(); ok {
+		t.Fatal("bad frame delivered")
+	}
+	if m.Unclaimed() != 1 {
+		t.Fatalf("unclaimed = %d", m.Unclaimed())
+	}
+}

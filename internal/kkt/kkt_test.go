@@ -1,0 +1,164 @@
+package kkt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"flipc/internal/commbuf"
+	"flipc/internal/engine"
+	"flipc/internal/mem"
+	"flipc/internal/wire"
+)
+
+func TestAttach(t *testing.T) {
+	net := NewNetwork()
+	a, err := net.Attach(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Node() != 0 {
+		t.Fatal("Node wrong")
+	}
+	if _, err := net.Attach(0); !errors.Is(err, ErrDuplicated) {
+		t.Fatalf("duplicate attach: %v", err)
+	}
+}
+
+func TestCallPing(t *testing.T) {
+	net := NewNetwork()
+	a, _ := net.Attach(0)
+	b, _ := net.Attach(1)
+	NewTransport(b, 0) // installs handler
+	resp, err := a.Call(1, OpPing, nil)
+	if err != nil || string(resp) != "pong" {
+		t.Fatalf("ping = %q, %v", resp, err)
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	net := NewNetwork()
+	a, _ := net.Attach(0)
+	if _, err := a.Call(9, OpPing, nil); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("no route: %v", err)
+	}
+	net.Attach(1)
+	if _, err := a.Call(1, OpPing, nil); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("no handler: %v", err)
+	}
+	b2, _ := net.Attach(2)
+	NewTransport(b2, 0)
+	if _, err := a.Call(2, Op(99), nil); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	calls, _, errs := a.Stats()
+	if calls != 1 || errs != 3 {
+		t.Fatalf("stats: calls=%d errs=%d", calls, errs)
+	}
+}
+
+func TestTransportDeliver(t *testing.T) {
+	net := NewNetwork()
+	ea, _ := net.Attach(0)
+	eb, _ := net.Attach(1)
+	ta := NewTransport(ea, 0)
+	tb := NewTransport(eb, 0)
+	frame := make([]byte, 64)
+	copy(frame, "rpc delivery")
+	if !ta.TrySend(1, frame) {
+		t.Fatal("TrySend failed")
+	}
+	got, ok := tb.Poll()
+	if !ok || string(got[:12]) != "rpc delivery" {
+		t.Fatalf("poll = %q,%v", got, ok)
+	}
+	if ta.LocalNode() != 0 {
+		t.Fatal("LocalNode wrong")
+	}
+	// Each delivery was exactly one RPC.
+	calls, _, _ := ta.Endpoint().Stats()
+	if calls != 1 {
+		t.Fatalf("calls = %d (KKT must use one RPC per message)", calls)
+	}
+}
+
+func TestTransportInboxFull(t *testing.T) {
+	net := NewNetwork()
+	ea, _ := net.Attach(0)
+	eb, _ := net.Attach(1)
+	ta := NewTransport(ea, 0)
+	tb := NewTransport(eb, 2)
+	frame := make([]byte, 64)
+	if !ta.TrySend(1, frame) || !ta.TrySend(1, frame) {
+		t.Fatal("fill failed")
+	}
+	if ta.TrySend(1, frame) {
+		t.Fatal("send to full inbox accepted — RPC should have failed")
+	}
+	tb.Poll()
+	if !ta.TrySend(1, frame) {
+		t.Fatal("send after drain failed")
+	}
+}
+
+// The development story: the unmodified engine + library over KKT.
+func TestFullFLIPCOverKKT(t *testing.T) {
+	net := NewNetwork()
+	ea, _ := net.Attach(0)
+	eb, _ := net.Attach(1)
+	ta := NewTransport(ea, 0)
+	tb := NewTransport(eb, 0)
+
+	bufA, _ := commbuf.New(commbuf.Config{Node: 0, MessageSize: 64})
+	bufB, _ := commbuf.New(commbuf.Config{Node: 1, MessageSize: 64})
+	engA, err := engine.New(bufA, ta, engine.Config{ValidityChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, err := engine.New(bufB, tb, engine.Config{ValidityChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appA := bufA.View(mem.ActorApp)
+	appB := bufB.View(mem.ActorApp)
+	sep, _ := bufA.AllocEndpoint(commbuf.EndpointSend, 4)
+	rep, _ := bufB.AllocEndpoint(commbuf.EndpointRecv, 4)
+
+	rm, _ := bufB.AllocMsg()
+	rm.StageRecv(appB)
+	rep.Queue().Release(appB, uint64(rm.ID()))
+
+	sm, _ := bufA.AllocMsg()
+	payload := "same library, kkt engine"
+	copy(sm.Payload(), payload)
+	if err := sm.StageSend(appA, rep.Addr(), len(payload), 0); err != nil {
+		t.Fatal(err)
+	}
+	sep.Queue().Release(appA, uint64(sm.ID()))
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		engA.Poll()
+		engB.Poll()
+		if id, ok := rep.Queue().Acquire(appB); ok {
+			m, _ := bufB.MsgByID(id)
+			if got := string(m.Payload()[:len(payload)]); got != payload {
+				t.Fatalf("payload = %q", got)
+			}
+			calls, _, _ := ea.Stats()
+			if calls != 1 {
+				t.Fatalf("RPCs = %d, want exactly 1 per message", calls)
+			}
+			return
+		}
+	}
+	t.Fatal("message never delivered over KKT")
+}
+
+func TestWireNodeIDUnused(t *testing.T) {
+	// Addresses embed node IDs; KKT routes purely on them.
+	addr, _ := wire.MakeAddr(1, 0, 1)
+	if addr.Node() != 1 {
+		t.Fatal("addr node")
+	}
+}

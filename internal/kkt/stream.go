@@ -1,0 +1,271 @@
+package kkt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"flipc/internal/wire"
+)
+
+// Stream KKT: the RPC transport carried over a real byte stream (the
+// PC-cluster development platforms ran KKT over ethernet and the SCSI
+// bus). One StreamEndpoint owns one duplex connection to a peer kernel
+// and serves both directions: outbound Calls block for their matching
+// reply; inbound requests are dispatched to the handler and answered.
+//
+// Wire format (big-endian), one record per RPC message:
+//
+//	[0]   kind (1=request, 2=reply-ok, 3=reply-err)
+//	[1]   op (requests) / zero (replies)
+//	[2:6] call ID
+//	[6:8] body length n
+//	[8:8+n] body
+const (
+	kindRequest  = 1
+	kindReplyOK  = 2
+	kindReplyErr = 3
+
+	streamHeaderBytes = 8
+	maxStreamBody     = 1 << 15
+)
+
+// ErrStreamClosed is returned for calls after the connection fails.
+var ErrStreamClosed = errors.New("kkt: stream closed")
+
+// StreamEndpoint is a kernel's KKT attachment over a byte stream.
+type StreamEndpoint struct {
+	conn io.ReadWriteCloser
+
+	// writeMu serializes conn.Write only. It must never be held while
+	// taking mu, and mu must never be held across a conn.Write: on a
+	// synchronous pipe a blocked writer that owned the state lock would
+	// deadlock against the read loop trying to dispatch replies.
+	writeMu sync.Mutex
+
+	mu      sync.Mutex // protects the fields below
+	handler Handler
+	nextID  uint32
+	waiters map[uint32]chan streamReply
+	closed  bool
+
+	calls  uint64
+	serves uint64
+}
+
+type streamReply struct {
+	ok   bool
+	body []byte
+}
+
+// NewStreamEndpoint wraps a duplex connection (net.Conn, net.Pipe end,
+// serial link...). The read loop starts immediately; install the
+// handler before the peer calls.
+func NewStreamEndpoint(conn io.ReadWriteCloser) *StreamEndpoint {
+	e := &StreamEndpoint{conn: conn, waiters: make(map[uint32]chan streamReply)}
+	go e.readLoop()
+	return e
+}
+
+// SetHandler installs the RPC service routine for inbound requests.
+func (e *StreamEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+// Stats returns (outbound calls, inbound requests served).
+func (e *StreamEndpoint) Stats() (calls, serves uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.calls, e.serves
+}
+
+// Close tears the endpoint down, failing pending calls.
+func (e *StreamEndpoint) Close() {
+	e.conn.Close()
+	e.fail()
+}
+
+func (e *StreamEndpoint) fail() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for id, ch := range e.waiters {
+		close(ch)
+		delete(e.waiters, id)
+	}
+}
+
+func (e *StreamEndpoint) writeRecord(kind, op byte, id uint32, body []byte) error {
+	if len(body) > maxStreamBody {
+		return fmt.Errorf("kkt: body %d exceeds stream limit %d", len(body), maxStreamBody)
+	}
+	rec := make([]byte, streamHeaderBytes+len(body))
+	rec[0] = kind
+	rec[1] = op
+	binary.BigEndian.PutUint32(rec[2:6], id)
+	binary.BigEndian.PutUint16(rec[6:8], uint16(len(body)))
+	copy(rec[streamHeaderBytes:], body)
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrStreamClosed
+	}
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	_, err := e.conn.Write(rec)
+	return err
+}
+
+// Call performs one synchronous RPC over the stream — the defining KKT
+// operation, now with real wire underneath.
+func (e *StreamEndpoint) Call(op Op, req []byte) ([]byte, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrStreamClosed
+	}
+	e.nextID++
+	id := e.nextID
+	ch := make(chan streamReply, 1)
+	e.waiters[id] = ch
+	e.calls++
+	e.mu.Unlock()
+
+	if err := e.writeRecord(kindRequest, byte(op), id, req); err != nil {
+		e.mu.Lock()
+		delete(e.waiters, id)
+		e.mu.Unlock()
+		return nil, err
+	}
+	r, ok := <-ch
+	if !ok {
+		return nil, ErrStreamClosed
+	}
+	if !r.ok {
+		return nil, fmt.Errorf("kkt: remote error: %s", r.body)
+	}
+	return r.body, nil
+}
+
+func (e *StreamEndpoint) readLoop() {
+	defer e.fail()
+	hdr := make([]byte, streamHeaderBytes)
+	for {
+		if _, err := io.ReadFull(e.conn, hdr); err != nil {
+			return
+		}
+		kind, op := hdr[0], hdr[1]
+		id := binary.BigEndian.Uint32(hdr[2:6])
+		n := int(binary.BigEndian.Uint16(hdr[6:8]))
+		body := make([]byte, n)
+		if _, err := io.ReadFull(e.conn, body); err != nil {
+			return
+		}
+		switch kind {
+		case kindRequest:
+			e.mu.Lock()
+			h := e.handler
+			e.serves++
+			e.mu.Unlock()
+			var resp []byte
+			var err error
+			if h == nil {
+				err = ErrNoHandler
+			} else {
+				resp, err = h(Op(op), body)
+			}
+			if err != nil {
+				e.writeRecord(kindReplyErr, 0, id, []byte(err.Error()))
+			} else {
+				e.writeRecord(kindReplyOK, 0, id, resp)
+			}
+		case kindReplyOK, kindReplyErr:
+			e.mu.Lock()
+			ch := e.waiters[id]
+			delete(e.waiters, id)
+			e.mu.Unlock()
+			if ch != nil {
+				ch <- streamReply{ok: kind == kindReplyOK, body: body}
+			}
+		default:
+			// Corrupt stream: tear down rather than guess.
+			return
+		}
+	}
+}
+
+// StreamTransport adapts a set of per-peer stream endpoints into an
+// engine transport (the remote analogue of Transport). Each message is
+// one RPC over the peer's stream.
+type StreamTransport struct {
+	node  wire.NodeID
+	mu    sync.Mutex
+	peers map[wire.NodeID]*StreamEndpoint
+	inbox chan []byte
+}
+
+// NewStreamTransport creates a stream-backed KKT transport for node.
+func NewStreamTransport(node wire.NodeID, depth int) *StreamTransport {
+	if depth <= 0 {
+		depth = 256
+	}
+	return &StreamTransport{node: node, peers: make(map[wire.NodeID]*StreamEndpoint), inbox: make(chan []byte, depth)}
+}
+
+// AddPeer binds a connection to a peer node and installs the delivery
+// handler on it.
+func (t *StreamTransport) AddPeer(peer wire.NodeID, conn io.ReadWriteCloser) *StreamEndpoint {
+	ep := NewStreamEndpoint(conn)
+	ep.SetHandler(func(op Op, req []byte) ([]byte, error) {
+		switch op {
+		case OpPing:
+			return []byte("pong"), nil
+		case OpDeliver:
+			select {
+			case t.inbox <- append([]byte(nil), req...):
+				return nil, nil
+			default:
+				return nil, errors.New("kkt: inbox full")
+			}
+		default:
+			return nil, fmt.Errorf("kkt: unknown op %d", op)
+		}
+	})
+	t.mu.Lock()
+	t.peers[peer] = ep
+	t.mu.Unlock()
+	return ep
+}
+
+// TrySend implements interconnect.Transport (one RPC per message).
+func (t *StreamTransport) TrySend(dst wire.NodeID, frame []byte) bool {
+	t.mu.Lock()
+	ep := t.peers[dst]
+	t.mu.Unlock()
+	if ep == nil {
+		return false
+	}
+	_, err := ep.Call(OpDeliver, frame)
+	return err == nil
+}
+
+// Poll implements interconnect.Transport.
+func (t *StreamTransport) Poll() ([]byte, bool) {
+	select {
+	case f := <-t.inbox:
+		return f, true
+	default:
+		return nil, false
+	}
+}
+
+// LocalNode implements interconnect.Transport.
+func (t *StreamTransport) LocalNode() wire.NodeID { return t.node }

@@ -1,0 +1,202 @@
+package kkt
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"flipc/internal/commbuf"
+	"flipc/internal/engine"
+	"flipc/internal/mem"
+)
+
+func pipePair() (*StreamEndpoint, *StreamEndpoint) {
+	ca, cb := net.Pipe()
+	return NewStreamEndpoint(ca), NewStreamEndpoint(cb)
+}
+
+func TestStreamCallRoundTrip(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	b.SetHandler(func(op Op, req []byte) ([]byte, error) {
+		if op != OpPing {
+			return nil, errors.New("unexpected op")
+		}
+		return append([]byte("echo:"), req...), nil
+	})
+	resp, err := a.Call(OpPing, []byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "echo:hello" {
+		t.Fatalf("resp = %q", resp)
+	}
+	calls, _ := a.Stats()
+	_, serves := b.Stats()
+	if calls != 1 || serves != 1 {
+		t.Fatalf("stats: calls=%d serves=%d", calls, serves)
+	}
+}
+
+func TestStreamRemoteError(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	b.SetHandler(func(op Op, req []byte) ([]byte, error) {
+		return nil, errors.New("boom")
+	})
+	if _, err := a.Call(OpPing, nil); err == nil {
+		t.Fatal("remote error not surfaced")
+	}
+}
+
+func TestStreamNoHandler(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	if _, err := a.Call(OpPing, nil); err == nil {
+		t.Fatal("call to handlerless endpoint succeeded")
+	}
+}
+
+func TestStreamCloseFailsPendingCalls(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	b.SetHandler(func(op Op, req []byte) ([]byte, error) {
+		time.Sleep(time.Hour) // never answer
+		return nil, nil
+	})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Call(OpPing, nil)
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrStreamClosed) {
+			t.Fatalf("pending call error = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pending call never failed after Close")
+	}
+	if _, err := a.Call(OpPing, nil); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("post-close call error = %v", err)
+	}
+}
+
+func TestStreamConcurrentCalls(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	b.SetHandler(func(op Op, req []byte) ([]byte, error) {
+		return req, nil // echo with call-ID multiplexing underneath
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				req := []byte{byte(g), byte(i)}
+				resp, err := a.Call(OpPing, req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(resp) != 2 || resp[0] != byte(g) || resp[1] != byte(i) {
+					t.Errorf("reply misrouted: got %v want %v", resp, req)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestStreamBodyTooLarge(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	b.SetHandler(func(op Op, req []byte) ([]byte, error) { return nil, nil })
+	if _, err := a.Call(OpPing, make([]byte, maxStreamBody+1)); err == nil {
+		t.Fatal("oversize body accepted")
+	}
+}
+
+// The full development story over a real byte stream: two FLIPC nodes,
+// unmodified engine and library, KKT RPC over net.Pipe.
+func TestFullFLIPCOverStreamKKT(t *testing.T) {
+	ca, cb := net.Pipe()
+	ta := NewStreamTransport(0, 0)
+	tb := NewStreamTransport(1, 0)
+	epA := ta.AddPeer(1, ca)
+	tb.AddPeer(0, cb)
+	defer epA.Close()
+
+	bufA, err := commbuf.New(commbuf.Config{Node: 0, MessageSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufB, err := commbuf.New(commbuf.Config{Node: 1, MessageSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engA, err := engine.New(bufA, ta, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, err := engine.New(bufB, tb, engine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appA := bufA.View(mem.ActorApp)
+	appB := bufB.View(mem.ActorApp)
+	sep, _ := bufA.AllocEndpoint(commbuf.EndpointSend, 4)
+	rep, _ := bufB.AllocEndpoint(commbuf.EndpointRecv, 4)
+
+	rm, _ := bufB.AllocMsg()
+	rm.StageRecv(appB)
+	rep.Queue().Release(appB, uint64(rm.ID()))
+	sm, _ := bufA.AllocMsg()
+	copy(sm.Payload(), "kkt over a real stream")
+	sm.StageSend(appA, rep.Addr(), 22, 0)
+	sep.Queue().Release(appA, uint64(sm.ID()))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		engA.Poll()
+		engB.Poll()
+		if id, ok := rep.Queue().Acquire(appB); ok {
+			m, _ := bufB.MsgByID(id)
+			if got := string(m.Payload()[:22]); got != "kkt over a real stream" {
+				t.Fatalf("payload = %q", got)
+			}
+			calls, _ := epA.Stats()
+			if calls != 1 {
+				t.Fatalf("RPCs = %d, want 1 per message", calls)
+			}
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatal("message never delivered over stream KKT")
+}
+
+func TestStreamTransportUnknownPeer(t *testing.T) {
+	tr := NewStreamTransport(0, 0)
+	if tr.TrySend(9, make([]byte, 64)) {
+		t.Fatal("send to unknown peer succeeded")
+	}
+	if tr.LocalNode() != 0 {
+		t.Fatal("LocalNode wrong")
+	}
+	if _, ok := tr.Poll(); ok {
+		t.Fatal("phantom frame")
+	}
+}

@@ -1,0 +1,210 @@
+// Package msglib is the improved buffer-management layer the paper
+// calls for in Future Work: "a FLIPC application can expect to employ
+// about half of its calls to FLIPC to send or receive messages, and the
+// other half for message buffer management. An improved buffer
+// management design that frees the programmer from most of these
+// details is clearly called for."
+//
+// The package wraps the raw endpoint interface with two abstractions
+// that manage buffers automatically:
+//
+//   - Outbox: send with one call; completed buffers are reclaimed and
+//     recycled behind the scenes;
+//   - Inbox: receive with one call; the buffer pool is kept posted and
+//     consumed buffers are reposted automatically (with a zero-copy
+//     variant for callers that want to avoid the payload copy).
+//
+// Both are single-threaded like the lock-free endpoint variants they
+// wrap; use one per thread or add external locking.
+package msglib
+
+import (
+	"errors"
+	"fmt"
+
+	"flipc/internal/core"
+)
+
+// ErrBackpressure is returned when neither a free buffer nor a queue
+// slot can be obtained without blocking.
+var ErrBackpressure = errors.New("msglib: endpoint backlogged; retry")
+
+// Outbox wraps a send endpoint with automatic buffer management.
+type Outbox struct {
+	d    *core.Domain
+	ep   *core.Endpoint
+	pool []*core.Message
+	sent uint64
+}
+
+// NewOutbox creates an outbox with its own send endpoint (depth 0 =
+// domain default) and a private pool of bufs message buffers.
+func NewOutbox(d *core.Domain, depth, bufs int) (*Outbox, error) {
+	if bufs < 1 {
+		return nil, fmt.Errorf("msglib: outbox needs at least one buffer, got %d", bufs)
+	}
+	ep, err := d.NewSendEndpoint(depth)
+	if err != nil {
+		return nil, err
+	}
+	o := &Outbox{d: d, ep: ep}
+	for i := 0; i < bufs; i++ {
+		m, err := d.AllocBuffer()
+		if err != nil {
+			return nil, fmt.Errorf("msglib: outbox pool: %w", err)
+		}
+		o.pool = append(o.pool, m)
+	}
+	return o, nil
+}
+
+// reclaim pulls completed sends back into the pool.
+func (o *Outbox) reclaim() {
+	for {
+		m, ok := o.ep.Acquire()
+		if !ok {
+			return
+		}
+		o.pool = append(o.pool, m)
+	}
+}
+
+// Send transmits payload to dst in one call: it takes a pooled buffer,
+// copies the payload, queues the send, and recycles completed buffers.
+// Returns ErrBackpressure when the pool and queue are both exhausted —
+// the caller retries after the engine catches up (or sizes the pool to
+// its burst, per the static flow-control examples).
+func (o *Outbox) Send(dst core.Addr, payload []byte) error {
+	return o.SendFlags(dst, payload, 0)
+}
+
+// SendFlags is Send with a flags byte.
+func (o *Outbox) SendFlags(dst core.Addr, payload []byte, flags uint8) error {
+	if len(payload) > o.d.MaxPayload() {
+		return fmt.Errorf("msglib: payload %d exceeds message capacity %d", len(payload), o.d.MaxPayload())
+	}
+	o.reclaim()
+	if len(o.pool) == 0 {
+		return ErrBackpressure
+	}
+	m := o.pool[len(o.pool)-1]
+	o.pool = o.pool[:len(o.pool)-1]
+	n := copy(m.Payload(), payload)
+	if err := o.ep.SendFlags(m, dst, n, flags); err != nil {
+		o.pool = append(o.pool, m)
+		if errors.Is(err, core.ErrQueueFull) {
+			return ErrBackpressure
+		}
+		return err
+	}
+	o.sent++
+	return nil
+}
+
+// Flush reports whether all queued sends have completed (reclaiming as
+// a side effect).
+func (o *Outbox) Flush() bool {
+	o.reclaim()
+	toProc, toAcq := o.ep.Pending()
+	return toProc == 0 && toAcq == 0
+}
+
+// Sent returns the number of messages sent.
+func (o *Outbox) Sent() uint64 { return o.sent }
+
+// Endpoint exposes the wrapped endpoint (address, drops).
+func (o *Outbox) Endpoint() *core.Endpoint { return o.ep }
+
+// Inbox wraps a receive endpoint that keeps itself stocked with
+// buffers.
+type Inbox struct {
+	d        *core.Domain
+	ep       *core.Endpoint
+	received uint64
+}
+
+// NewInbox creates an inbox whose endpoint (depth 0 = domain default)
+// is kept stocked with bufs posted buffers.
+func NewInbox(d *core.Domain, depth, bufs int) (*Inbox, error) {
+	if bufs < 1 {
+		return nil, fmt.Errorf("msglib: inbox needs at least one buffer, got %d", bufs)
+	}
+	ep, err := d.NewRecvEndpoint(depth)
+	if err != nil {
+		return nil, err
+	}
+	in := &Inbox{d: d, ep: ep}
+	for i := 0; i < bufs; i++ {
+		m, err := d.AllocBuffer()
+		if err != nil {
+			return nil, fmt.Errorf("msglib: inbox pool: %w", err)
+		}
+		if err := ep.Post(m); err != nil {
+			return nil, fmt.Errorf("msglib: inbox post: %w", err)
+		}
+	}
+	return in, nil
+}
+
+// Addr returns the inbox's receive address.
+func (in *Inbox) Addr() core.Addr { return in.ep.Addr() }
+
+// Receive returns the next message's payload (copied) and flags; the
+// underlying buffer is reposted immediately.
+func (in *Inbox) Receive() (payload []byte, flags uint8, ok bool) {
+	m, ok := in.ep.Receive()
+	if !ok {
+		return nil, 0, false
+	}
+	payload = append([]byte(nil), m.Payload()[:m.Len()]...)
+	flags = m.Flags()
+	if err := in.ep.Post(m); err != nil {
+		in.d.FreeBuffer(m)
+	}
+	in.received++
+	return payload, flags, true
+}
+
+// ReceiveZeroCopy returns the message itself; the caller must hand it
+// back with Done (which reposts it) when finished reading the payload.
+func (in *Inbox) ReceiveZeroCopy() (*core.Message, bool) {
+	m, ok := in.ep.Receive()
+	if ok {
+		in.received++
+	}
+	return m, ok
+}
+
+// Done returns a zero-copy message's buffer to the posted pool.
+func (in *Inbox) Done(m *core.Message) {
+	if m == nil {
+		return
+	}
+	if err := in.ep.Post(m); err != nil {
+		in.d.FreeBuffer(m)
+	}
+}
+
+// ReceiveBlock is Receive that blocks via the real-time semaphore path.
+func (in *Inbox) ReceiveBlock(prio core.Priority) ([]byte, uint8, error) {
+	m, err := in.ep.ReceiveBlock(prio)
+	if err != nil {
+		return nil, 0, err
+	}
+	payload := append([]byte(nil), m.Payload()[:m.Len()]...)
+	flags := m.Flags()
+	if err := in.ep.Post(m); err != nil {
+		in.d.FreeBuffer(m)
+	}
+	in.received++
+	return payload, flags, nil
+}
+
+// Drops exposes the endpoint's discard counter.
+func (in *Inbox) Drops() uint64 { return in.ep.Drops() }
+
+// Received returns the number of messages consumed.
+func (in *Inbox) Received() uint64 { return in.received }
+
+// Endpoint exposes the wrapped endpoint.
+func (in *Inbox) Endpoint() *core.Endpoint { return in.ep }

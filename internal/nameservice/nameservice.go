@@ -1,0 +1,129 @@
+// Package nameservice provides the endpoint-address directory FLIPC
+// assumes exists but deliberately does not contain (§Architecture and
+// Design): "FLIPC does not contain a nameservice of its own, but
+// assumes that one is available."
+//
+// Receivers register the opaque addresses of endpoints they have
+// allocated under well-known names; senders look them up. WaitFor lets
+// a sender block until a peer has registered, which is the common
+// startup pattern in the examples.
+package nameservice
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"flipc/internal/wire"
+)
+
+// Errors.
+var (
+	ErrNotFound  = errors.New("nameservice: name not registered")
+	ErrDuplicate = errors.New("nameservice: name already registered")
+	ErrTimeout   = errors.New("nameservice: wait timed out")
+)
+
+// Directory is an in-process name → endpoint-address registry, safe
+// for concurrent use.
+type Directory struct {
+	mu      sync.Mutex
+	entries map[string]wire.Addr
+	waiters map[string][]chan wire.Addr
+}
+
+// New creates an empty directory.
+func New() *Directory {
+	return &Directory{
+		entries: make(map[string]wire.Addr),
+		waiters: make(map[string][]chan wire.Addr),
+	}
+}
+
+// Register binds name to addr. Rebinding an existing name is an error;
+// use Unregister first (stale bindings hide address-generation bugs).
+func (d *Directory) Register(name string, addr wire.Addr) error {
+	if name == "" {
+		return fmt.Errorf("nameservice: empty name")
+	}
+	if !addr.Valid() {
+		return fmt.Errorf("nameservice: register %q with invalid address", name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.entries[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	d.entries[name] = addr
+	for _, ch := range d.waiters[name] {
+		ch <- addr
+	}
+	delete(d.waiters, name)
+	return nil
+}
+
+// Unregister removes a binding (idempotent).
+func (d *Directory) Unregister(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.entries, name)
+}
+
+// Lookup resolves a name.
+func (d *Directory) Lookup(name string) (wire.Addr, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	addr, ok := d.entries[name]
+	if !ok {
+		return wire.NilAddr, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return addr, nil
+}
+
+// WaitFor resolves a name, blocking up to timeout for it to appear.
+func (d *Directory) WaitFor(name string, timeout time.Duration) (wire.Addr, error) {
+	d.mu.Lock()
+	if addr, ok := d.entries[name]; ok {
+		d.mu.Unlock()
+		return addr, nil
+	}
+	ch := make(chan wire.Addr, 1)
+	d.waiters[name] = append(d.waiters[name], ch)
+	d.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case addr := <-ch:
+		return addr, nil
+	case <-timer.C:
+		d.mu.Lock()
+		ws := d.waiters[name]
+		for i, w := range ws {
+			if w == ch {
+				d.waiters[name] = append(ws[:i], ws[i+1:]...)
+				break
+			}
+		}
+		d.mu.Unlock()
+		// A racing Register may have fired after the timer; prefer it.
+		select {
+		case addr := <-ch:
+			return addr, nil
+		default:
+			return wire.NilAddr, fmt.Errorf("%w: %q after %v", ErrTimeout, name, timeout)
+		}
+	}
+}
+
+// Names returns the registered names (diagnostics).
+func (d *Directory) Names() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.entries))
+	for n := range d.entries {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package nameservice
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"flipc/internal/wire"
+)
+
+func addr(t *testing.T, node wire.NodeID, idx uint16) wire.Addr {
+	t.Helper()
+	a, err := wire.MakeAddr(node, idx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRegisterLookup(t *testing.T) {
+	d := New()
+	a := addr(t, 1, 2)
+	if err := d.Register("radar.tracks", a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Lookup("radar.tracks")
+	if err != nil || got != a {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	if _, err := d.Lookup("nonexistent"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing name: %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	d := New()
+	if err := d.Register("", addr(t, 1, 1)); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := d.Register("x", wire.NilAddr); err == nil {
+		t.Fatal("invalid address accepted")
+	}
+	if err := d.Register("x", addr(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register("x", addr(t, 1, 2)); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate: %v", err)
+	}
+}
+
+func TestUnregisterAllowsRebind(t *testing.T) {
+	d := New()
+	if err := d.Register("x", addr(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	d.Unregister("x")
+	d.Unregister("x") // idempotent
+	if err := d.Register("x", addr(t, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.Lookup("x")
+	if got.Index() != 2 {
+		t.Fatal("rebind lost")
+	}
+}
+
+func TestWaitForImmediate(t *testing.T) {
+	d := New()
+	a := addr(t, 2, 3)
+	d.Register("svc", a)
+	got, err := d.WaitFor("svc", time.Millisecond)
+	if err != nil || got != a {
+		t.Fatalf("WaitFor = %v, %v", got, err)
+	}
+}
+
+func TestWaitForBlocksUntilRegister(t *testing.T) {
+	d := New()
+	a := addr(t, 2, 3)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got wire.Addr
+	var err error
+	go func() {
+		defer wg.Done()
+		got, err = d.WaitFor("late", 5*time.Second)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if regErr := d.Register("late", a); regErr != nil {
+		t.Fatal(regErr)
+	}
+	wg.Wait()
+	if err != nil || got != a {
+		t.Fatalf("WaitFor = %v, %v", got, err)
+	}
+}
+
+func TestWaitForTimeout(t *testing.T) {
+	d := New()
+	start := time.Now()
+	_, err := d.WaitFor("never", 20*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("returned too early")
+	}
+	// The stale waiter must not break a later registration.
+	if err := d.Register("never", addr(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNames(t *testing.T) {
+	d := New()
+	d.Register("a", addr(t, 1, 1))
+	d.Register("b", addr(t, 1, 2))
+	names := d.Names()
+	if len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	d := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		i := i
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			d.Register(string(rune('a'+i)), addr(t, 1, uint16(i)))
+		}()
+		go func() {
+			defer wg.Done()
+			d.WaitFor(string(rune('a'+i)), time.Second)
+		}()
+	}
+	wg.Wait()
+	if len(d.Names()) != 16 {
+		t.Fatalf("names = %d", len(d.Names()))
+	}
+}

@@ -1,0 +1,278 @@
+package nameservice
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"flipc/internal/core"
+	"flipc/internal/msglib"
+	"flipc/internal/wire"
+)
+
+// Remote name service: the directory itself served over FLIPC messages,
+// so a cluster needs only one well-known endpoint address at boot (the
+// server's), after which every other address is resolved in-band. This
+// is the natural shape for the out-of-band exchange the paper assumes:
+// "This requires receivers to obtain endpoint addresses of endpoints
+// they have allocated from FLIPC and pass those addresses to senders."
+//
+// Protocol (request, client→server):
+//
+//	[0]   op (1=register, 2=lookup, 3=unregister)
+//	[1:5] reply address (the client's inbox)
+//	[5:9] payload address (register: the address being published)
+//	[9]   name length n
+//	[10:10+n] name
+//
+// Response (server→client):
+//
+//	[0]   status (0=ok, 1=not found, 2=duplicate, 3=bad request)
+//	[1:5] resolved address (lookup ok)
+//	[5:9] request tag echo
+//
+// Requests carry a client-chosen tag (bytes [5:9] reused on lookup
+// responses) so one inbox can serve pipelined calls.
+
+// Ops and statuses.
+const (
+	opRegister   = 1
+	opLookup     = 2
+	opUnregister = 3
+
+	statusOK        = 0
+	statusNotFound  = 1
+	statusDuplicate = 2
+	statusBad       = 3
+)
+
+// Remote errors.
+var (
+	ErrRemoteTimeout = errors.New("nameservice: remote call timed out")
+	ErrBadReply      = errors.New("nameservice: malformed reply")
+)
+
+// Server serves a Directory over FLIPC. Run its Serve loop on a
+// goroutine (or call ServeOne from a poll loop).
+type Server struct {
+	dir *Directory
+	in  *msglib.Inbox
+	out *msglib.Outbox
+}
+
+// NewServer creates a server on domain d backed by dir. window sizes
+// the request inbox — use flowctl.RPCBuffers(maxClients, outstanding)
+// for an overrun-free configuration.
+func NewServer(d *core.Domain, dir *Directory, window int) (*Server, error) {
+	depth := 2
+	for depth < window+1 {
+		depth *= 2
+	}
+	in, err := msglib.NewInbox(d, depth, window)
+	if err != nil {
+		return nil, err
+	}
+	out, err := msglib.NewOutbox(d, depth, window)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{dir: dir, in: in, out: out}, nil
+}
+
+// Addr is the server's well-known endpoint address.
+func (s *Server) Addr() wire.Addr { return s.in.Addr() }
+
+// ServeOne handles at most one pending request, reporting whether it
+// did any work. Never blocks.
+func (s *Server) ServeOne() bool {
+	req, _, ok := s.in.Receive()
+	if !ok {
+		return false
+	}
+	s.handle(req)
+	return true
+}
+
+// Serve blocks handling requests at the given scheduler priority until
+// the domain closes.
+func (s *Server) Serve(prio core.Priority) {
+	for {
+		req, _, err := s.in.ReceiveBlock(prio)
+		if err != nil {
+			return
+		}
+		s.handle(req)
+	}
+}
+
+func (s *Server) handle(req []byte) {
+	if len(req) < 10 {
+		return // no reply address to refuse to
+	}
+	replyTo := wire.Addr(binary.BigEndian.Uint32(req[1:5]))
+	if !replyTo.Valid() {
+		return
+	}
+	resp := make([]byte, 9)
+	copy(resp[5:9], req[5:9]) // default tag echo (lookup overwrites below)
+
+	op := req[0]
+	n := int(req[9])
+	if 10+n > len(req) {
+		resp[0] = statusBad
+		s.reply(replyTo, resp)
+		return
+	}
+	name := string(req[10 : 10+n])
+	switch op {
+	case opRegister:
+		addr := wire.Addr(binary.BigEndian.Uint32(req[5:9]))
+		if err := s.dir.Register(name, addr); err != nil {
+			if errors.Is(err, ErrDuplicate) {
+				resp[0] = statusDuplicate
+			} else {
+				resp[0] = statusBad
+			}
+		}
+	case opLookup:
+		addr, err := s.dir.Lookup(name)
+		if err != nil {
+			resp[0] = statusNotFound
+		} else {
+			binary.BigEndian.PutUint32(resp[1:5], uint32(addr))
+		}
+	case opUnregister:
+		s.dir.Unregister(name)
+	default:
+		resp[0] = statusBad
+	}
+	s.reply(replyTo, resp)
+}
+
+func (s *Server) reply(to wire.Addr, resp []byte) {
+	// Bounded retry: with RPCBuffers-style sizing backpressure clears
+	// as soon as the engine drains; give it a few chances and then drop
+	// (the client's timeout handles the loss, like any FLIPC discard).
+	for i := 0; i < 64; i++ {
+		if err := s.out.Send(to, resp); err == nil {
+			return
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// Client calls a remote name server. Not safe for concurrent use (one
+// per thread, matching the lock-free endpoint discipline).
+type Client struct {
+	d      *core.Domain
+	server wire.Addr
+	in     *msglib.Inbox
+	out    *msglib.Outbox
+	tag    uint32
+}
+
+// NewClient creates a client on domain d targeting the server's
+// well-known address.
+func NewClient(d *core.Domain, server wire.Addr) (*Client, error) {
+	if !server.Valid() {
+		return nil, fmt.Errorf("nameservice: invalid server address")
+	}
+	in, err := msglib.NewInbox(d, 0, 4)
+	if err != nil {
+		return nil, err
+	}
+	out, err := msglib.NewOutbox(d, 0, 4)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{d: d, server: server, in: in, out: out}, nil
+}
+
+// call performs one request/response with a deadline.
+func (c *Client) call(op byte, name string, payload wire.Addr, timeout time.Duration) (status byte, addr wire.Addr, err error) {
+	if len(name) > 200 || 10+len(name) > c.d.MaxPayload() {
+		return 0, wire.NilAddr, fmt.Errorf("nameservice: name %q too long for message size", name)
+	}
+	c.tag++
+	req := make([]byte, 10+len(name))
+	req[0] = op
+	binary.BigEndian.PutUint32(req[1:5], uint32(c.in.Addr()))
+	if op == opLookup {
+		binary.BigEndian.PutUint32(req[5:9], c.tag)
+	} else {
+		binary.BigEndian.PutUint32(req[5:9], uint32(payload))
+	}
+	req[9] = byte(len(name))
+	copy(req[10:], name)
+
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := c.out.Send(c.server, req); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, wire.NilAddr, ErrRemoteTimeout
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	for time.Now().Before(deadline) {
+		resp, _, ok := c.in.Receive()
+		if !ok {
+			time.Sleep(50 * time.Microsecond)
+			continue
+		}
+		if len(resp) < 9 {
+			return 0, wire.NilAddr, ErrBadReply
+		}
+		if op == opLookup && binary.BigEndian.Uint32(resp[5:9]) != c.tag {
+			continue // stale response from an earlier timed-out call
+		}
+		return resp[0], wire.Addr(binary.BigEndian.Uint32(resp[1:5])), nil
+	}
+	return 0, wire.NilAddr, ErrRemoteTimeout
+}
+
+// Register publishes name → addr at the server.
+func (c *Client) Register(name string, addr wire.Addr, timeout time.Duration) error {
+	st, _, err := c.call(opRegister, name, addr, timeout)
+	if err != nil {
+		return err
+	}
+	switch st {
+	case statusOK:
+		return nil
+	case statusDuplicate:
+		return fmt.Errorf("%w: %q", ErrDuplicate, name)
+	default:
+		return fmt.Errorf("nameservice: register %q failed (status %d)", name, st)
+	}
+}
+
+// Lookup resolves name at the server.
+func (c *Client) Lookup(name string, timeout time.Duration) (wire.Addr, error) {
+	st, addr, err := c.call(opLookup, name, wire.NilAddr, timeout)
+	if err != nil {
+		return wire.NilAddr, err
+	}
+	switch st {
+	case statusOK:
+		return addr, nil
+	case statusNotFound:
+		return wire.NilAddr, fmt.Errorf("%w: %q", ErrNotFound, name)
+	default:
+		return wire.NilAddr, fmt.Errorf("nameservice: lookup %q failed (status %d)", name, st)
+	}
+}
+
+// Unregister removes name at the server.
+func (c *Client) Unregister(name string, timeout time.Duration) error {
+	st, _, err := c.call(opUnregister, name, wire.NilAddr, timeout)
+	if err != nil {
+		return err
+	}
+	if st != statusOK {
+		return fmt.Errorf("nameservice: unregister %q failed (status %d)", name, st)
+	}
+	return nil
+}

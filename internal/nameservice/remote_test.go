@@ -1,0 +1,214 @@
+package nameservice
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"flipc/internal/core"
+	"flipc/internal/interconnect"
+	"flipc/internal/wire"
+)
+
+func newRemoteRig(t *testing.T) (*Server, *Client, *core.Domain, *core.Domain) {
+	t.Helper()
+	fabric := interconnect.NewFabric(256)
+	mk := func(node wire.NodeID) *core.Domain {
+		tr, err := fabric.Attach(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.NewDomain(core.Config{Node: node, MessageSize: 128, NumBuffers: 64}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Close)
+		d.Start()
+		return d
+	}
+	sd := mk(0)
+	cd := mk(1)
+	srv, err := NewServer(sd, New(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(5)
+	cli, err := NewClient(cd, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, cli, sd, cd
+}
+
+const callTimeout = 5 * time.Second
+
+func TestRemoteRegisterLookup(t *testing.T) {
+	_, cli, _, cd := newRemoteRig(t)
+	// Publish a real endpoint's address through the in-band directory.
+	ep, err := cd.NewRecvEndpoint(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Register("svc.sensor", ep.Addr(), callTimeout); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Lookup("svc.sensor", callTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ep.Addr() {
+		t.Fatalf("Lookup = %v, want %v", got, ep.Addr())
+	}
+}
+
+func TestRemoteLookupNotFound(t *testing.T) {
+	_, cli, _, _ := newRemoteRig(t)
+	if _, err := cli.Lookup("nonexistent", callTimeout); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemoteDuplicateRegister(t *testing.T) {
+	_, cli, _, cd := newRemoteRig(t)
+	ep, _ := cd.NewRecvEndpoint(4)
+	if err := cli.Register("dup", ep.Addr(), callTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Register("dup", ep.Addr(), callTimeout); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate register: %v", err)
+	}
+}
+
+func TestRemoteUnregisterAllowsRebind(t *testing.T) {
+	_, cli, _, cd := newRemoteRig(t)
+	ep1, _ := cd.NewRecvEndpoint(4)
+	ep2, _ := cd.NewRecvEndpoint(4)
+	if err := cli.Register("x", ep1.Addr(), callTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Unregister("x", callTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Register("x", ep2.Addr(), callTimeout); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Lookup("x", callTimeout)
+	if err != nil || got != ep2.Addr() {
+		t.Fatalf("rebind lookup = %v, %v", got, err)
+	}
+}
+
+func TestRemoteNameTooLong(t *testing.T) {
+	_, cli, _, _ := newRemoteRig(t)
+	long := make([]byte, 150)
+	for i := range long {
+		long[i] = 'a'
+	}
+	// 150+10 > 120-byte payload: must be refused client-side.
+	if err := cli.Register(string(long), mustAddr(t), callTimeout); err == nil {
+		t.Fatal("oversized name accepted")
+	}
+}
+
+func mustAddr(t *testing.T) wire.Addr {
+	t.Helper()
+	a, err := wire.MakeAddr(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRemoteClientValidation(t *testing.T) {
+	fabric := interconnect.NewFabric(16)
+	tr, _ := fabric.Attach(0)
+	d, err := core.NewDomain(core.Config{Node: 0, MessageSize: 64}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := NewClient(d, wire.NilAddr); err == nil {
+		t.Fatal("nil server address accepted")
+	}
+}
+
+func TestRemoteTimeoutWithoutServer(t *testing.T) {
+	fabric := interconnect.NewFabric(16)
+	tr, _ := fabric.Attach(0)
+	fabric.Attach(1)
+	d, err := core.NewDomain(core.Config{Node: 0, MessageSize: 64, NumBuffers: 16}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	d.Start()
+	// Server address points at an unallocated endpoint on node 1.
+	dead, _ := wire.MakeAddr(1, 9, 3)
+	cli, err := NewClient(d, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Lookup("anything", 50*time.Millisecond); !errors.Is(err, ErrRemoteTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Full dogfooding loop: two application nodes discover each other
+// purely through the in-band directory, then exchange a message.
+func TestRemoteEndToEndDiscovery(t *testing.T) {
+	fabric := interconnect.NewFabric(256)
+	mk := func(node wire.NodeID) *core.Domain {
+		tr, err := fabric.Attach(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.NewDomain(core.Config{Node: node, MessageSize: 128, NumBuffers: 64}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Close)
+		d.Start()
+		return d
+	}
+	dirNode, producer, consumer := mk(0), mk(1), mk(2)
+	srv, err := NewServer(dirNode, New(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(5)
+
+	// Consumer publishes its inbox via the directory.
+	rep, _ := consumer.NewRecvEndpoint(4)
+	rb, _ := consumer.AllocBuffer()
+	rep.Post(rb)
+	cCli, err := NewClient(consumer, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cCli.Register("consumer.inbox", rep.Addr(), callTimeout); err != nil {
+		t.Fatal(err)
+	}
+
+	// Producer resolves it and sends.
+	pCli, err := NewClient(producer, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := pCli.Lookup("consumer.inbox", callTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, _ := producer.NewSendEndpoint(4)
+	m, _ := producer.AllocBuffer()
+	n := copy(m.Payload(), "discovered in-band")
+	if err := sep.Send(m, dst, n); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rep.ReceiveBlock(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload()[:got.Len()]) != "discovered in-band" {
+		t.Fatalf("payload = %q", got.Payload()[:got.Len()])
+	}
+}

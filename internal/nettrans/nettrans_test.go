@@ -1,0 +1,213 @@
+package nettrans
+
+import (
+	"testing"
+	"time"
+
+	"flipc/internal/commbuf"
+	"flipc/internal/engine"
+	"flipc/internal/mem"
+)
+
+func pollUntil(t *testing.T, tr *Transport, d time.Duration) []byte {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if f, ok := tr.Poll(); ok {
+			return f
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("no frame arrived")
+	return nil
+}
+
+func TestListenValidation(t *testing.T) {
+	if _, err := Listen(0, "127.0.0.1:0", 63); err == nil {
+		t.Fatal("bad message size accepted")
+	}
+	if _, err := Listen(0, "256.0.0.1:99999", 64); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	a, err := Listen(0, "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen(1, "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.Dial(1, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	frame := make([]byte, 64)
+	copy(frame, "over tcp")
+	deadline := time.Now().Add(2 * time.Second)
+	for !a.TrySend(1, frame) {
+		if time.Now().After(deadline) {
+			t.Fatal("TrySend never succeeded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got := pollUntil(t, b, 2*time.Second)
+	if string(got[:8]) != "over tcp" {
+		t.Fatalf("frame = %q", got[:8])
+	}
+	// Reverse direction over the same full-duplex connection (b's
+	// accepted side registers node 0 when the hello arrives).
+	copy(frame, "backward")
+	for !b.TrySend(0, frame) {
+		if time.Now().After(deadline) {
+			t.Fatal("reverse TrySend never succeeded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got = pollUntil(t, a, 2*time.Second)
+	if string(got[:8]) != "backward" {
+		t.Fatalf("reverse frame = %q", got[:8])
+	}
+	sent, _, _ := a.Stats()
+	_, delivered, _ := b.Stats()
+	if sent != 1 || delivered != 1 {
+		t.Fatalf("stats: sent=%d delivered=%d", sent, delivered)
+	}
+	if a.LocalNode() != 0 || b.LocalNode() != 1 {
+		t.Fatal("LocalNode wrong")
+	}
+}
+
+func TestTrySendNoPeer(t *testing.T) {
+	a, err := Listen(0, "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.TrySend(9, make([]byte, 64)) {
+		t.Fatal("send to unconnected peer accepted")
+	}
+	if a.TrySend(9, make([]byte, 32)) {
+		t.Fatal("wrong-size frame accepted")
+	}
+	_, _, busy := a.Stats()
+	if busy != 1 {
+		t.Fatalf("busy = %d", busy)
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	a, err := Listen(0, "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Dial(1, "127.0.0.1:1"); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+	b, err := Listen(1, "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.Dial(1, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Dial(1, b.Addr()); err == nil {
+		t.Fatal("duplicate dial accepted")
+	}
+	if len(a.Peers()) != 1 {
+		t.Fatalf("peers = %v", a.Peers())
+	}
+}
+
+func TestOrderPreservedOverTCP(t *testing.T) {
+	a, _ := Listen(0, "127.0.0.1:0", 64)
+	defer a.Close()
+	b, _ := Listen(1, "127.0.0.1:0", 64)
+	defer b.Close()
+	if err := a.Dial(1, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	go func() {
+		for i := 0; i < n; {
+			f := make([]byte, 64)
+			f[0] = byte(i)
+			if a.TrySend(1, f) {
+				i++
+			} else {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		f := pollUntil(t, b, 5*time.Second)
+		if f[0] != byte(i) {
+			t.Fatalf("frame %d out of order (got %d)", i, f[0])
+		}
+	}
+}
+
+// The portability claim: the unmodified engine + library runs over TCP.
+func TestFullFLIPCOverTCP(t *testing.T) {
+	ta, _ := Listen(0, "127.0.0.1:0", 64)
+	defer ta.Close()
+	tb, _ := Listen(1, "127.0.0.1:0", 64)
+	defer tb.Close()
+	if err := ta.Dial(1, tb.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	bufA, _ := commbuf.New(commbuf.Config{Node: 0, MessageSize: 64})
+	bufB, _ := commbuf.New(commbuf.Config{Node: 1, MessageSize: 64})
+	engA, err := engine.New(bufA, ta, engine.Config{ValidityChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, err := engine.New(bufB, tb, engine.Config{ValidityChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appA := bufA.View(mem.ActorApp)
+	appB := bufB.View(mem.ActorApp)
+	sep, _ := bufA.AllocEndpoint(commbuf.EndpointSend, 4)
+	rep, _ := bufB.AllocEndpoint(commbuf.EndpointRecv, 4)
+
+	rm, _ := bufB.AllocMsg()
+	rm.StageRecv(appB)
+	rep.Queue().Release(appB, uint64(rm.ID()))
+
+	sm, _ := bufA.AllocMsg()
+	copy(sm.Payload(), "engine over sockets")
+	sm.StageSend(appA, rep.Addr(), 19, 0)
+	sep.Queue().Release(appA, uint64(sm.ID()))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		engA.Poll()
+		engB.Poll()
+		if id, ok := rep.Queue().Acquire(appB); ok {
+			m, _ := bufB.MsgByID(id)
+			if got := string(m.Payload()[:19]); got != "engine over sockets" {
+				t.Fatalf("payload = %q", got)
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("message never delivered over TCP")
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	a, _ := Listen(0, "127.0.0.1:0", 64)
+	a.Close()
+	a.Close()
+	if a.TrySend(1, make([]byte, 64)) {
+		t.Fatal("send after close succeeded")
+	}
+}

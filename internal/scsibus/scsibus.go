@@ -1,0 +1,113 @@
+// Package scsibus models the paper's second development platform: PC
+// clusters using a SCSI bus for host-to-host communication [Dean et
+// al., "SCSI for Host to Host Communication"].
+//
+// A SCSI bus is a shared medium: one initiator transfers at a time,
+// targets poll for data addressed to them, and the controller (an NCR
+// 53C825-class part) cannot perform read-modify-write on host memory —
+// one of the concrete motivations for FLIPC's wait-free design. The
+// model here is a single shared mailbox array with per-target slots:
+//
+//   - TrySend arbitrates for the bus (a host-side mutex, standing in
+//     for SCSI arbitration) and copies the frame into the target's
+//     mailbox ring;
+//   - Poll drains the local mailbox.
+//
+// Throughput is bus-limited: only one transfer proceeds at a time, in
+// contrast to the mesh's independent links — which is exactly why the
+// paper used it only for development, not performance work.
+package scsibus
+
+import (
+	"fmt"
+	"sync"
+
+	"flipc/internal/wire"
+)
+
+// Bus is a shared SCSI-style medium. Attach each host once.
+type Bus struct {
+	depth int
+
+	mu      sync.Mutex // SCSI arbitration: one initiator at a time
+	targets map[wire.NodeID]*mailbox
+}
+
+type mailbox struct {
+	frames [][]byte
+	drops  uint64
+}
+
+// New creates a bus whose per-target mailboxes hold up to depth frames
+// (default 64).
+func New(depth int) *Bus {
+	if depth <= 0 {
+		depth = 64
+	}
+	return &Bus{depth: depth, targets: make(map[wire.NodeID]*mailbox)}
+}
+
+// Attach adds a host to the bus and returns its transport.
+func (b *Bus) Attach(node wire.NodeID) (*Port, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.targets[node]; dup {
+		return nil, fmt.Errorf("scsibus: host %d already on the bus", node)
+	}
+	b.targets[node] = &mailbox{}
+	return &Port{bus: b, node: node}, nil
+}
+
+// Port is one host's connection to the bus; it implements
+// interconnect.Transport.
+type Port struct {
+	bus  *Bus
+	node wire.NodeID
+
+	sent uint64
+	rcvd uint64
+	busy uint64
+}
+
+// LocalNode implements interconnect.Transport.
+func (p *Port) LocalNode() wire.NodeID { return p.node }
+
+// TrySend implements interconnect.Transport: arbitrate, copy the frame
+// into the target's mailbox, release the bus.
+func (p *Port) TrySend(dst wire.NodeID, frame []byte) bool {
+	p.bus.mu.Lock()
+	defer p.bus.mu.Unlock()
+	mb := p.bus.targets[dst]
+	if mb == nil {
+		return false
+	}
+	if len(mb.frames) >= p.bus.depth {
+		mb.drops++
+		p.busy++
+		return false
+	}
+	mb.frames = append(mb.frames, append([]byte(nil), frame...))
+	p.sent++
+	return true
+}
+
+// Poll implements interconnect.Transport.
+func (p *Port) Poll() ([]byte, bool) {
+	p.bus.mu.Lock()
+	defer p.bus.mu.Unlock()
+	mb := p.bus.targets[p.node]
+	if mb == nil || len(mb.frames) == 0 {
+		return nil, false
+	}
+	f := mb.frames[0]
+	mb.frames = mb.frames[1:]
+	p.rcvd++
+	return f, true
+}
+
+// Stats returns (frames sent, frames received, bus-busy rejections).
+func (p *Port) Stats() (sent, received, busy uint64) {
+	p.bus.mu.Lock()
+	defer p.bus.mu.Unlock()
+	return p.sent, p.rcvd, p.busy
+}

@@ -1,0 +1,213 @@
+// Package sim implements the discrete-event simulation kernel that
+// drives FLIPC's virtual-time experiments.
+//
+// The paper's evaluation platform is an Intel Paragon with MP3 nodes;
+// we do not have one, so the reproduction runs the messaging engine,
+// the interconnect, and the application steps as events on a virtual
+// nanosecond clock (see DESIGN.md §2). The kernel is deterministic:
+// events scheduled for the same instant fire in scheduling order, and
+// all randomness flows from explicitly seeded sources.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual time in nanoseconds since simulation start.
+type Time int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * 1000
+	Second      Time = 1000 * 1000 * 1000
+)
+
+// Micros returns the time as a float64 number of microseconds, the
+// unit the paper reports latencies in.
+func (t Time) Micros() float64 { return float64(t) / 1000 }
+
+// String formats the time as microseconds with nanosecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fµs", t.Micros()) }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break so same-instant events fire in schedule order
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is the simulation's event queue and virtual clock.
+// A Clock is not safe for concurrent use; the simulation is
+// single-threaded by design (determinism is the point).
+type Clock struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewClock returns a clock at time zero with an empty event queue.
+func NewClock() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Fired returns the number of events executed so far, useful for
+// loop-bound assertions in tests.
+func (c *Clock) Fired() uint64 { return c.fired }
+
+// Pending returns the number of events still queued.
+func (c *Clock) Pending() int { return len(c.events) }
+
+// At schedules fn to run at absolute virtual time t.
+// Scheduling in the past is an error (it would make event order
+// ill-defined); such calls panic, since they indicate a harness bug.
+func (c *Clock) At(t Time, fn func()) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, c.now))
+	}
+	c.seq++
+	heap.Push(&c.events, &event{at: t, seq: c.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (c *Clock) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	c.At(c.now+d, fn)
+}
+
+// Step executes the next pending event, advancing the clock to its
+// scheduled time. It reports whether an event was executed.
+func (c *Clock) Step() bool {
+	if len(c.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&c.events).(*event)
+	c.now = e.at
+	c.fired++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// RunUntil executes events with scheduled time <= deadline, then sets
+// the clock to deadline if it has not already passed it. Events
+// scheduled after the deadline remain queued.
+func (c *Clock) RunUntil(deadline Time) {
+	for len(c.events) > 0 && c.events[0].at <= deadline {
+		c.Step()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+}
+
+// RunFor executes events for d nanoseconds of virtual time from now.
+func (c *Clock) RunFor(d Time) {
+	c.RunUntil(c.now + d)
+}
+
+// Ticker schedules fn every period until Stop is called. The first
+// firing is one period from the time of NewTicker. fn observes the
+// clock at each tick through closure.
+type Ticker struct {
+	clock   *Clock
+	period  Time
+	fn      func()
+	stopped bool
+}
+
+// NewTicker creates and starts a ticker on c.
+func (c *Clock) NewTicker(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: ticker period %v must be positive", period))
+	}
+	t := &Ticker{clock: c, period: period, fn: fn}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.clock.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped { // fn may have called Stop
+			t.schedule()
+		}
+	})
+}
+
+// Stop prevents future firings. Already-queued firings become no-ops.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// RNG is the simulation's deterministic random source. All simulated
+// noise (e.g. the ~0.5 µs engine-processing jitter that reproduces the
+// paper's reported standard deviations) must come from an RNG so runs
+// are reproducible from the seed.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic source for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Normal returns a normally distributed duration with the given mean
+// and standard deviation, truncated at zero (durations cannot be
+// negative).
+func (g *RNG) Normal(mean, sd Time) Time {
+	v := float64(mean) + g.r.NormFloat64()*float64(sd)
+	if v < 0 {
+		v = 0
+	}
+	return Time(v)
+}
+
+// Uniform returns a duration uniformly distributed in [lo, hi).
+func (g *RNG) Uniform(lo, hi Time) Time {
+	if hi <= lo {
+		return lo
+	}
+	return lo + Time(g.r.Int63n(int64(hi-lo)))
+}
+
+// Intn returns a uniform int in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }

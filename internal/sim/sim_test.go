@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", c.Now())
+	}
+	if c.Pending() != 0 || c.Fired() != 0 {
+		t.Fatalf("fresh clock has pending=%d fired=%d", c.Pending(), c.Fired())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	c := NewClock()
+	var order []int
+	c.At(30, func() { order = append(order, 3) })
+	c.At(10, func() { order = append(order, 1) })
+	c.At(20, func() { order = append(order, 2) })
+	c.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if c.Now() != 30 {
+		t.Fatalf("Now() = %v, want 30", c.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	c := NewClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(100, func() { order = append(order, i) })
+	}
+	c.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestAfterRelativeToNow(t *testing.T) {
+	c := NewClock()
+	var at Time
+	c.At(50, func() {
+		c.After(25, func() { at = c.Now() })
+	})
+	c.Run()
+	if at != 75 {
+		t.Fatalf("nested After fired at %v, want 75", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	c := NewClock()
+	c.At(100, func() {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	c.At(50, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	c := NewClock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	c.After(-1, func() {})
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	c := NewClock()
+	if c.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c := NewClock()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		c.At(at, func() { fired = append(fired, at) })
+	}
+	c.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want two events", fired)
+	}
+	if c.Now() != 25 {
+		t.Fatalf("Now() = %v, want 25", c.Now())
+	}
+	if c.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", c.Pending())
+	}
+	c.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired = %v, want all four", fired)
+	}
+}
+
+func TestRunUntilDoesNotMoveBackwards(t *testing.T) {
+	c := NewClock()
+	c.RunUntil(100)
+	c.RunUntil(50)
+	if c.Now() != 100 {
+		t.Fatalf("Now() = %v, want 100", c.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	c := NewClock()
+	c.RunUntil(10)
+	var n int
+	c.At(15, func() { n++ })
+	c.At(25, func() { n++ })
+	c.RunFor(10)
+	if n != 1 || c.Now() != 20 {
+		t.Fatalf("n=%d Now=%v", n, c.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	c := NewClock()
+	var ticks []Time
+	tk := c.NewTicker(10, func() { ticks = append(ticks, c.Now()) })
+	c.RunUntil(35)
+	tk.Stop()
+	c.RunUntil(100)
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3 ticks (10,20,30)", ticks)
+	}
+	for i, at := range []Time{10, 20, 30} {
+		if ticks[i] != at {
+			t.Fatalf("ticks = %v", ticks)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	c := NewClock()
+	var n int
+	var tk *Ticker
+	tk = c.NewTicker(5, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	c.Run()
+	if n != 2 {
+		t.Fatalf("ticker fired %d times, want 2", n)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	c := NewClock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period did not panic")
+		}
+	}()
+	c.NewTicker(0, func() {})
+}
+
+func TestFiredCount(t *testing.T) {
+	c := NewClock()
+	for i := 0; i < 5; i++ {
+		c.At(Time(i), func() {})
+	}
+	c.Run()
+	if c.Fired() != 5 {
+		t.Fatalf("Fired() = %d, want 5", c.Fired())
+	}
+}
+
+func TestTimeMicros(t *testing.T) {
+	if got := (15450 * Nanosecond).Micros(); got != 15.45 {
+		t.Fatalf("Micros = %v, want 15.45", got)
+	}
+	if s := (1500 * Nanosecond).String(); s != "1.500µs" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Normal(1000, 100) != b.Normal(1000, 100) {
+			t.Fatal("same seed diverged (Normal)")
+		}
+		if a.Uniform(0, 50) != b.Uniform(0, 50) {
+			t.Fatal("same seed diverged (Uniform)")
+		}
+	}
+}
+
+func TestRNGNormalNonNegative(t *testing.T) {
+	g := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		if d := g.Normal(10, 1000); d < 0 {
+			t.Fatalf("Normal returned negative duration %v", d)
+		}
+	}
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	g := NewRNG(2)
+	for i := 0; i < 1000; i++ {
+		d := g.Uniform(100, 200)
+		if d < 100 || d >= 200 {
+			t.Fatalf("Uniform out of range: %v", d)
+		}
+	}
+	if g.Uniform(5, 5) != 5 {
+		t.Fatal("degenerate Uniform range")
+	}
+}
+
+// Property: for any set of (distinct-ish) schedule times, events fire
+// in nondecreasing time order and the clock ends at the max.
+func TestQuickEventOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		c := NewClock()
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			at := Time(d)
+			if at > max {
+				max = at
+			}
+			c.At(at, func() { fired = append(fired, c.Now()) })
+		}
+		c.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || c.Now() == max
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+// Package trace is a lightweight fixed-capacity event trace used for
+// debugging FLIPC internals and experiments. Events are recorded into a
+// ring (oldest overwritten), cheap enough to leave enabled in tests,
+// and dumped in order on demand.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one trace record.
+type Event struct {
+	At   time.Time
+	What string
+	Args []interface{}
+}
+
+// String renders the event.
+func (e Event) String() string {
+	if len(e.Args) == 0 {
+		return fmt.Sprintf("%s %s", e.At.Format("15:04:05.000000"), e.What)
+	}
+	return fmt.Sprintf("%s %s %v", e.At.Format("15:04:05.000000"), e.What, e.Args)
+}
+
+// Ring is a bounded concurrent trace buffer. The zero value is unusable;
+// call New.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// New creates a ring holding up to n events (minimum 1).
+func New(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Add records an event.
+func (r *Ring) Add(what string, args ...interface{}) {
+	e := Event{At: time.Now(), What: what, Args: args}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Events returns the recorded events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Total returns the number of events ever recorded (including
+// overwritten ones).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dump writes the events to w, one per line.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

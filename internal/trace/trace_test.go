@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndEvents(t *testing.T) {
+	r := New(4)
+	r.Add("send", 1)
+	r.Add("recv")
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].What != "send" || evs[1].What != "recv" {
+		t.Fatalf("events = %v", evs)
+	}
+	if r.Total() != 2 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 5; i++ {
+		r.Add("e", i)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	for i, e := range evs {
+		if e.Args[0] != 2+i {
+			t.Fatalf("events = %v", evs)
+		}
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	r := New(0)
+	r.Add("a")
+	r.Add("b")
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].What != "b" {
+		t.Fatalf("events = %v", evs)
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := New(4)
+	r.Add("alpha", 1, 2)
+	r.Add("beta")
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatalf("dump = %q", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Fatalf("dump lines: %q", out)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	r := New(2)
+	r.Add("noargs")
+	r.Add("args", 7)
+	evs := r.Events()
+	if !strings.Contains(evs[0].String(), "noargs") {
+		t.Fatal("no-arg format")
+	}
+	if !strings.Contains(evs[1].String(), "[7]") {
+		t.Fatalf("arg format: %q", evs[1].String())
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	r := New(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add("e", i)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 8000 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	if len(r.Events()) != 128 {
+		t.Fatalf("events = %d", len(r.Events()))
+	}
+}

@@ -1,0 +1,169 @@
+package waitfree
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"flipc/internal/mem"
+)
+
+func newCounter(t *testing.T, padded bool) (*Counter, mem.View, mem.View) {
+	t.Helper()
+	a := newArena(t, 256)
+	var base int
+	var err error
+	if padded {
+		base, err = a.AllocLines(CounterWords(a.LineWords(), true) / a.LineWords())
+	} else {
+		base, err = a.AllocWords(CounterWords(a.LineWords(), false))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCounter(a, base, a.LineWords(), padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, mem.NewView(a, mem.ActorApp), mem.NewView(a, mem.ActorEngine)
+}
+
+func TestCounterWords(t *testing.T) {
+	if CounterWords(4, true) != 8 {
+		t.Fatalf("padded = %d, want 8", CounterWords(4, true))
+	}
+	if CounterWords(4, false) != 2 {
+		t.Fatalf("unpadded = %d, want 2", CounterWords(4, false))
+	}
+}
+
+func TestCounterValidation(t *testing.T) {
+	a := newArena(t, 8)
+	if _, err := NewCounter(a, 7, 4, false); err == nil {
+		t.Fatal("out-of-arena counter accepted")
+	}
+	if _, err := NewCounter(a, 2, 4, true); err == nil {
+		t.Fatal("misaligned padded counter accepted")
+	}
+	if _, err := NewCounter(a, -1, 4, false); err == nil {
+		t.Fatal("negative base accepted")
+	}
+}
+
+func TestCounterBasics(t *testing.T) {
+	for _, padded := range []bool{true, false} {
+		c, app, eng := newCounter(t, padded)
+		if c.Read(app) != 0 {
+			t.Fatal("fresh counter nonzero")
+		}
+		c.Incr(eng)
+		c.Incr(eng)
+		c.Incr(eng)
+		if got := c.Read(app); got != 3 {
+			t.Fatalf("Read = %d, want 3", got)
+		}
+		if got := c.ReadAndReset(app); got != 3 {
+			t.Fatalf("ReadAndReset = %d, want 3", got)
+		}
+		if got := c.Read(app); got != 0 {
+			t.Fatalf("Read after reset = %d, want 0", got)
+		}
+		c.Incr(eng)
+		if got := c.Read(app); got != 1 {
+			t.Fatalf("Read after new event = %d, want 1", got)
+		}
+		if got := c.Total(app); got != 4 {
+			t.Fatalf("Total = %d, want 4", got)
+		}
+	}
+}
+
+// The defining property: increments racing with read-and-reset are
+// never lost and never double-counted. Sum of all ReadAndReset returns
+// plus the final residue must equal the total increments.
+func TestCounterResetLosslessConcurrent(t *testing.T) {
+	c, app, eng := newCounter(t, true)
+	const incs = 200000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < incs; i++ {
+			c.Incr(eng)
+		}
+	}()
+	var harvested uint64
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			harvested += c.ReadAndReset(app)
+		}
+	}()
+	wg.Wait()
+	harvested += c.ReadAndReset(app)
+	if harvested != incs {
+		t.Fatalf("harvested %d events, want %d (lost or duplicated)", harvested, incs)
+	}
+}
+
+// Property: for any interleaving of increments and resets executed
+// sequentially, harvest + residue == total increments, and every
+// ReadAndReset return equals the events since the previous reset.
+func TestQuickCounterInterleavings(t *testing.T) {
+	prop := func(ops []bool) bool {
+		a, err := mem.New(mem.Config{ControlWords: 64, LineWords: 4})
+		if err != nil {
+			return false
+		}
+		base, _ := a.AllocLines(CounterWords(4, true) / 4)
+		c, err := NewCounter(a, base, 4, true)
+		if err != nil {
+			return false
+		}
+		app := mem.NewView(a, mem.ActorApp)
+		eng := mem.NewView(a, mem.ActorEngine)
+		var total, harvested, sinceReset uint64
+		for _, incr := range ops {
+			if incr {
+				c.Incr(eng)
+				total++
+				sinceReset++
+			} else {
+				got := c.ReadAndReset(app)
+				if got != sinceReset {
+					return false
+				}
+				harvested += got
+				sinceReset = 0
+			}
+		}
+		return harvested+c.Read(app) == total
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterPaddedLineIsolation(t *testing.T) {
+	a := newArena(t, 256)
+	base, err := a.AllocLines(CounterWords(4, true) / 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCounter(a, base, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &lineTracer{arena: a, writers: map[int]map[mem.Actor]bool{}}
+	a.SetTracer(tr)
+	app := mem.NewView(a, mem.ActorApp)
+	eng := mem.NewView(a, mem.ActorEngine)
+	c.Incr(eng)
+	c.ReadAndReset(app)
+	c.Incr(eng)
+	for line, actors := range tr.writers {
+		if actors[mem.ActorApp] && actors[mem.ActorEngine] {
+			t.Fatalf("padded counter line %d written by both actors", line)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package waitfree
+
+import (
+	"fmt"
+
+	"flipc/internal/mem"
+)
+
+// Ring is a single-producer/single-consumer wait-free ring under the
+// load/store-only memory model. FLIPC uses it as the engine→kernel
+// wakeup doorbell: the engine (producer) posts the address of an
+// endpoint whose blocked receiver should be presented to the
+// scheduler, and the kernel (consumer) drains it. The producer writes
+// the slots and the prod pointer; the consumer writes only the cons
+// pointer — single writer per word, as everywhere in FLIPC.
+type Ring struct {
+	arena    *mem.Arena
+	prod     int // producer-written
+	cons     int // consumer-written
+	slotBase int // producer-written
+	capacity uint64
+}
+
+// RingWords returns the control words needed for a ring of the given
+// capacity (a power of two).
+func RingWords(capacity, lineWords int, padded bool) int {
+	if padded {
+		slotLines := (capacity + lineWords - 1) / lineWords
+		return (2 + slotLines) * lineWords
+	}
+	return 2 + capacity
+}
+
+// NewRing lays out a ring at base. Capacity must be a power of two >= 2.
+func NewRing(a *mem.Arena, base, capacity, lineWords int, padded bool) (*Ring, error) {
+	if capacity < 2 || capacity&(capacity-1) != 0 {
+		return nil, fmt.Errorf("waitfree: ring capacity %d must be a power of two >= 2", capacity)
+	}
+	words := RingWords(capacity, lineWords, padded)
+	if base < 0 || !a.ValidWord(base) || !a.ValidWord(base+words-1) {
+		return nil, fmt.Errorf("waitfree: ring [%d,%d) outside arena", base, base+words)
+	}
+	r := &Ring{arena: a, capacity: uint64(capacity)}
+	if padded {
+		if base%lineWords != 0 {
+			return nil, fmt.Errorf("waitfree: padded ring base %d not line-aligned", base)
+		}
+		r.prod = base
+		r.cons = base + lineWords
+		r.slotBase = base + 2*lineWords
+	} else {
+		r.prod = base
+		r.cons = base + 1
+		r.slotBase = base + 2
+	}
+	return r, nil
+}
+
+// Capacity returns the number of slots.
+func (r *Ring) Capacity() int { return int(r.capacity) }
+
+// Push appends v on behalf of the producer. It returns false when the
+// ring is full; the producer (the engine) must never block, so callers
+// typically retry on a later event-loop pass or drop with accounting.
+func (r *Ring) Push(prod mem.View, v uint64) bool {
+	p := prod.Load(r.prod)
+	c := prod.Load(r.cons)
+	if p-c >= r.capacity {
+		return false
+	}
+	prod.Store(r.slotBase+int(p&(r.capacity-1)), v)
+	prod.Store(r.prod, p+1)
+	return true
+}
+
+// Pop removes and returns the oldest value on behalf of the consumer,
+// reporting false when the ring is empty.
+func (r *Ring) Pop(cons mem.View) (uint64, bool) {
+	c := cons.Load(r.cons)
+	p := cons.Load(r.prod)
+	if c == p {
+		return 0, false
+	}
+	v := cons.Load(r.slotBase + int(c&(r.capacity-1)))
+	cons.Store(r.cons, c+1)
+	return v, true
+}
+
+// Len returns the number of queued values as seen by view's actor.
+func (r *Ring) Len(v mem.View) int {
+	return int(v.Load(r.prod) - v.Load(r.cons))
+}

@@ -1,0 +1,167 @@
+package waitfree
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"flipc/internal/mem"
+)
+
+func newRing(t *testing.T, capacity int, padded bool) (*Ring, mem.View, mem.View) {
+	t.Helper()
+	a := newArena(t, 4096)
+	var base int
+	var err error
+	if padded {
+		base, err = a.AllocLines(RingWords(capacity, a.LineWords(), true) / a.LineWords())
+	} else {
+		base, err = a.AllocWords(RingWords(capacity, a.LineWords(), false))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(a, base, capacity, a.LineWords(), padded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Producer is the engine (doorbell), consumer is the kernel.
+	return r, mem.NewView(a, mem.ActorEngine), mem.NewView(a, mem.ActorKernel)
+}
+
+func TestRingWords(t *testing.T) {
+	if RingWords(8, 4, true) != 16 {
+		t.Fatalf("padded = %d, want 16", RingWords(8, 4, true))
+	}
+	if RingWords(8, 4, false) != 10 {
+		t.Fatalf("unpadded = %d, want 10", RingWords(8, 4, false))
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	a := newArena(t, 16)
+	if _, err := NewRing(a, 0, 3, 4, false); err == nil {
+		t.Fatal("non-power-of-two capacity accepted")
+	}
+	if _, err := NewRing(a, 14, 8, 4, false); err == nil {
+		t.Fatal("out-of-arena ring accepted")
+	}
+	if _, err := NewRing(a, 1, 4, 4, true); err == nil {
+		t.Fatal("misaligned padded ring accepted")
+	}
+}
+
+func TestRingFIFO(t *testing.T) {
+	for _, padded := range []bool{true, false} {
+		r, prod, cons := newRing(t, 4, padded)
+		if r.Capacity() != 4 {
+			t.Fatalf("capacity = %d", r.Capacity())
+		}
+		if _, ok := r.Pop(cons); ok {
+			t.Fatal("pop on empty succeeded")
+		}
+		for i := uint64(0); i < 4; i++ {
+			if !r.Push(prod, i) {
+				t.Fatalf("push %d failed", i)
+			}
+		}
+		if r.Push(prod, 99) {
+			t.Fatal("push on full succeeded")
+		}
+		if r.Len(prod) != 4 {
+			t.Fatalf("Len = %d", r.Len(prod))
+		}
+		for i := uint64(0); i < 4; i++ {
+			v, ok := r.Pop(cons)
+			if !ok || v != i {
+				t.Fatalf("pop = %d,%v want %d", v, ok, i)
+			}
+		}
+		if r.Len(cons) != 0 {
+			t.Fatalf("Len after drain = %d", r.Len(cons))
+		}
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r, prod, cons := newRing(t, 2, true)
+	for i := uint64(0); i < 1000; i++ {
+		if !r.Push(prod, i) {
+			t.Fatalf("push %d failed", i)
+		}
+		v, ok := r.Pop(cons)
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v want %d", v, ok, i)
+		}
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r, prod, cons := newRing(t, 8, true)
+	const n = 100000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < n; {
+			if r.Push(prod, i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	expect := uint64(0)
+	for expect < n {
+		if v, ok := r.Pop(cons); ok {
+			if v != expect {
+				t.Fatalf("pop = %d, want %d", v, expect)
+			}
+			expect++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	wg.Wait()
+}
+
+// Property: sequential interleavings preserve FIFO and never exceed capacity.
+func TestQuickRingInterleavings(t *testing.T) {
+	prop := func(ops []bool) bool {
+		a, err := mem.New(mem.Config{ControlWords: 128, LineWords: 4})
+		if err != nil {
+			return false
+		}
+		base, _ := a.AllocLines(RingWords(4, 4, true) / 4)
+		r, err := NewRing(a, base, 4, 4, true)
+		if err != nil {
+			return false
+		}
+		prod := mem.NewView(a, mem.ActorEngine)
+		cons := mem.NewView(a, mem.ActorKernel)
+		var pushed, popped uint64
+		for _, isPush := range ops {
+			if isPush {
+				if r.Push(prod, pushed) {
+					pushed++
+				}
+			} else if v, ok := r.Pop(cons); ok {
+				if v != popped {
+					return false
+				}
+				popped++
+			}
+			if int(pushed-popped) > 4 || popped > pushed {
+				return false
+			}
+			if r.Len(prod) != int(pushed-popped) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

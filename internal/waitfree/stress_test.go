@@ -1,0 +1,148 @@
+package waitfree
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"flipc/internal/mem"
+)
+
+// Stress: a queue, a counter, and a ring share one arena while an
+// "application" goroutine and an "engine" goroutine drive all three
+// simultaneously — the actual concurrency shape of a FLIPC endpoint
+// under load. FIFO order, counter losslessness, and the queue invariant
+// must all hold together, race-detector clean.
+func TestCombinedStructuresStress(t *testing.T) {
+	a, err := mem.New(mem.Config{ControlWords: 8192, LineWords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qBase, _ := a.AllocLines(QueueWords(8, 4, true) / 4)
+	q, err := NewQueue(a, qBase, 8, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cBase, _ := a.AllocLines(CounterWords(4, true) / 4)
+	c, err := NewCounter(a, cBase, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rBase, _ := a.AllocLines(RingWords(16, 4, true) / 4)
+	r, err := NewRing(a, rBase, 16, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	app := mem.NewView(a, mem.ActorApp)
+	eng := mem.NewView(a, mem.ActorEngine)
+	kern := mem.NewView(a, mem.ActorKernel)
+
+	const msgs = 20000
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	// Engine: process queue entries; count every 3rd as a "drop";
+	// ring the doorbell for every 5th.
+	go func() {
+		defer wg.Done()
+		processed := 0
+		for processed < msgs {
+			if v, ok := q.ProcessPeek(eng); ok {
+				if v%3 == 0 {
+					c.Incr(eng)
+				}
+				if v%5 == 0 {
+					r.Push(eng, v) // full ring is fine: best-effort doorbell
+				}
+				q.AdvanceProcess(eng)
+				processed++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	// Kernel: drain the doorbell concurrently.
+	doorbells := make(chan uint64, msgs)
+	stopKern := make(chan struct{})
+	var kernWg sync.WaitGroup
+	kernWg.Add(1)
+	go func() {
+		defer kernWg.Done()
+		for {
+			if v, ok := r.Pop(kern); ok {
+				doorbells <- v
+				continue
+			}
+			select {
+			case <-stopKern:
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	// Application: release and acquire, harvesting the counter as it goes.
+	var harvested uint64
+	go func() {
+		defer wg.Done()
+		next, acquired := uint64(0), uint64(0)
+		for acquired < msgs {
+			progress := false
+			if next < msgs && q.Release(app, next) {
+				next++
+				progress = true
+			}
+			if v, ok := q.Acquire(app); ok {
+				if v != acquired {
+					t.Errorf("FIFO broken: %d != %d", v, acquired)
+					return
+				}
+				acquired++
+				progress = true
+			}
+			if acquired%512 == 0 {
+				harvested += c.ReadAndReset(app)
+			}
+			if !progress {
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stopKern)
+	kernWg.Wait()
+	harvested += c.ReadAndReset(app)
+
+	wantDrops := uint64(0)
+	for v := uint64(0); v < msgs; v++ {
+		if v%3 == 0 {
+			wantDrops++
+		}
+	}
+	if harvested != wantDrops {
+		t.Fatalf("counter harvested %d, want %d (lost or duplicated under stress)", harvested, wantDrops)
+	}
+	if err := q.CheckInvariant(app); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Empty(app) {
+		t.Fatal("queue not empty after stress")
+	}
+	// Doorbells are best-effort (wait-free producer), but everything
+	// popped must be a multiple of 5 and strictly increasing.
+	close(doorbells)
+	last := int64(-1)
+	for v := range doorbells {
+		if v%5 != 0 {
+			t.Fatalf("doorbell %d not a multiple of 5", v)
+		}
+		if int64(v) <= last {
+			t.Fatalf("doorbell order broken: %d after %d", v, last)
+		}
+		last = int64(v)
+	}
+}

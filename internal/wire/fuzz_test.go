@@ -1,0 +1,68 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: Decode must never panic on arbitrary frames, and anything
+// it accepts must re-encode to an equivalent frame (header + payload).
+func FuzzDecode(f *testing.F) {
+	// Seeds: a valid frame, a zero frame, short frames, corrupt sizes.
+	valid := make([]byte, 64)
+	dst, _ := MakeAddr(3, 7, 2)
+	_ = Encode(&Packet{Dst: dst, Size: 5, Flags: 0x83, Seq: 9, Payload: []byte("seed!")}, valid)
+	f.Add(valid)
+	f.Add(make([]byte, 64))
+	f.Add(make([]byte, 63))
+	f.Add([]byte{})
+	over := append([]byte(nil), valid...)
+	over[4], over[5] = 0xFF, 0xFF
+	f.Add(over)
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		pkt, err := Decode(frame)
+		if err != nil {
+			return
+		}
+		// Accepted: the invariants must hold.
+		if !pkt.Dst.Valid() {
+			t.Fatal("accepted invalid destination")
+		}
+		if int(pkt.Size) != len(pkt.Payload) || int(pkt.Size) > MaxPayload(len(frame)) {
+			t.Fatalf("size %d inconsistent with payload %d / frame %d", pkt.Size, len(pkt.Payload), len(frame))
+		}
+		// Round trip.
+		out := make([]byte, len(frame))
+		if err := Encode(pkt, out); err != nil {
+			t.Fatalf("re-encode of accepted packet failed: %v", err)
+		}
+		back, err := Decode(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.Dst != pkt.Dst || back.Size != pkt.Size || back.Flags != pkt.Flags ||
+			back.Seq != pkt.Seq || !bytes.Equal(back.Payload, pkt.Payload) {
+			t.Fatal("round trip changed the packet")
+		}
+	})
+}
+
+// FuzzMakeAddr: address pack/unpack consistency for in-range fields.
+func FuzzMakeAddr(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint16(1))
+	f.Add(uint16(1023), uint16(4095), uint16(1023))
+	f.Fuzz(func(t *testing.T, node, idx, gen uint16) {
+		a, err := MakeAddr(NodeID(node), idx, gen)
+		if err != nil {
+			// Must be an actual range violation.
+			if int(node) < MaxNodes && int(idx) < MaxEndpoints && gen >= 1 && int(gen) < MaxGen {
+				t.Fatalf("in-range fields rejected: %d/%d/%d", node, idx, gen)
+			}
+			return
+		}
+		if a.Node() != NodeID(node) || a.Index() != idx || a.Gen() != gen || !a.Valid() {
+			t.Fatalf("round trip: %v from %d/%d/%d", a, node, idx, gen)
+		}
+	})
+}

@@ -1,0 +1,187 @@
+// Package wire defines FLIPC's on-the-wire message format and opaque
+// endpoint addressing.
+//
+// FLIPC transfers fixed-size messages; the size is selected at boot
+// time per domain and must be at least 64 bytes and a multiple of 32
+// (the Paragon interconnect DMA constraints, which we keep). Eight
+// bytes of every message are reserved for internal addressing and
+// synchronization — the message header — leaving MessageSize-8 bytes
+// for the application (56 at the minimum size, exactly as in the paper).
+//
+// Endpoint addresses are opaque to applications: receivers obtain them
+// from FLIPC and hand them to senders out of band (e.g. through
+// internal/nameservice). The header carries only the destination
+// address; FLIPC does not deliver sender identity — applications that
+// need a reply address carry it in the payload.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// NodeID identifies a node in the cluster.
+type NodeID uint16
+
+// Address field widths. An Addr packs node(10) | index(12) | gen(10):
+// up to 1024 nodes, 4096 endpoints per node, with a 10-bit generation
+// to catch stale addresses after endpoint reuse.
+const (
+	nodeBits  = 10
+	indexBits = 12
+	genBits   = 10
+
+	// MaxNodes, MaxEndpoints, MaxGen are the exclusive upper bounds of
+	// the corresponding address fields.
+	MaxNodes     = 1 << nodeBits
+	MaxEndpoints = 1 << indexBits
+	MaxGen       = 1 << genBits
+)
+
+// Addr is an opaque endpoint address. The zero Addr is never a valid
+// endpoint (valid addresses have generation >= 1).
+type Addr uint32
+
+// NilAddr is the invalid zero address.
+const NilAddr Addr = 0
+
+// MakeAddr packs an address. gen must be in [1, MaxGen).
+func MakeAddr(node NodeID, index uint16, gen uint16) (Addr, error) {
+	if int(node) >= MaxNodes {
+		return NilAddr, fmt.Errorf("wire: node %d out of range (max %d)", node, MaxNodes-1)
+	}
+	if int(index) >= MaxEndpoints {
+		return NilAddr, fmt.Errorf("wire: endpoint index %d out of range (max %d)", index, MaxEndpoints-1)
+	}
+	if gen == 0 || int(gen) >= MaxGen {
+		return NilAddr, fmt.Errorf("wire: generation %d out of range [1,%d]", gen, MaxGen-1)
+	}
+	return Addr(uint32(node)<<(indexBits+genBits) | uint32(index)<<genBits | uint32(gen)), nil
+}
+
+// Node returns the node field.
+func (a Addr) Node() NodeID { return NodeID(a >> (indexBits + genBits)) }
+
+// Index returns the endpoint index field.
+func (a Addr) Index() uint16 { return uint16(a>>genBits) & (MaxEndpoints - 1) }
+
+// Gen returns the generation field.
+func (a Addr) Gen() uint16 { return uint16(a) & (MaxGen - 1) }
+
+// Valid reports whether the address has a non-zero generation.
+func (a Addr) Valid() bool { return a.Gen() != 0 }
+
+// String formats the address for logs.
+func (a Addr) String() string {
+	if !a.Valid() {
+		return "addr(nil)"
+	}
+	return fmt.Sprintf("addr(n%d:e%d:g%d)", a.Node(), a.Index(), a.Gen())
+}
+
+// Message size constraints (Paragon DMA requirements, kept verbatim).
+const (
+	// MinMessageSize is the smallest legal fixed message size.
+	MinMessageSize = 64
+	// MessageSizeMultiple is the required size granularity.
+	MessageSizeMultiple = 32
+	// HeaderBytes is the per-message overhead FLIPC reserves for
+	// internal addressing and synchronization.
+	HeaderBytes = 8
+)
+
+// CheckMessageSize validates a boot-time fixed message size.
+func CheckMessageSize(size int) error {
+	if size < MinMessageSize {
+		return fmt.Errorf("wire: message size %d below minimum %d", size, MinMessageSize)
+	}
+	if size%MessageSizeMultiple != 0 {
+		return fmt.Errorf("wire: message size %d not a multiple of %d", size, MessageSizeMultiple)
+	}
+	return nil
+}
+
+// MaxPayload returns the application payload capacity for a fixed
+// message size.
+func MaxPayload(messageSize int) int { return messageSize - HeaderBytes }
+
+// Flags carried in the message header. PriorityMask supports the
+// paper's future-work extension of prioritized inter-node transport.
+const (
+	FlagUrgent   uint8 = 1 << 7 // expedited class (extension)
+	PriorityMask uint8 = 0x07   // 8 priority levels (extension)
+)
+
+// Packet is one fixed-size FLIPC message in flight. Src is transport
+// bookkeeping (tracing, tests); it is not part of the 8-byte header and
+// is not delivered to receivers.
+type Packet struct {
+	Dst     Addr
+	Src     Addr // not on the wire; local bookkeeping only
+	Size    uint16
+	Flags   uint8
+	Seq     uint8 // low bits of the per-endpoint sequence, for debugging
+	Payload []byte
+}
+
+// Header layout (8 bytes, big-endian):
+//
+//	[0:4] destination Addr
+//	[4:6] payload size
+//	[6]   flags
+//	[7]   sequence (debug)
+
+// Encode writes p into frame, which must be exactly messageSize bytes
+// (frames on the wire are always the full fixed size). The payload is
+// copied after the header and the remainder zero-filled so frames never
+// leak stale memory.
+func Encode(p *Packet, frame []byte) error {
+	if err := CheckMessageSize(len(frame)); err != nil {
+		return fmt.Errorf("wire: bad frame: %w", err)
+	}
+	if int(p.Size) != len(p.Payload) {
+		return fmt.Errorf("wire: size field %d != payload length %d", p.Size, len(p.Payload))
+	}
+	if len(p.Payload) > MaxPayload(len(frame)) {
+		return fmt.Errorf("wire: payload %d exceeds max %d for %d-byte messages",
+			len(p.Payload), MaxPayload(len(frame)), len(frame))
+	}
+	if !p.Dst.Valid() {
+		return fmt.Errorf("wire: invalid destination %v", p.Dst)
+	}
+	binary.BigEndian.PutUint32(frame[0:4], uint32(p.Dst))
+	binary.BigEndian.PutUint16(frame[4:6], p.Size)
+	frame[6] = p.Flags
+	frame[7] = p.Seq
+	n := copy(frame[HeaderBytes:], p.Payload)
+	for i := HeaderBytes + n; i < len(frame); i++ {
+		frame[i] = 0
+	}
+	return nil
+}
+
+// Decode parses a frame produced by Encode. The returned packet's
+// Payload aliases frame; callers that retain it must copy.
+func Decode(frame []byte) (*Packet, error) {
+	if err := CheckMessageSize(len(frame)); err != nil {
+		return nil, fmt.Errorf("wire: bad frame: %w", err)
+	}
+	dst := Addr(binary.BigEndian.Uint32(frame[0:4]))
+	size := binary.BigEndian.Uint16(frame[4:6])
+	if !dst.Valid() {
+		return nil, fmt.Errorf("wire: frame has invalid destination %v", dst)
+	}
+	if int(size) > MaxPayload(len(frame)) {
+		return nil, fmt.Errorf("wire: frame size field %d exceeds max payload %d", size, MaxPayload(len(frame)))
+	}
+	return &Packet{
+		Dst:     dst,
+		Size:    size,
+		Flags:   frame[6],
+		Seq:     frame[7],
+		Payload: frame[HeaderBytes : HeaderBytes+int(size) : HeaderBytes+int(size)],
+	}, nil
+}
+
+// Priority extracts the priority level from flags (extension).
+func Priority(flags uint8) int { return int(flags & PriorityMask) }

@@ -1,0 +1,220 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func mustAddr(t *testing.T, node NodeID, idx, gen uint16) Addr {
+	t.Helper()
+	a, err := MakeAddr(node, idx, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestMakeAddrRoundTrip(t *testing.T) {
+	a := mustAddr(t, 3, 17, 9)
+	if a.Node() != 3 || a.Index() != 17 || a.Gen() != 9 {
+		t.Fatalf("round trip: node=%d idx=%d gen=%d", a.Node(), a.Index(), a.Gen())
+	}
+	if !a.Valid() {
+		t.Fatal("valid address reported invalid")
+	}
+}
+
+func TestMakeAddrLimits(t *testing.T) {
+	if _, err := MakeAddr(MaxNodes-1, MaxEndpoints-1, MaxGen-1); err != nil {
+		t.Fatalf("max fields rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		node NodeID
+		idx  uint16
+		gen  uint16
+	}{
+		{MaxNodes, 0, 1},
+		{0, MaxEndpoints, 1},
+		{0, 0, 0},
+		{0, 0, MaxGen},
+	} {
+		if _, err := MakeAddr(tc.node, tc.idx, tc.gen); err == nil {
+			t.Errorf("MakeAddr(%d,%d,%d) accepted", tc.node, tc.idx, tc.gen)
+		}
+	}
+}
+
+func TestNilAddr(t *testing.T) {
+	if NilAddr.Valid() {
+		t.Fatal("NilAddr valid")
+	}
+	if NilAddr.String() != "addr(nil)" {
+		t.Fatalf("NilAddr.String() = %q", NilAddr.String())
+	}
+	if mustAddr(t, 1, 2, 3).String() == "" {
+		t.Fatal("empty addr string")
+	}
+}
+
+func TestQuickAddrRoundTrip(t *testing.T) {
+	prop := func(node, idx, gen uint16) bool {
+		n := NodeID(node % MaxNodes)
+		i := idx % MaxEndpoints
+		g := gen%(MaxGen-1) + 1
+		a, err := MakeAddr(n, i, g)
+		if err != nil {
+			return false
+		}
+		return a.Node() == n && a.Index() == i && a.Gen() == g && a.Valid()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckMessageSize(t *testing.T) {
+	for _, ok := range []int{64, 96, 128, 1024} {
+		if err := CheckMessageSize(ok); err != nil {
+			t.Errorf("CheckMessageSize(%d): %v", ok, err)
+		}
+	}
+	for _, bad := range []int{0, 32, 63, 65, 100, -64} {
+		if err := CheckMessageSize(bad); err == nil {
+			t.Errorf("CheckMessageSize(%d) accepted", bad)
+		}
+	}
+}
+
+func TestMaxPayloadMatchesPaper(t *testing.T) {
+	// "56 bytes is the minimum application message size" at the 64-byte
+	// minimum message size.
+	if got := MaxPayload(MinMessageSize); got != 56 {
+		t.Fatalf("MaxPayload(64) = %d, want 56", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	dst := mustAddr(t, 5, 42, 2)
+	payload := []byte("track update: contact 7 bearing 045 range 12nm")
+	p := &Packet{Dst: dst, Size: uint16(len(payload)), Flags: FlagUrgent | 3, Seq: 99, Payload: payload}
+	frame := make([]byte, 96)
+	if err := Encode(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dst != dst || got.Size != p.Size || got.Flags != p.Flags || got.Seq != 99 {
+		t.Fatalf("decoded header = %+v", got)
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+}
+
+func TestEncodeZeroFillsTail(t *testing.T) {
+	dst := mustAddr(t, 1, 1, 1)
+	frame := make([]byte, 64)
+	for i := range frame {
+		frame[i] = 0xFF // stale garbage
+	}
+	p := &Packet{Dst: dst, Size: 4, Payload: []byte("abcd")}
+	if err := Encode(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	for i := HeaderBytes + 4; i < len(frame); i++ {
+		if frame[i] != 0 {
+			t.Fatalf("frame[%d] = %#x, stale bytes leaked", i, frame[i])
+		}
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	dst := mustAddr(t, 1, 1, 1)
+	if err := Encode(&Packet{Dst: dst, Size: 0}, make([]byte, 60)); err == nil {
+		t.Fatal("bad frame size accepted")
+	}
+	if err := Encode(&Packet{Dst: dst, Size: 5, Payload: []byte("ab")}, make([]byte, 64)); err == nil {
+		t.Fatal("size/payload mismatch accepted")
+	}
+	big := make([]byte, 57)
+	if err := Encode(&Packet{Dst: dst, Size: 57, Payload: big}, make([]byte, 64)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	if err := Encode(&Packet{Dst: NilAddr, Size: 0}, make([]byte, 64)); err == nil {
+		t.Fatal("nil destination accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(make([]byte, 63)); err == nil {
+		t.Fatal("bad frame size accepted")
+	}
+	frame := make([]byte, 64)
+	if _, err := Decode(frame); err == nil {
+		t.Fatal("nil destination frame accepted")
+	}
+	// Valid dst but size field too large.
+	dst := mustAddr(t, 1, 1, 1)
+	p := &Packet{Dst: dst, Size: 8, Payload: make([]byte, 8)}
+	if err := Encode(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	frame[4], frame[5] = 0xFF, 0xFF
+	if _, err := Decode(frame); err == nil {
+		t.Fatal("oversize size field accepted")
+	}
+}
+
+func TestDecodePayloadCapped(t *testing.T) {
+	dst := mustAddr(t, 1, 1, 1)
+	frame := make([]byte, 64)
+	p := &Packet{Dst: dst, Size: 10, Payload: make([]byte, 10)}
+	if err := Encode(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Payload) != 10 || cap(got.Payload) != 10 {
+		t.Fatalf("payload len=%d cap=%d, want capped slice", len(got.Payload), cap(got.Payload))
+	}
+}
+
+func TestPriority(t *testing.T) {
+	if Priority(FlagUrgent|5) != 5 {
+		t.Fatalf("Priority = %d, want 5", Priority(FlagUrgent|5))
+	}
+	if Priority(0) != 0 {
+		t.Fatal("zero flags priority")
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	prop := func(payload []byte, flags, seq uint8, sizeSel uint8) bool {
+		msgSize := 64 + 32*int(sizeSel%8) // 64..288
+		if len(payload) > MaxPayload(msgSize) {
+			payload = payload[:MaxPayload(msgSize)]
+		}
+		dst, err := MakeAddr(7, 7, 7)
+		if err != nil {
+			return false
+		}
+		p := &Packet{Dst: dst, Size: uint16(len(payload)), Flags: flags, Seq: seq, Payload: payload}
+		frame := make([]byte, msgSize)
+		if err := Encode(p, frame); err != nil {
+			return false
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		return got.Dst == dst && got.Flags == flags && got.Seq == seq && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
