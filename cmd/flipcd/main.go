@@ -4,9 +4,16 @@
 // endpoint address for flipcping (the out-of-band address exchange
 // FLIPC expects a name service to provide).
 //
+// The transport is resilient: peers listed in -peer are kept in a
+// nameservice node registry that feeds the transport's redial
+// machinery, so daemons may start in any order and links that fail are
+// re-established automatically with exponential backoff. On shutdown
+// (or SIGUSR1-less platforms, just shutdown) flipcd prints a per-peer
+// health report with the loss counters.
+//
 // Usage (two terminals):
 //
-//	flipcd -node 0 -listen 127.0.0.1:7000
+//	flipcd -node 0 -listen 127.0.0.1:7000 -peer 1=127.0.0.1:7001
 //	flipcd -node 1 -listen 127.0.0.1:7001 -peer 0=127.0.0.1:7000
 //
 // then:
@@ -20,12 +27,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
 	"flipc/internal/core"
+	"flipc/internal/nameservice"
 	"flipc/internal/nettrans"
 	"flipc/internal/wire"
 )
@@ -37,18 +43,37 @@ func main() {
 		peers   = flag.String("peer", "", "comma-separated peer list: id=host:port,...")
 		msgSize = flag.Int("msgsize", 128, "fixed message size (>=64, multiple of 32)")
 		depth   = flag.Int("depth", 16, "echo endpoint queue depth")
+		backoff = flag.Duration("reconnect-backoff", 50*time.Millisecond, "initial redial backoff")
+		maxBack = flag.Duration("reconnect-max", 5*time.Second, "redial backoff cap")
 	)
 	flag.Parse()
 
-	tr, err := nettrans.Listen(wire.NodeID(*node), *listen, *msgSize)
+	registry, err := nameservice.ParsePeerList(*peers)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := nettrans.ListenConfig(nettrans.Config{
+		Node:        wire.NodeID(*node),
+		Addr:        *listen,
+		MessageSize: *msgSize,
+		Resolver:    registry.Resolve,
+		Reconnect: nettrans.ReconnectConfig{
+			InitialBackoff: *backoff,
+			MaxBackoff:     *maxBack,
+		},
+	})
 	if err != nil {
 		fatal(err)
 	}
 	defer tr.Close()
 	fmt.Printf("flipcd: node %d listening on %s (message size %d)\n", *node, tr.Addr(), *msgSize)
 
-	if err := dialPeers(tr, *peers); err != nil {
-		fatal(err)
+	// Background connects through the redial state machine: unreachable
+	// peers keep being retried, so daemon start order is irrelevant.
+	for _, id := range registry.Nodes() {
+		addr, _ := registry.Resolve(id)
+		tr.Register(id, addr)
+		fmt.Printf("flipcd: peer node %d at %s (connecting in background)\n", id, addr)
 	}
 
 	d, err := core.NewDomain(core.Config{
@@ -91,6 +116,7 @@ func main() {
 		select {
 		case <-stop:
 			fmt.Printf("flipcd: %d messages echoed; drops=%d\n", echoed, rep.Drops())
+			report(tr)
 			return
 		default:
 		}
@@ -127,26 +153,15 @@ func main() {
 	}
 }
 
-// dialPeers parses "id=addr,id=addr" and dials each.
-func dialPeers(tr *nettrans.Transport, spec string) error {
-	if spec == "" {
-		return nil
+// report prints the transport's loss accounting and per-peer health.
+func report(tr *nettrans.Transport) {
+	st := tr.Stats()
+	fmt.Printf("flipcd: transport sent=%d delivered=%d peerDowns=%d rxDrops=%d reconnects=%d\n",
+		st.Sent, st.Delivered, st.PeerDowns, st.RxDrops, st.Reconnects)
+	for _, h := range tr.Health() {
+		fmt.Printf("flipcd: peer %d %-12s sent=%d refused=%d reconnects=%d meanOutage=%.1fms\n",
+			h.Node, h.State, h.Sent, h.SendFailures, h.Reconnects, h.MeanOutageMs)
 	}
-	for _, part := range strings.Split(spec, ",") {
-		kv := strings.SplitN(part, "=", 2)
-		if len(kv) != 2 {
-			return fmt.Errorf("bad -peer entry %q (want id=host:port)", part)
-		}
-		id, err := strconv.Atoi(kv[0])
-		if err != nil {
-			return fmt.Errorf("bad peer id %q: %v", kv[0], err)
-		}
-		if err := tr.Dial(wire.NodeID(id), kv[1]); err != nil {
-			return err
-		}
-		fmt.Printf("flipcd: connected to node %d at %s\n", id, kv[1])
-	}
-	return nil
 }
 
 func fatal(err error) {

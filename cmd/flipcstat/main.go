@@ -8,6 +8,7 @@
 //
 //	flipcstat                  # all four configurations, 64-byte messages
 //	flipcstat -msgsize 256 -exchanges 100
+//	flipcstat -transport       # TCP transport resilience + loss accounting
 package main
 
 import (
@@ -26,8 +27,14 @@ func main() {
 		exchanges = flag.Int("exchanges", 50, "two-way exchanges per configuration")
 		seed      = flag.Int64("seed", 1996, "jitter seed")
 		lines     = flag.Int("lines", 0, "also print the N hottest cache lines per node")
+		transport = flag.Bool("transport", false, "run the TCP transport resilience report instead")
 	)
 	flag.Parse()
+
+	if *transport {
+		transportReport(*exchanges * 4)
+		return
+	}
 
 	fmt.Printf("flipcstat: %d exchanges, %d-byte messages (coherency events per two-way exchange)\n\n",
 		*exchanges, *msgSize)

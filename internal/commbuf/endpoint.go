@@ -261,6 +261,18 @@ type EndpointInfo struct {
 	wakeWord int
 }
 
+// EndpointCfgWord loads descriptor slot i's config word — the cheap
+// change-detection read the engine performs every scan pass. Any
+// allocation, free, generation bump, or priority change alters the
+// word, so an unchanged value means a cached EndpointInfo is still
+// valid. Out-of-range slots read as 0 (never a valid active word).
+func (b *Buffer) EndpointCfgWord(eng mem.View, i int) uint64 {
+	if i < 0 || i >= b.cfg.MaxEndpoints {
+		return 0
+	}
+	return eng.Load(b.epCfgBase + i*b.epCfgStride)
+}
+
 // OpenEndpoint reads descriptor slot i through the engine's view and
 // returns a handle when the slot holds an active, sane endpoint.
 func (b *Buffer) OpenEndpoint(eng mem.View, i int) (*EndpointInfo, bool) {

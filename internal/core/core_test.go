@@ -242,6 +242,20 @@ func TestLockedVariants(t *testing.T) {
 	sep, _ := a.NewSendEndpoint(16)
 	rep, _ := b.NewRecvEndpoint(16)
 
+	// Fill the receive window before any sender starts, or the first
+	// burst races the receiver goroutine's startup and is discarded by
+	// the optimistic protocol.
+	for {
+		m, err := b.AllocBuffer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.PostLocked(m) != nil {
+			b.FreeBuffer(m)
+			break
+		}
+	}
+
 	// Several threads share one endpoint through the locked interface.
 	const senders, per = 4, 10
 	var wg sync.WaitGroup
@@ -278,12 +292,14 @@ func TestLockedVariants(t *testing.T) {
 			}
 		}()
 	}
-	// Receiver: keep buffers posted, count deliveries.
+	// Receiver: keep buffers posted, count deliveries. Exit early if
+	// every outstanding message is accounted for as a drop — waiting
+	// out the deadline would only delay the failure report.
 	recvDone := make(chan int)
 	go func() {
 		got := 0
 		deadline := time.Now().Add(10 * time.Second)
-		for got < senders*per && time.Now().Before(deadline) {
+		for got+int(rep.Drops()) < senders*per && time.Now().Before(deadline) {
 			for {
 				m, err := b.AllocBuffer()
 				if err != nil {
@@ -308,7 +324,7 @@ func TestLockedVariants(t *testing.T) {
 	}()
 	wg.Wait()
 	if got := <-recvDone; got != senders*per {
-		t.Fatalf("received %d/%d", got, senders*per)
+		t.Fatalf("received %d/%d (drop counter: %d)", got, senders*per, rep.Drops())
 	}
 }
 

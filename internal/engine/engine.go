@@ -86,7 +86,8 @@ type Stats struct {
 	RecvDrops   uint64 // arrivals discarded: no posted buffer
 	AddrDrops   uint64 // arrivals discarded: bad/stale destination
 	SendRefused uint64 // queued sends refused by validity checks
-	WireBusy    uint64 // TrySend rejections (left queued, retried)
+	WireBusy    uint64 // TrySend rejections, peer up (left queued, retried)
+	PeerDown    uint64 // TrySend rejections, peer down (left queued until it recovers)
 	BadFrames   uint64 // undecodable frames from the transport
 	Doorbells   uint64 // wakeups posted to the kernel ring
 	Polls       uint64 // Poll passes executed
@@ -94,20 +95,25 @@ type Stats struct {
 
 // Engine is one node's messaging engine instance.
 type Engine struct {
-	buf  *commbuf.Buffer
-	tr   interconnect.Transport
-	view mem.View
-	cfg  Config
+	buf    *commbuf.Buffer
+	tr     interconnect.Transport
+	health interconnect.PeerStatusReporter // nil when tr doesn't track peers
+	view   mem.View
+	cfg    Config
 
-	eps      []epCache
-	scan     int // round-robin cursor
-	frame    []byte
-	sendSeqs []uint8
-	stats    Stats
+	eps        []epCache
+	scan       int   // round-robin cursor
+	order      []int // round-robin scan-order scratch
+	prioOrder  []int // priority scan order, rebuilt on orderStale
+	orderStale bool
+	frame      []byte
+	sendSeqs   []uint8
+	stats      Stats
 }
 
 type epCache struct {
-	cfgWord uint64 // value the cache was built from
+	cfgWord uint64 // config word the cache was built from
+	seen    bool   // cfgWord/info are populated
 	info    *commbuf.EndpointInfo
 }
 
@@ -120,15 +126,20 @@ func New(buf *commbuf.Buffer, tr interconnect.Transport, cfg Config) (*Engine, e
 		return nil, fmt.Errorf("engine: transport node %d != buffer node %d", tr.LocalNode(), buf.Node())
 	}
 	cfg.applyDefaults()
-	return &Engine{
-		buf:      buf,
-		tr:       tr,
-		view:     buf.View(mem.ActorEngine),
-		cfg:      cfg,
-		eps:      make([]epCache, buf.Config().MaxEndpoints),
-		frame:    make([]byte, buf.Config().MessageSize),
-		sendSeqs: make([]uint8, buf.Config().MaxEndpoints),
-	}, nil
+	e := &Engine{
+		buf:        buf,
+		tr:         tr,
+		view:       buf.View(mem.ActorEngine),
+		cfg:        cfg,
+		eps:        make([]epCache, buf.Config().MaxEndpoints),
+		orderStale: true,
+		frame:      make([]byte, buf.Config().MessageSize),
+		sendSeqs:   make([]uint8, buf.Config().MaxEndpoints),
+	}
+	if h, ok := tr.(interconnect.PeerStatusReporter); ok {
+		e.health = h
+	}
+	return e, nil
 }
 
 // Stats returns a snapshot of the engine's counters. Only safe to call
@@ -140,20 +151,23 @@ func (e *Engine) Stats() Stats { return e.stats }
 func (e *Engine) Config() Config { return e.cfg }
 
 // endpoint returns the engine's cached handle for slot i, rebuilding it
-// when the shared descriptor changed (allocation, free, generation bump).
+// when the shared descriptor changed (allocation, free, generation
+// bump). Change detection is one config-word load; only a changed word
+// pays for OpenEndpoint's validation, and any change also invalidates
+// the priority scan order.
 func (e *Engine) endpoint(i int) *commbuf.EndpointInfo {
-	// Cheap change detection: reread the config word; OpenEndpoint
-	// validates the rest.
+	w := e.buf.EndpointCfgWord(e.view, i)
+	c := &e.eps[i]
+	if c.seen && c.cfgWord == w {
+		return c.info
+	}
 	info, ok := e.buf.OpenEndpoint(e.view, i)
 	if !ok {
-		e.eps[i] = epCache{}
-		return nil
+		info = nil
 	}
-	c := &e.eps[i]
-	if c.info == nil || c.info.Gen != info.Gen || c.info.Type != info.Type {
-		c.info = info
-	}
-	return c.info
+	*c = epCache{cfgWord: w, seen: true, info: info}
+	e.orderStale = true
+	return info
 }
 
 // Poll runs one pass of the engine's event loop: first drain incoming
@@ -278,33 +292,42 @@ func (e *Engine) checkRecvBuffer(id uint64) error {
 	return nil
 }
 
-// sendOrder returns the endpoint scan order for this pass.
+// sendOrder returns the endpoint scan order for this pass. Both
+// policies fill reusable scratch slices; the priority order is only
+// re-sorted when some endpoint's config word changed since it was
+// built (allocation, free, generation or priority change).
 func (e *Engine) sendOrder() []int {
 	n := len(e.eps)
-	order := make([]int, 0, n)
 	switch e.cfg.Policy {
 	case PolicyPriority:
-		type pe struct {
-			idx  int
-			prio uint8
-		}
-		var pes []pe
+		// Refresh the caches so config-word changes mark the order stale.
 		for i := 0; i < n; i++ {
-			if info := e.endpoint(i); info != nil && info.Type == commbuf.EndpointSend {
-				pes = append(pes, pe{i, info.Priority})
+			e.endpoint(i)
+		}
+		if e.orderStale {
+			e.prioOrder = e.prioOrder[:0]
+			for i := 0; i < n; i++ {
+				if info := e.eps[i].info; info != nil && info.Type == commbuf.EndpointSend {
+					e.prioOrder = append(e.prioOrder, i)
+				}
 			}
+			sort.SliceStable(e.prioOrder, func(a, b int) bool {
+				return e.eps[e.prioOrder[a]].info.Priority > e.eps[e.prioOrder[b]].info.Priority
+			})
+			e.orderStale = false
 		}
-		sort.SliceStable(pes, func(a, b int) bool { return pes[a].prio > pes[b].prio })
-		for _, p := range pes {
-			order = append(order, p.idx)
-		}
+		return e.prioOrder
 	default:
+		if cap(e.order) < n {
+			e.order = make([]int, n)
+		}
+		e.order = e.order[:n]
 		for k := 0; k < n; k++ {
-			order = append(order, (e.scan+k)%n)
+			e.order[k] = (e.scan + k) % n
 		}
 		e.scan = (e.scan + 1) % n
+		return e.order
 	}
-	return order
 }
 
 func (e *Engine) pollSend() bool {
@@ -386,7 +409,14 @@ func (e *Engine) transmit(info *commbuf.EndpointInfo, id uint64) (advance, work 
 	}
 	if !e.tr.TrySend(dst.Node(), e.frame) {
 		e.sendSeqs[info.Index]-- // not sent; reuse the sequence number
-		e.stats.WireBusy++
+		if e.health != nil && !e.health.PeerUp(dst.Node()) {
+			// Peer gone, not backpressure: the message stays queued and
+			// drains when the transport re-establishes the link.
+			e.stats.PeerDown++
+			e.traceEvent("send.peerdown", dst)
+		} else {
+			e.stats.WireBusy++
+		}
 		return false, false
 	}
 	msg.EngineCompleteSend(e.view)

@@ -1,0 +1,189 @@
+package engine
+
+// Engine behavior under transport failure: a fake transport whose
+// TrySend flips between healthy, busy (backpressure), and down (peer
+// gone). Queued sends must be preserved across both refusal kinds,
+// counted on the right counter, and drained in order after recovery;
+// per-endpoint wire sequence numbers must stay consistent across
+// endpoint generation bumps.
+
+import (
+	"testing"
+
+	"flipc/internal/commbuf"
+	"flipc/internal/mem"
+	"flipc/internal/wire"
+)
+
+const (
+	modeOK = iota
+	modeBusy
+	modeDown
+)
+
+// flakyTransport is a single-goroutine fake transport with a settable
+// failure mode. It records every accepted frame.
+type flakyTransport struct {
+	node   wire.NodeID
+	mode   int
+	frames [][]byte
+}
+
+func (f *flakyTransport) TrySend(dst wire.NodeID, frame []byte) bool {
+	if f.mode != modeOK {
+		return false
+	}
+	f.frames = append(f.frames, append([]byte(nil), frame...))
+	return true
+}
+
+func (f *flakyTransport) Poll() ([]byte, bool)   { return nil, false }
+func (f *flakyTransport) LocalNode() wire.NodeID { return f.node }
+
+// PeerUp implements interconnect.PeerStatusReporter: in modeDown the
+// peer is gone; in modeBusy it is up but backpressured.
+func (f *flakyTransport) PeerUp(dst wire.NodeID) bool { return f.mode != modeDown }
+
+func newFlakyNode(t *testing.T) (*testNode, *flakyTransport) {
+	t.Helper()
+	buf, err := commbuf.New(commbuf.Config{Node: 0, MessageSize: 64, NumBuffers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &flakyTransport{node: 0}
+	eng, err := New(buf, tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testNode{buf: buf, eng: eng, app: buf.View(mem.ActorApp)}, tr
+}
+
+func TestQueuedSendsSurviveBusyAndDown(t *testing.T) {
+	n, tr := newFlakyNode(t)
+	sep, _ := n.buf.AllocEndpoint(commbuf.EndpointSend, 8)
+	dst, _ := wire.MakeAddr(1, 0, 1)
+	for i := 0; i < 5; i++ {
+		send(t, n, sep, dst, string(rune('a'+i)))
+	}
+
+	// Backpressure: refusals count as WireBusy, nothing advances.
+	tr.mode = modeBusy
+	for i := 0; i < 3; i++ {
+		n.eng.Poll()
+	}
+	st := n.eng.Stats()
+	if st.WireBusy == 0 || st.PeerDown != 0 || st.Sent != 0 {
+		t.Fatalf("busy phase stats = %+v", st)
+	}
+
+	// Peer gone: refusals count as PeerDown, still nothing advances.
+	tr.mode = modeDown
+	for i := 0; i < 3; i++ {
+		n.eng.Poll()
+	}
+	st = n.eng.Stats()
+	if st.PeerDown == 0 || st.Sent != 0 {
+		t.Fatalf("down phase stats = %+v", st)
+	}
+	busyAfterDown := st.WireBusy
+	if sep.Drops().Read(n.app) != 0 {
+		t.Fatal("queued sends were dropped during the outage")
+	}
+
+	// Recovery: the full backlog drains, in order, with consecutive
+	// sequence numbers (none consumed by the refused attempts).
+	tr.mode = modeOK
+	pump(n)
+	st = n.eng.Stats()
+	if st.Sent != 5 || st.WireBusy != busyAfterDown {
+		t.Fatalf("recovery stats = %+v", st)
+	}
+	if len(tr.frames) != 5 {
+		t.Fatalf("transmitted %d frames", len(tr.frames))
+	}
+	for i, f := range tr.frames {
+		pkt, err := wire.Decode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(pkt.Payload) != string(rune('a'+i)) {
+			t.Fatalf("frame %d = %q (order broken across outage)", i, pkt.Payload)
+		}
+		if int(pkt.Seq) != i+1 {
+			t.Fatalf("frame %d seq = %d, want %d", i, pkt.Seq, i+1)
+		}
+	}
+	// Sender reclaims all five buffers.
+	for i := 0; i < 5; i++ {
+		if _, ok := sep.Queue().Acquire(n.app); !ok {
+			t.Fatalf("send buffer %d not completed", i)
+		}
+	}
+}
+
+// Without a PeerStatusReporter transport, every refusal is WireBusy —
+// the engine must not misclassify on transports that can't tell.
+func TestNoHealthReporterCountsBusy(t *testing.T) {
+	buf, _ := commbuf.New(commbuf.Config{Node: 0, MessageSize: 64, NumBuffers: 8})
+	tr := &busyOnlyTransport{}
+	eng, err := New(buf, tr, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &testNode{buf: buf, eng: eng, app: buf.View(mem.ActorApp)}
+	sep, _ := n.buf.AllocEndpoint(commbuf.EndpointSend, 4)
+	dst, _ := wire.MakeAddr(1, 0, 1)
+	send(t, n, sep, dst, "x")
+	n.eng.Poll()
+	if st := n.eng.Stats(); st.WireBusy == 0 || st.PeerDown != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+type busyOnlyTransport struct{}
+
+func (busyOnlyTransport) TrySend(wire.NodeID, []byte) bool { return false }
+func (busyOnlyTransport) Poll() ([]byte, bool)             { return nil, false }
+func (busyOnlyTransport) LocalNode() wire.NodeID           { return 0 }
+
+// sendSeqs are indexed by descriptor slot and deliberately survive
+// endpoint free/realloc: a generation bump must not reset or reuse
+// wire sequence numbers, or a receiver's debugging stream would see
+// the sequence restart mid-connection.
+func TestSendSeqsConsistentAcrossGenerationBumps(t *testing.T) {
+	n, tr := newFlakyNode(t)
+	dst, _ := wire.MakeAddr(1, 0, 1)
+
+	sep, _ := n.buf.AllocEndpoint(commbuf.EndpointSend, 4)
+	slot := sep.Index()
+	send(t, n, sep, dst, "1")
+	send(t, n, sep, dst, "2")
+	pump(n)
+
+	if err := n.buf.FreeEndpoint(sep); err != nil {
+		t.Fatal(err)
+	}
+	sep2, _ := n.buf.AllocEndpoint(commbuf.EndpointSend, 4)
+	if sep2.Index() != slot {
+		t.Fatalf("slot not reused (%d vs %d); test needs the same slot", sep2.Index(), slot)
+	}
+	if sep2.Addr().Gen() == sep.Addr().Gen() {
+		t.Fatal("generation did not bump")
+	}
+	send(t, n, sep2, dst, "3")
+	send(t, n, sep2, dst, "4")
+	pump(n)
+
+	if len(tr.frames) != 4 {
+		t.Fatalf("transmitted %d frames", len(tr.frames))
+	}
+	for i, f := range tr.frames {
+		pkt, err := wire.Decode(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(pkt.Seq) != i+1 {
+			t.Fatalf("frame %d seq = %d, want %d (sequence broke across gen bump)", i, pkt.Seq, i+1)
+		}
+	}
+}

@@ -33,6 +33,12 @@ const creditMsgBytes = 4
 // ErrNoCredit is returned by TrySend when the window is exhausted.
 var ErrNoCredit = errors.New("flowctl: send window exhausted")
 
+// ErrPeerDown is returned by TrySend when the sender's health probe
+// reports the destination node unreachable. Unlike ErrNoCredit it will
+// not clear by draining — callers should back off, reroute, or fail
+// the operation rather than spin.
+var ErrPeerDown = errors.New("flowctl: destination peer down")
+
 // Sender is the sending half of a credit-windowed channel. It wraps a
 // FLIPC send endpoint plus a private receive endpoint on which the
 // peer returns credits. Not safe for concurrent use (match it with the
@@ -45,6 +51,8 @@ type Sender struct {
 	credits  int
 	window   int
 	sent     uint64
+	probe    func() bool // nil = destination assumed reachable
+	downs    uint64
 }
 
 // NewSender creates a windowed sender to dst. window must match the
@@ -120,11 +128,28 @@ func (s *Sender) harvest() {
 	}
 }
 
+// SetHealthProbe installs a liveness probe for the destination node —
+// typically a closure over the transport's peer health, e.g.
+// func() bool { return tr.PeerUp(node) } for a nettrans Transport.
+// When the probe reports the peer down, TrySend fails fast with
+// ErrPeerDown before consuming a credit: peer loss becomes a
+// flow-control signal instead of credits leaking into a dead link and
+// starving the window for the peer's recovery.
+func (s *Sender) SetHealthProbe(probe func() bool) { s.probe = probe }
+
+// PeerDowns returns the number of sends refused by the health probe.
+func (s *Sender) PeerDowns() uint64 { return s.downs }
+
 // TrySend sends payload if a credit is available, returning ErrNoCredit
-// otherwise. With correct wiring the receiver can never be overrun, so
-// its drop counter stays at zero (experiment E9).
+// otherwise (or ErrPeerDown when a configured health probe reports the
+// destination unreachable). With correct wiring the receiver can never
+// be overrun, so its drop counter stays at zero (experiment E9).
 func (s *Sender) TrySend(payload []byte) error {
 	s.harvest()
+	if s.probe != nil && !s.probe() {
+		s.downs++
+		return ErrPeerDown
+	}
 	if s.credits == 0 {
 		return ErrNoCredit
 	}

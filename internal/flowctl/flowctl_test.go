@@ -207,3 +207,52 @@ func TestStaticSizing(t *testing.T) {
 		t.Fatalf("PeriodicBuffers bad period = %d", got)
 	}
 }
+
+// Peer loss as a flow-control signal: with a health probe reporting
+// the destination down, TrySend refuses with ErrPeerDown and spends no
+// credit; once the probe clears, the full window is still available.
+func TestHealthProbeRefusesWithoutSpendingCredits(t *testing.T) {
+	a, b := newPair(t)
+	snd, rcv := newChannel(t, a, b, 4, 1)
+	up := true
+	snd.SetHealthProbe(func() bool { return up })
+
+	if err := snd.TrySend([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	up = false
+	for i := 0; i < 3; i++ {
+		if err := snd.TrySend([]byte("down")); !errors.Is(err, ErrPeerDown) {
+			t.Fatalf("err = %v, want ErrPeerDown", err)
+		}
+	}
+	if snd.PeerDowns() != 3 {
+		t.Fatalf("PeerDowns = %d", snd.PeerDowns())
+	}
+	pump(a, b)
+	if _, ok := rcv.Receive(); !ok {
+		t.Fatal("pre-outage message lost")
+	}
+	pump(a, b)
+
+	// Recovery: no credits leaked into the dead link — the whole
+	// window is usable again.
+	up = true
+	if got := snd.Credits(); got != 4 {
+		t.Fatalf("credits after outage = %d, want full window", got)
+	}
+	for i := 0; i < 4; i++ {
+		if err := snd.TrySend([]byte("resumed")); err != nil {
+			t.Fatalf("send %d after recovery: %v", i, err)
+		}
+	}
+	pump(a, b)
+	for i := 0; i < 4; i++ {
+		if _, ok := rcv.Receive(); !ok {
+			t.Fatalf("post-recovery message %d lost", i)
+		}
+	}
+	if rcv.Drops() != 0 {
+		t.Fatalf("receiver dropped %d", rcv.Drops())
+	}
+}

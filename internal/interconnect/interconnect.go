@@ -39,6 +39,17 @@ type Transport interface {
 	LocalNode() wire.NodeID
 }
 
+// PeerStatusReporter is optionally implemented by transports that
+// track peer liveness (e.g. nettrans over real sockets, where links
+// fail and recover). The engine type-asserts for it and, when a
+// TrySend is refused, uses PeerUp to distinguish "peer gone" (counted
+// as Stats.PeerDown) from "wire busy, retry soon" (Stats.WireBusy).
+// The in-process Mesh and Fabric transports are reliable by
+// construction and do not implement it.
+type PeerStatusReporter interface {
+	PeerUp(dst wire.NodeID) bool
+}
+
 // Stats counts transport activity at one port.
 type Stats struct {
 	Sent      uint64 // frames accepted by TrySend

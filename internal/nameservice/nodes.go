@@ -1,0 +1,84 @@
+package nameservice
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"flipc/internal/wire"
+)
+
+// NodeRegistry is the node-level companion to the endpoint Directory:
+// it maps cluster node IDs to transport dial addresses. The TCP
+// transport's redial machinery consults it (via nettrans
+// Config.Resolver) so either side of a failed link can re-establish
+// it, and cmd/flipcd feeds it from its -peer flag. Safe for concurrent
+// use; rebinding a node is allowed (a restarted daemon may come back
+// on a new port).
+type NodeRegistry struct {
+	mu    sync.Mutex
+	addrs map[wire.NodeID]string
+}
+
+// NewNodeRegistry creates an empty registry.
+func NewNodeRegistry() *NodeRegistry {
+	return &NodeRegistry{addrs: make(map[wire.NodeID]string)}
+}
+
+// Register binds node to a dial address, replacing any previous binding.
+func (r *NodeRegistry) Register(node wire.NodeID, addr string) {
+	r.mu.Lock()
+	r.addrs[node] = addr
+	r.mu.Unlock()
+}
+
+// Unregister removes a binding (idempotent).
+func (r *NodeRegistry) Unregister(node wire.NodeID) {
+	r.mu.Lock()
+	delete(r.addrs, node)
+	r.mu.Unlock()
+}
+
+// Resolve returns node's dial address. Its signature matches the
+// transport resolver hook.
+func (r *NodeRegistry) Resolve(node wire.NodeID) (string, bool) {
+	r.mu.Lock()
+	addr, ok := r.addrs[node]
+	r.mu.Unlock()
+	return addr, ok
+}
+
+// Nodes returns the registered node IDs in ascending order.
+func (r *NodeRegistry) Nodes() []wire.NodeID {
+	r.mu.Lock()
+	out := make([]wire.NodeID, 0, len(r.addrs))
+	for n := range r.addrs {
+		out = append(out, n)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ParsePeerList parses the "id=host:port,id=host:port" syntax used by
+// the daemons' -peer flags into a registry.
+func ParsePeerList(spec string) (*NodeRegistry, error) {
+	r := NewNodeRegistry()
+	if spec == "" {
+		return r, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 || kv[1] == "" {
+			return nil, fmt.Errorf("nameservice: bad peer entry %q (want id=host:port)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil || id < 0 || id > int(^uint16(0)) {
+			return nil, fmt.Errorf("nameservice: bad peer id %q", kv[0])
+		}
+		r.Register(wire.NodeID(id), kv[1])
+	}
+	return r, nil
+}

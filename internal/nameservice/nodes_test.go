@@ -1,0 +1,55 @@
+package nameservice
+
+import (
+	"testing"
+
+	"flipc/internal/wire"
+)
+
+func TestNodeRegistry(t *testing.T) {
+	r := NewNodeRegistry()
+	if _, ok := r.Resolve(3); ok {
+		t.Fatal("resolved unregistered node")
+	}
+	r.Register(3, "127.0.0.1:7003")
+	r.Register(1, "127.0.0.1:7001")
+	addr, ok := r.Resolve(3)
+	if !ok || addr != "127.0.0.1:7003" {
+		t.Fatalf("resolve = %q, %v", addr, ok)
+	}
+	// Rebinding replaces (a restarted daemon on a new port).
+	r.Register(3, "127.0.0.1:9000")
+	if addr, _ := r.Resolve(3); addr != "127.0.0.1:9000" {
+		t.Fatalf("rebind not applied: %q", addr)
+	}
+	nodes := r.Nodes()
+	if len(nodes) != 2 || nodes[0] != 1 || nodes[1] != 3 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	r.Unregister(3)
+	r.Unregister(3) // idempotent
+	if _, ok := r.Resolve(3); ok {
+		t.Fatal("resolved unregistered node after Unregister")
+	}
+}
+
+func TestParsePeerList(t *testing.T) {
+	r, err := ParsePeerList("0=127.0.0.1:7000,2=10.0.0.5:7002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr, _ := r.Resolve(0); addr != "127.0.0.1:7000" {
+		t.Fatalf("node 0 = %q", addr)
+	}
+	if addr, _ := r.Resolve(wire.NodeID(2)); addr != "10.0.0.5:7002" {
+		t.Fatalf("node 2 = %q", addr)
+	}
+	if r, err := ParsePeerList(""); err != nil || len(r.Nodes()) != 0 {
+		t.Fatalf("empty spec: %v, %v", r.Nodes(), err)
+	}
+	for _, bad := range []string{"0", "x=1:2", "0=", "-1=h:p", "70000=h:p"} {
+		if _, err := ParsePeerList(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}

@@ -15,16 +15,44 @@
 // magic+size preamble for stream-corruption detection. TCP gives the
 // reliable ordered delivery per connection that FLIPC's optimistic
 // protocol assumes of its interconnect.
+//
+// # Resilience
+//
+// The paper assumes "a reliable interconnect"; a TCP mesh is not one.
+// Connections fail, and a production transport must recover rather than
+// blacklist the peer. Each peer therefore runs a small connection state
+// machine:
+//
+//	connected ──(write/read error)──▶ reconnecting ──(MaxAttempts)──▶ dead
+//	     ▲                                │
+//	     └──────(redial or inbound hello)─┘
+//
+// While reconnecting, the transport redials the peer's last known
+// address (or one supplied by a Resolver, e.g. a nameservice node
+// registry) with exponential backoff and jitter; an inbound connection
+// from the peer also revives the link, so either side can re-establish
+// it. Frames offered while a peer is down are refused and counted
+// (Stats.PeerDowns) — never silently discarded — and a transport that
+// implements PeerUp lets the engine distinguish "peer gone" from "wire
+// busy, retry". Receive-side overload (a full inbox) is likewise
+// counted (Stats.RxDrops). What nettrans still does not do, per the
+// paper, is retransmit: frames in flight when a connection dies are
+// lost, and loss accounting — not recovery — is the contract.
 package nettrans
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"flipc/internal/stats"
+	"flipc/internal/trace"
 	"flipc/internal/wire"
 )
 
@@ -33,44 +61,197 @@ const preambleMagic = 0xF11C
 // preambleBytes is the per-frame stream preamble: magic(2) | size(2).
 const preambleBytes = 4
 
+// errConnDropped marks a connection torn down deliberately (DropConn,
+// chaos tests) rather than by an I/O error.
+var errConnDropped = errors.New("nettrans: connection dropped")
+
+// PeerState is one peer's position in the connection state machine.
+type PeerState uint8
+
+// Peer states. A peer is Reconnecting from the moment its connection
+// fails until a redial or inbound hello revives it; it becomes Dead
+// only when ReconnectConfig.MaxAttempts is exhausted (or the transport
+// closes). There is no permanent blacklisting on a single send failure.
+const (
+	PeerUnknown PeerState = iota
+	PeerConnected
+	PeerReconnecting
+	PeerDead
+)
+
+// String returns the state name.
+func (s PeerState) String() string {
+	switch s {
+	case PeerConnected:
+		return "connected"
+	case PeerReconnecting:
+		return "reconnecting"
+	case PeerDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// ReconnectConfig tunes the redial state machine.
+type ReconnectConfig struct {
+	// Disabled turns off active redialing. Peers still transition to
+	// reconnecting on failure and revive on inbound hellos; they are
+	// just never dialed from this side.
+	Disabled bool
+	// InitialBackoff is the delay before the first redial (default 10ms).
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 2s).
+	MaxBackoff time.Duration
+	// Multiplier grows the backoff after each failed attempt (default 2).
+	Multiplier float64
+	// Jitter randomizes each delay to d*[1-Jitter, 1]; default 0.5.
+	// Zero means the default; negative disables jitter.
+	Jitter float64
+	// MaxAttempts marks the peer dead after this many consecutive
+	// failed redials. Zero means retry forever.
+	MaxAttempts int
+}
+
+func (rc *ReconnectConfig) applyDefaults() {
+	if rc.InitialBackoff == 0 {
+		rc.InitialBackoff = 10 * time.Millisecond
+	}
+	if rc.MaxBackoff == 0 {
+		rc.MaxBackoff = 2 * time.Second
+	}
+	if rc.Multiplier < 1 {
+		rc.Multiplier = 2
+	}
+	if rc.Jitter == 0 {
+		rc.Jitter = 0.5
+	}
+	if rc.Jitter < 0 {
+		rc.Jitter = 0
+	}
+}
+
+// Config creates a transport with non-default behavior; see ListenConfig.
+type Config struct {
+	// Node is this node's cluster identity.
+	Node wire.NodeID
+	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// MessageSize is the domain's fixed message size; every peer must
+	// use the same value.
+	MessageSize int
+	// InboxDepth bounds buffered received frames (default 1024).
+	// Frames arriving at a full inbox are dropped and counted.
+	InboxDepth int
+	// Resolver, when non-nil, maps node IDs to dial addresses for
+	// redialing peers whose address is not already known (typically
+	// nameservice.NodeRegistry.Resolve). It may be called from redial
+	// goroutines and must be safe for concurrent use.
+	Resolver func(wire.NodeID) (string, bool)
+	// Reconnect tunes the redial state machine.
+	Reconnect ReconnectConfig
+	// Trace, when non-nil, records peer lifecycle events (peer.up,
+	// peer.down, peer.redial, peer.dead, rx.drop).
+	Trace *trace.Ring
+}
+
+// peer is one remote node's connection state machine plus counters.
+type peer struct {
+	node wire.NodeID
+
+	mu        sync.Mutex
+	conn      net.Conn // current send path; nil while down
+	addr      string   // last known dial address ("" = inbound-only)
+	state     PeerState
+	attempts  int        // consecutive failed redials this outage
+	redialing bool       // a redial goroutine is live
+	downAt    time.Time  // when the current outage began
+	wbuf      []byte     // preamble+frame send scratch, guarded by mu
+	reconnect stats.Ewma // smoothed outage duration, milliseconds
+
+	sent       atomic.Uint64
+	sendFails  atomic.Uint64
+	reconnects atomic.Uint64
+}
+
+// PeerHealth is a snapshot of one peer's state and loss counters.
+type PeerHealth struct {
+	Node         wire.NodeID
+	State        PeerState
+	Addr         string  // dial address, "" if only ever inbound
+	Sent         uint64  // frames written to this peer
+	SendFailures uint64  // frames refused while down (each is a counted loss)
+	Reconnects   uint64  // times the link was re-established
+	Attempts     int     // failed redials in the current outage
+	MeanOutageMs float64 // smoothed outage duration (EWMA)
+}
+
+// Stats counts transport-wide activity. Every frame the transport
+// refuses or discards lands in PeerDowns or RxDrops — loss is never
+// silent.
+type Stats struct {
+	Sent       uint64 // frames written to peers
+	Delivered  uint64 // frames handed to the inbox
+	PeerDowns  uint64 // sends refused: peer disconnected/unknown/dead
+	RxDrops    uint64 // received frames dropped: inbox full
+	Reconnects uint64 // peer links re-established
+}
+
 // Transport is a TCP-backed interconnect.Transport. Create one per
-// node with Listen, connect peers with Dial (or accept inbound), then
-// hand it to engine.New.
+// node with Listen (or ListenConfig), connect peers with Dial or
+// Register (or accept inbound), then hand it to engine.New.
 type Transport struct {
-	node        wire.NodeID
-	messageSize int
-	ln          net.Listener
+	cfg Config
+	ln  net.Listener
 
 	mu    sync.Mutex
-	peers map[wire.NodeID]net.Conn
+	peers map[wire.NodeID]*peer
+
+	// connMu guards conns, the set of every live connection — primary
+	// send paths and duplicates from simultaneous dials alike — so
+	// Close can tear all of them down. Leaf lock: nothing else is
+	// acquired while holding it.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
 
 	inbox  chan []byte
 	closed chan struct{}
 	once   sync.Once
 
-	sent      atomic.Uint64
-	delivered atomic.Uint64
-	busy      atomic.Uint64
+	sent       atomic.Uint64
+	delivered  atomic.Uint64
+	peerDowns  atomic.Uint64
+	rxDrops    atomic.Uint64
+	reconnects atomic.Uint64
 }
 
 // Listen creates a transport for node accepting peer connections on
-// addr (e.g. "127.0.0.1:0"). messageSize is the domain's fixed message
-// size; every peer must use the same value.
+// addr (e.g. "127.0.0.1:0") with default configuration. messageSize is
+// the domain's fixed message size.
 func Listen(node wire.NodeID, addr string, messageSize int) (*Transport, error) {
-	if err := wire.CheckMessageSize(messageSize); err != nil {
+	return ListenConfig(Config{Node: node, Addr: addr, MessageSize: messageSize})
+}
+
+// ListenConfig creates a transport from an explicit configuration.
+func ListenConfig(cfg Config) (*Transport, error) {
+	if err := wire.CheckMessageSize(cfg.MessageSize); err != nil {
 		return nil, err
 	}
-	ln, err := net.Listen("tcp", addr)
+	if cfg.InboxDepth <= 0 {
+		cfg.InboxDepth = 1024
+	}
+	cfg.Reconnect.applyDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
-		return nil, fmt.Errorf("nettrans: listen %s: %w", addr, err)
+		return nil, fmt.Errorf("nettrans: listen %s: %w", cfg.Addr, err)
 	}
 	t := &Transport{
-		node:        node,
-		messageSize: messageSize,
-		ln:          ln,
-		peers:       make(map[wire.NodeID]net.Conn),
-		inbox:       make(chan []byte, 1024),
-		closed:      make(chan struct{}),
+		cfg:    cfg,
+		ln:     ln,
+		peers:  make(map[wire.NodeID]*peer),
+		conns:  make(map[net.Conn]struct{}),
+		inbox:  make(chan []byte, cfg.InboxDepth),
+		closed: make(chan struct{}),
 	}
 	go t.acceptLoop()
 	return t, nil
@@ -80,7 +261,44 @@ func Listen(node wire.NodeID, addr string, messageSize int) (*Transport, error) 
 func (t *Transport) Addr() string { return t.ln.Addr().String() }
 
 // LocalNode implements interconnect.Transport.
-func (t *Transport) LocalNode() wire.NodeID { return t.node }
+func (t *Transport) LocalNode() wire.NodeID { return t.cfg.Node }
+
+func (t *Transport) traceEvent(what string, args ...interface{}) {
+	if t.cfg.Trace != nil {
+		t.cfg.Trace.Add(what, args...)
+	}
+}
+
+// track registers a live connection for shutdown teardown. It reports
+// false (and leaves the connection untracked) if the transport has
+// already closed.
+func (t *Transport) track(conn net.Conn) bool {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	if t.conns == nil {
+		return false
+	}
+	t.conns[conn] = struct{}{}
+	return true
+}
+
+func (t *Transport) untrack(conn net.Conn) {
+	t.connMu.Lock()
+	delete(t.conns, conn)
+	t.connMu.Unlock()
+}
+
+// peerFor returns the state machine for node, creating it if needed.
+func (t *Transport) peerFor(node wire.NodeID) *peer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.peers[node]
+	if p == nil {
+		p = &peer{node: node, state: PeerUnknown}
+		t.peers[node] = p
+	}
+	return p
+}
 
 // acceptLoop admits inbound peers. Each connection starts with a
 // 4-byte hello carrying the peer's node ID.
@@ -96,59 +314,270 @@ func (t *Transport) acceptLoop() {
 				conn.Close()
 				return
 			}
-			peer := wire.NodeID(binary.BigEndian.Uint16(hello[0:2]))
-			t.mu.Lock()
-			if _, dup := t.peers[peer]; !dup {
-				t.peers[peer] = conn
+			if !t.track(conn) {
+				conn.Close()
+				return
+			}
+			p := t.peerFor(wire.NodeID(binary.BigEndian.Uint16(hello[0:2])))
+			p.mu.Lock()
+			if p.conn == nil {
+				// First connection, or an inbound revival of a failed
+				// link (the peer redialed us).
+				t.adoptLocked(p, conn)
 			}
 			// On a duplicate (both sides dialed simultaneously) keep
 			// reading from this connection but leave the registered one
-			// as the send path; closing it would sever the peer's
-			// primary connection.
-			t.mu.Unlock()
-			t.readLoop(conn)
+			// as the send path; it stays tracked, so Close tears it
+			// down with everything else.
+			p.mu.Unlock()
+			t.readLoop(p, conn)
 		}()
 	}
 }
 
-// Dial connects to a peer's listening address. One connection per node
-// pair suffices: it is full duplex (the dialer writes to it directly,
-// the listener writes back on its accepted side), so by convention the
-// lower-numbered node dials the higher.
-func (t *Transport) Dial(peer wire.NodeID, addr string) error {
-	conn, err := net.Dial("tcp", addr)
+// adoptLocked installs conn as p's send path. Caller holds p.mu and
+// has already tracked conn.
+func (t *Transport) adoptLocked(p *peer, conn net.Conn) {
+	revived := p.state == PeerReconnecting || p.state == PeerDead
+	p.conn = conn
+	p.state = PeerConnected
+	p.attempts = 0
+	if revived {
+		p.reconnect.Observe(float64(time.Since(p.downAt).Microseconds()) / 1000)
+		p.reconnects.Add(1)
+		t.reconnects.Add(1)
+	}
+	t.traceEvent("peer.up", p.node, revived)
+}
+
+// connFailedLocked handles a dead connection. Caller holds p.mu. If
+// conn is still p's send path the peer transitions to reconnecting and
+// a redial is kicked off; a stale duplicate is just torn down.
+func (t *Transport) connFailedLocked(p *peer, conn net.Conn, err error) {
+	t.untrack(conn)
+	conn.Close()
+	if p.conn != conn {
+		return
+	}
+	p.conn = nil
+	p.downAt = time.Now()
+	p.state = PeerReconnecting
+	t.traceEvent("peer.down", p.node, err)
+	t.kickRedialLocked(p)
+}
+
+// kickRedialLocked starts the redial goroutine for p if active
+// reconnection applies. Caller holds p.mu.
+func (t *Transport) kickRedialLocked(p *peer) {
+	if t.cfg.Reconnect.Disabled || p.redialing || t.isClosed() {
+		return
+	}
+	if p.addr == "" && t.cfg.Resolver == nil {
+		// Inbound-only peer with no way to find it: wait passively for
+		// the peer to redial us.
+		return
+	}
+	p.redialing = true
+	go t.redialLoop(p)
+}
+
+func (t *Transport) isClosed() bool {
+	select {
+	case <-t.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// redialLoop re-establishes p's link with exponential backoff and
+// jitter. It exits when the link revives (from either side), the peer
+// is marked dead, or the transport closes.
+func (t *Transport) redialLoop(p *peer) {
+	defer func() {
+		p.mu.Lock()
+		p.redialing = false
+		p.mu.Unlock()
+	}()
+	rc := t.cfg.Reconnect
+	backoff := rc.InitialBackoff
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	for attempt := 1; ; attempt++ {
+		d := backoff
+		if rc.Jitter > 0 {
+			d = time.Duration(float64(d) * (1 - rc.Jitter*rand.Float64()))
+		}
+		timer.Reset(d)
+		select {
+		case <-t.closed:
+			return
+		case <-timer.C:
+		}
+
+		p.mu.Lock()
+		if p.conn != nil || p.state == PeerDead {
+			p.mu.Unlock()
+			return // revived inbound, or given up concurrently
+		}
+		addr := p.addr
+		p.mu.Unlock()
+		if addr == "" && t.cfg.Resolver != nil {
+			if a, ok := t.cfg.Resolver(p.node); ok {
+				addr = a
+			}
+		}
+
+		var conn net.Conn
+		err := fmt.Errorf("nettrans: no address for node %d", p.node)
+		if addr != "" {
+			conn, err = t.dialHello(addr)
+		}
+		if err == nil {
+			if !t.track(conn) {
+				conn.Close()
+				return
+			}
+			p.mu.Lock()
+			if p.conn != nil || p.state == PeerDead {
+				// An inbound hello won the race; keep the surplus
+				// connection as a tracked duplicate (the remote may be
+				// sending on it) rather than severing it.
+				p.mu.Unlock()
+				go t.readLoop(p, conn)
+				return
+			}
+			p.addr = addr
+			t.adoptLocked(p, conn)
+			p.mu.Unlock()
+			go t.readLoop(p, conn)
+			return
+		}
+
+		t.traceEvent("peer.redial", p.node, attempt, err)
+		p.mu.Lock()
+		p.attempts = attempt
+		dead := rc.MaxAttempts > 0 && attempt >= rc.MaxAttempts
+		if dead {
+			p.state = PeerDead
+		}
+		p.mu.Unlock()
+		if dead {
+			t.traceEvent("peer.dead", p.node, attempt)
+			return
+		}
+		backoff = time.Duration(float64(backoff) * rc.Multiplier)
+		if backoff > rc.MaxBackoff {
+			backoff = rc.MaxBackoff
+		}
+	}
+}
+
+// dialHello dials addr and sends this node's hello.
+func (t *Transport) dialHello(addr string) (net.Conn, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
-		return fmt.Errorf("nettrans: dial node %d at %s: %w", peer, addr, err)
+		return nil, err
 	}
 	var hello [4]byte
-	binary.BigEndian.PutUint16(hello[0:2], uint16(t.node))
+	binary.BigEndian.PutUint16(hello[0:2], uint16(t.cfg.Node))
 	if _, err := conn.Write(hello[:]); err != nil {
 		conn.Close()
-		return fmt.Errorf("nettrans: hello to node %d: %w", peer, err)
+		return nil, err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, dup := t.peers[peer]; dup {
+	return conn, nil
+}
+
+// Dial connects to a peer's listening address synchronously. One
+// connection per node pair suffices: it is full duplex (the dialer
+// writes to it directly, the listener writes back on its accepted
+// side), so by convention the lower-numbered node dials the higher.
+// The address is remembered for automatic redialing.
+func (t *Transport) Dial(node wire.NodeID, addr string) error {
+	p := t.peerFor(node)
+	p.mu.Lock()
+	if p.conn != nil {
+		p.mu.Unlock()
+		return fmt.Errorf("nettrans: node %d already connected", node)
+	}
+	p.mu.Unlock()
+	conn, err := t.dialHello(addr)
+	if err != nil {
+		return fmt.Errorf("nettrans: dial node %d at %s: %w", node, addr, err)
+	}
+	if !t.track(conn) {
 		conn.Close()
-		return fmt.Errorf("nettrans: node %d already connected", peer)
+		return fmt.Errorf("nettrans: transport closed")
 	}
-	t.peers[peer] = conn
-	go t.readLoop(conn)
+	p.mu.Lock()
+	p.addr = addr
+	if p.conn != nil {
+		// A simultaneous inbound hello won the adoption race. Keep the
+		// surplus connection alive as a tracked duplicate — the remote
+		// may have adopted it as its send path, so closing it here
+		// would sever the link we just helped establish.
+		p.mu.Unlock()
+		go t.readLoop(p, conn)
+		return fmt.Errorf("nettrans: node %d already connected", node)
+	}
+	t.adoptLocked(p, conn)
+	p.mu.Unlock()
+	go t.readLoop(p, conn)
 	return nil
 }
 
-// readLoop pumps frames from one connection into the inbox.
-func (t *Transport) readLoop(conn net.Conn) {
-	buf := make([]byte, preambleBytes+t.messageSize)
+// Register records a peer's dial address and starts connecting in the
+// background through the redial state machine. Unlike Dial it never
+// blocks or fails on an unreachable peer — the link comes up whenever
+// the peer does, making daemon start order irrelevant.
+func (t *Transport) Register(node wire.NodeID, addr string) {
+	p := t.peerFor(node)
+	p.mu.Lock()
+	p.addr = addr
+	if p.conn == nil {
+		if p.state != PeerReconnecting {
+			p.downAt = time.Now()
+			p.state = PeerReconnecting
+		}
+		t.kickRedialLocked(p)
+	}
+	p.mu.Unlock()
+}
+
+// DropConn severs the current connection to node, simulating a link
+// failure: the normal recovery path (state machine, redial, counters)
+// takes over. Chaos tests and operational drains use this.
+func (t *Transport) DropConn(node wire.NodeID) {
+	t.mu.Lock()
+	p := t.peers[node]
+	t.mu.Unlock()
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.conn != nil {
+		t.connFailedLocked(p, p.conn, errConnDropped)
+	}
+	p.mu.Unlock()
+}
+
+// readLoop pumps frames from one of p's connections into the inbox.
+func (t *Transport) readLoop(p *peer, conn net.Conn) {
+	buf := make([]byte, preambleBytes+t.cfg.MessageSize)
 	for {
 		if _, err := io.ReadFull(conn, buf); err != nil {
+			p.mu.Lock()
+			t.connFailedLocked(p, conn, err)
+			p.mu.Unlock()
 			return
 		}
 		if binary.BigEndian.Uint16(buf[0:2]) != preambleMagic ||
-			int(binary.BigEndian.Uint16(buf[2:4])) != t.messageSize {
+			int(binary.BigEndian.Uint16(buf[2:4])) != t.cfg.MessageSize {
 			// Stream corrupt or size mismatch: drop the connection
 			// rather than deliver garbage.
-			conn.Close()
+			p.mu.Lock()
+			t.connFailedLocked(p, conn, fmt.Errorf("nettrans: corrupt stream from node %d", p.node))
+			p.mu.Unlock()
 			return
 		}
 		frame := append([]byte(nil), buf[preambleBytes:]...)
@@ -158,41 +587,55 @@ func (t *Transport) readLoop(conn net.Conn) {
 		case <-t.closed:
 			return
 		default:
-			// Inbox full: FLIPC semantics allow dropping here — the
-			// engine's endpoint counters account for application-level
-			// losses; a full inbox is the same overload signal.
+			// Inbox full: FLIPC semantics allow dropping here — but the
+			// loss must be visible, so count it.
+			t.rxDrops.Add(1)
+			t.traceEvent("rx.drop", p.node)
 		}
 	}
 }
 
 // TrySend implements interconnect.Transport. The frame is written
 // synchronously; TCP's buffers make this effectively non-blocking at
-// FLIPC message sizes unless the peer has stopped reading.
+// FLIPC message sizes unless the peer has stopped reading. A failed
+// write marks the peer down and starts recovery; the refusal is
+// counted, and the engine keeps the message queued, so nothing is
+// silently lost on this side of the wire.
 func (t *Transport) TrySend(dst wire.NodeID, frame []byte) bool {
-	if len(frame) != t.messageSize {
+	if len(frame) != t.cfg.MessageSize {
 		return false
 	}
 	t.mu.Lock()
-	conn := t.peers[dst]
+	p := t.peers[dst]
 	t.mu.Unlock()
+	if p == nil {
+		t.peerDowns.Add(1)
+		return false
+	}
+	p.mu.Lock()
+	conn := p.conn
 	if conn == nil {
-		t.busy.Add(1)
+		p.mu.Unlock()
+		p.sendFails.Add(1)
+		t.peerDowns.Add(1)
 		return false
 	}
-	buf := make([]byte, preambleBytes+len(frame))
-	binary.BigEndian.PutUint16(buf[0:2], preambleMagic)
-	binary.BigEndian.PutUint16(buf[2:4], uint16(t.messageSize))
-	copy(buf[preambleBytes:], frame)
-	if _, err := conn.Write(buf); err != nil {
-		t.mu.Lock()
-		if t.peers[dst] == conn {
-			delete(t.peers, dst)
-		}
-		t.mu.Unlock()
-		conn.Close()
-		t.busy.Add(1)
+	if p.wbuf == nil {
+		p.wbuf = make([]byte, preambleBytes+t.cfg.MessageSize)
+		binary.BigEndian.PutUint16(p.wbuf[0:2], preambleMagic)
+		binary.BigEndian.PutUint16(p.wbuf[2:4], uint16(t.cfg.MessageSize))
+	}
+	copy(p.wbuf[preambleBytes:], frame)
+	_, err := conn.Write(p.wbuf)
+	if err != nil {
+		t.connFailedLocked(p, conn, err)
+		p.mu.Unlock()
+		p.sendFails.Add(1)
+		t.peerDowns.Add(1)
 		return false
 	}
+	p.mu.Unlock()
+	p.sent.Add(1)
 	t.sent.Add(1)
 	return true
 }
@@ -207,32 +650,137 @@ func (t *Transport) Poll() ([]byte, bool) {
 	}
 }
 
-// Peers returns the connected peer nodes.
-func (t *Transport) Peers() []wire.NodeID {
+// PeerUp reports whether dst's link is currently established. The
+// engine uses this (via interconnect.PeerStatusReporter) to distinguish
+// "peer gone" from "wire busy".
+func (t *Transport) PeerUp(dst wire.NodeID) bool {
+	return t.PeerState(dst) == PeerConnected
+}
+
+// PeerState returns dst's position in the connection state machine
+// (PeerUnknown for a node this transport has never seen).
+func (t *Transport) PeerState(dst wire.NodeID) PeerState {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	out := make([]wire.NodeID, 0, len(t.peers))
-	for n := range t.peers {
-		out = append(out, n)
+	p := t.peers[dst]
+	t.mu.Unlock()
+	if p == nil {
+		return PeerUnknown
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state
+}
+
+// PeerHealth returns one peer's health snapshot.
+func (t *Transport) PeerHealth(dst wire.NodeID) (PeerHealth, bool) {
+	t.mu.Lock()
+	p := t.peers[dst]
+	t.mu.Unlock()
+	if p == nil {
+		return PeerHealth{Node: dst, State: PeerUnknown}, false
+	}
+	return p.health(), true
+}
+
+func (p *peer) health() PeerHealth {
+	p.mu.Lock()
+	h := PeerHealth{
+		Node:         p.node,
+		State:        p.state,
+		Addr:         p.addr,
+		Attempts:     p.attempts,
+		MeanOutageMs: p.reconnect.Value(),
+	}
+	p.mu.Unlock()
+	h.Sent = p.sent.Load()
+	h.SendFailures = p.sendFails.Load()
+	h.Reconnects = p.reconnects.Load()
+	return h
+}
+
+// Health returns every known peer's health snapshot, ordered by node.
+func (t *Transport) Health() []PeerHealth {
+	t.mu.Lock()
+	ps := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		ps = append(ps, p)
+	}
+	t.mu.Unlock()
+	out := make([]PeerHealth, 0, len(ps))
+	for _, p := range ps {
+		out = append(out, p.health())
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Node > out[j].Node; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
 	}
 	return out
 }
 
-// Stats returns (frames sent, frames delivered, send failures).
-func (t *Transport) Stats() (sent, delivered, busy uint64) {
-	return t.sent.Load(), t.delivered.Load(), t.busy.Load()
+// Peers returns the currently connected peer nodes.
+func (t *Transport) Peers() []wire.NodeID {
+	t.mu.Lock()
+	ps := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		ps = append(ps, p)
+	}
+	t.mu.Unlock()
+	out := make([]wire.NodeID, 0, len(ps))
+	for _, p := range ps {
+		p.mu.Lock()
+		up := p.state == PeerConnected
+		p.mu.Unlock()
+		if up {
+			out = append(out, p.node)
+		}
+	}
+	return out
 }
 
-// Close shuts down the listener and all peer connections.
+// Stats returns the transport's loss-accounting counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Sent:       t.sent.Load(),
+		Delivered:  t.delivered.Load(),
+		PeerDowns:  t.peerDowns.Load(),
+		RxDrops:    t.rxDrops.Load(),
+		Reconnects: t.reconnects.Load(),
+	}
+}
+
+// openConns reports how many connections the transport is tracking
+// (tests assert shutdown leaves none).
+func (t *Transport) openConns() int {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	return len(t.conns)
+}
+
+// Close shuts down the listener and every live connection — primary
+// send paths and duplicate accepted connections alike — and marks all
+// peers dead so no redial survives.
 func (t *Transport) Close() {
 	t.once.Do(func() {
 		close(t.closed)
 		t.ln.Close()
-		t.mu.Lock()
-		for _, c := range t.peers {
+		t.connMu.Lock()
+		for c := range t.conns {
 			c.Close()
 		}
-		t.peers = make(map[wire.NodeID]net.Conn)
+		t.conns = nil
+		t.connMu.Unlock()
+		t.mu.Lock()
+		ps := make([]*peer, 0, len(t.peers))
+		for _, p := range t.peers {
+			ps = append(ps, p)
+		}
 		t.mu.Unlock()
+		for _, p := range ps {
+			p.mu.Lock()
+			p.conn = nil
+			p.state = PeerDead
+			p.mu.Unlock()
+		}
 	})
 }

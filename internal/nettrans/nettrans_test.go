@@ -72,10 +72,11 @@ func TestFrameRoundTrip(t *testing.T) {
 	if string(got[:8]) != "backward" {
 		t.Fatalf("reverse frame = %q", got[:8])
 	}
-	sent, _, _ := a.Stats()
-	_, delivered, _ := b.Stats()
-	if sent != 1 || delivered != 1 {
-		t.Fatalf("stats: sent=%d delivered=%d", sent, delivered)
+	if st := a.Stats(); st.Sent != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st := b.Stats(); st.Delivered != 1 {
+		t.Fatalf("stats: %+v", st)
 	}
 	if a.LocalNode() != 0 || b.LocalNode() != 1 {
 		t.Fatal("LocalNode wrong")
@@ -94,9 +95,11 @@ func TestTrySendNoPeer(t *testing.T) {
 	if a.TrySend(9, make([]byte, 32)) {
 		t.Fatal("wrong-size frame accepted")
 	}
-	_, _, busy := a.Stats()
-	if busy != 1 {
-		t.Fatalf("busy = %d", busy)
+	if st := a.Stats(); st.PeerDowns != 1 {
+		t.Fatalf("peer-down refusals = %d, want 1 (wrong-size frames don't count)", st.PeerDowns)
+	}
+	if a.PeerState(9) != PeerUnknown {
+		t.Fatalf("state = %v, want unknown", a.PeerState(9))
 	}
 }
 

@@ -144,6 +144,40 @@ func (s Summary) String() string {
 		s.N, s.Mean, s.StdDev, s.Min, s.P50, s.P95, s.P99, s.Max)
 }
 
+// Ewma is an exponentially weighted moving average — the streaming
+// smoother used by long-running components (e.g. the TCP transport's
+// per-peer outage tracking) where keeping every sample is not an
+// option. The zero value is ready to use with the default smoothing
+// factor.
+type Ewma struct {
+	// Alpha is the smoothing factor in (0, 1]; larger weights recent
+	// samples more heavily. Zero selects the default (0.25).
+	Alpha float64
+	value float64
+	n     uint64
+}
+
+// Observe folds one sample into the average. The first sample seeds
+// the average directly.
+func (e *Ewma) Observe(x float64) {
+	if e.n == 0 {
+		e.value = x
+	} else {
+		a := e.Alpha
+		if a == 0 {
+			a = 0.25
+		}
+		e.value = a*x + (1-a)*e.value
+	}
+	e.n++
+}
+
+// Value returns the current average (0 before any sample).
+func (e *Ewma) Value() float64 { return e.value }
+
+// Count returns the number of samples observed.
+func (e *Ewma) Count() uint64 { return e.n }
+
 // Fit is the result of an ordinary least squares line fit y = Intercept + Slope*x.
 type Fit struct {
 	Slope     float64

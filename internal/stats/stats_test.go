@@ -282,3 +282,24 @@ func TestFitString(t *testing.T) {
 		t.Fatal("empty fit string")
 	}
 }
+
+func TestEwma(t *testing.T) {
+	var e Ewma
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	e.Observe(100) // first sample seeds directly
+	if e.Value() != 100 || e.Count() != 1 {
+		t.Fatalf("after seed: %v, %d", e.Value(), e.Count())
+	}
+	e.Observe(0) // default alpha 0.25: 0.25*0 + 0.75*100
+	if got := e.Value(); math.Abs(got-75) > 1e-9 {
+		t.Fatalf("value = %v, want 75", got)
+	}
+	sharp := Ewma{Alpha: 1}
+	sharp.Observe(10)
+	sharp.Observe(50)
+	if sharp.Value() != 50 {
+		t.Fatalf("alpha=1 should track the last sample, got %v", sharp.Value())
+	}
+}
