@@ -7,9 +7,15 @@
 // The transport is resilient: peers listed in -peer are kept in a
 // nameservice node registry that feeds the transport's redial
 // machinery, so daemons may start in any order and links that fail are
-// re-established automatically with exponential backoff. On shutdown
-// (or SIGUSR1-less platforms, just shutdown) flipcd prints a per-peer
-// health report with the loss counters.
+// re-established automatically with exponential backoff.
+//
+// Observability: -http starts the obs surface (/metrics in Prometheus
+// or JSON form, /healthz, /debug/trace) and turns on the wait-free
+// instrument set — including send-timestamp stamping, so peers that
+// also run with metrics report true one-way delivery latency.
+// SIGQUIT prints the per-peer health report without terminating; the
+// same report is printed on shutdown and on any fatal exit after the
+// transport is up.
 //
 // Usage (two terminals):
 //
@@ -25,28 +31,48 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"flipc/internal/core"
+	"flipc/internal/engine"
+	"flipc/internal/metrics"
 	"flipc/internal/nameservice"
 	"flipc/internal/nettrans"
+	"flipc/internal/obs"
+	"flipc/internal/trace"
 	"flipc/internal/wire"
 )
 
 func main() {
 	var (
-		node    = flag.Int("node", 0, "this node's ID")
-		listen  = flag.String("listen", "127.0.0.1:0", "TCP listen address")
-		peers   = flag.String("peer", "", "comma-separated peer list: id=host:port,...")
-		msgSize = flag.Int("msgsize", 128, "fixed message size (>=64, multiple of 32)")
-		depth   = flag.Int("depth", 16, "echo endpoint queue depth")
-		backoff = flag.Duration("reconnect-backoff", 50*time.Millisecond, "initial redial backoff")
-		maxBack = flag.Duration("reconnect-max", 5*time.Second, "redial backoff cap")
+		node     = flag.Int("node", 0, "this node's ID")
+		listen   = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		peers    = flag.String("peer", "", "comma-separated peer list: id=host:port,...")
+		msgSize  = flag.Int("msgsize", 128, "fixed message size (>=64, multiple of 32)")
+		depth    = flag.Int("depth", 16, "echo endpoint queue depth")
+		backoff  = flag.Duration("reconnect-backoff", 50*time.Millisecond, "initial redial backoff")
+		maxBack  = flag.Duration("reconnect-max", 5*time.Second, "redial backoff cap")
+		httpAddr = flag.String("http", "", "observability HTTP listen address (/metrics, /healthz, /debug/trace); empty disables")
+		traceBuf = flag.Int("tracebuf", 4096, "trace ring capacity when -http is set")
 	)
 	flag.Parse()
+
+	// Observability is wired only when the HTTP surface is requested:
+	// the registry makes the engine stamp outgoing frames and mirror
+	// its stats each pass, which a bare daemon need not pay for.
+	var (
+		reg  *metrics.Registry
+		ring *trace.Ring
+	)
+	if *httpAddr != "" {
+		reg = metrics.NewRegistry()
+		ring = trace.New(*traceBuf)
+	}
 
 	registry, err := nameservice.ParsePeerList(*peers)
 	if err != nil {
@@ -61,12 +87,25 @@ func main() {
 			InitialBackoff: *backoff,
 			MaxBackoff:     *maxBack,
 		},
+		Trace:   ring,
+		Metrics: reg,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer tr.Close()
+	reportOnFatal = tr // fatal exits from here on include the health report
 	fmt.Printf("flipcd: node %d listening on %s (message size %d)\n", *node, tr.Addr(), *msgSize)
+
+	if *httpAddr != "" {
+		srv := &obs.Server{Registry: reg, Health: tr.Health, Trace: ring}
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(fmt.Errorf("http listen %s: %w", *httpAddr, err))
+		}
+		go http.Serve(ln, srv.Handler())
+		fmt.Printf("flipcd: metrics on http://%s/metrics (healthz, debug/trace)\n", ln.Addr())
+	}
 
 	// Background connects through the redial state machine: unreachable
 	// peers keep being retried, so daemon start order is irrelevant.
@@ -80,6 +119,7 @@ func main() {
 		Node:        wire.NodeID(*node),
 		MessageSize: *msgSize,
 		NumBuffers:  64,
+		Engine:      engine.Config{Trace: ring, Metrics: reg},
 	}, tr)
 	if err != nil {
 		fatal(err)
@@ -111,6 +151,10 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	// SIGQUIT prints the health report without terminating — the
+	// operator's live look at a daemon with no -http surface.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
 	echoed := 0
 	for {
 		select {
@@ -118,6 +162,9 @@ func main() {
 			fmt.Printf("flipcd: %d messages echoed; drops=%d\n", echoed, rep.Drops())
 			report(tr)
 			return
+		case <-quit:
+			fmt.Printf("flipcd: %d messages echoed; drops=%d\n", echoed, rep.Drops())
+			report(tr)
 		default:
 		}
 		m, ok := rep.Receive()
@@ -164,7 +211,15 @@ func report(tr *nettrans.Transport) {
 	}
 }
 
+// reportOnFatal, once the transport is up, makes fatal exits emit the
+// health report: a daemon dying mid-flight must not take its loss
+// accounting with it.
+var reportOnFatal *nettrans.Transport
+
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "flipcd: %v\n", err)
+	if reportOnFatal != nil {
+		report(reportOnFatal)
+	}
 	os.Exit(1)
 }

@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"flipc/internal/core"
+	"flipc/internal/engine"
+	"flipc/internal/metrics"
 	"flipc/internal/nettrans"
 	"flipc/internal/stats"
 	"flipc/internal/wire"
@@ -68,7 +70,14 @@ func main() {
 		}
 	}
 
-	d, err := core.NewDomain(core.Config{Node: wire.NodeID(*node), MessageSize: *msgSize, NumBuffers: 32}, tr)
+	// A registry makes the engine stamp outgoing pings (flipcd records
+	// true one-way delivery latency when run with -http) and record the
+	// one-way latency of stamped replies here.
+	reg := metrics.NewRegistry()
+	d, err := core.NewDomain(core.Config{
+		Node: wire.NodeID(*node), MessageSize: *msgSize, NumBuffers: 32,
+		Engine: engine.Config{Metrics: reg},
+	}, tr)
 	if err != nil {
 		fatal(err)
 	}
@@ -138,6 +147,13 @@ func main() {
 	fmt.Printf("flipcping: %d exchanges, %d lost\n", len(rtts), lost)
 	fmt.Printf("rtt µs: %v\n", sum)
 	fmt.Printf("one-way estimate: %.1f µs (rtt/2; TCP substrate, not Paragon)\n", sum.Mean/2)
+	// If the echo daemon stamps its replies (flipcd -http), the engine
+	// recorded their true one-way latency — report the measured figure
+	// next to the rtt/2 estimate.
+	if lat, ok := reg.Snapshot().Histograms["flipc_recv_latency_ns"]; ok && lat.Count > 0 {
+		fmt.Printf("one-way measured: p50=%.1f µs p99=%.1f µs (%d stamped replies)\n",
+			lat.Quantile(0.5)/1e3, lat.Quantile(0.99)/1e3, lat.Count)
+	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"flipc/internal/obs"
+)
+
+// watchLoop polls a flipcd observability endpoint and renders a
+// refreshing table: counter deltas per interval, latency histogram
+// quantiles, and per-peer health. It is the live companion to the
+// one-shot reports — point it at the -http address of any flipcd.
+func watchLoop(url string, interval time.Duration, count int) {
+	url = strings.TrimSuffix(url, "/")
+	if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+		url = "http://" + url
+	}
+	client := &http.Client{Timeout: interval}
+	var prev *obs.MetricsJSON
+	prevAt := time.Now()
+	for i := 0; count <= 0 || i < count; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		doc, err := fetchMetrics(client, url+"/metrics?format=json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flipcstat: %v\n", err)
+			continue
+		}
+		now := time.Now()
+		render(doc, prev, now.Sub(prevAt), url)
+		prev, prevAt = doc, now
+	}
+}
+
+func fetchMetrics(client *http.Client, url string) (*obs.MetricsJSON, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var doc obs.MetricsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decode %s: %w", url, err)
+	}
+	return &doc, nil
+}
+
+// render clears the screen and prints one refresh of the live table.
+func render(doc, prev *obs.MetricsJSON, dt time.Duration, url string) {
+	fmt.Print("\033[H\033[2J") // home + clear
+	fmt.Printf("flipcstat -watch %s  (%s)\n\n", url, time.Now().Format("15:04:05"))
+
+	// Counters: absolute value plus delta rate since the last sample.
+	// Transport counters are exposed as funcs (gauges); fold the
+	// *_total gauges in with the true counters so deltas work for both.
+	type row struct {
+		name  string
+		value float64
+	}
+	var rows []row
+	for name, v := range doc.Counters {
+		rows = append(rows, row{name, float64(v)})
+	}
+	for name, v := range doc.Gauges {
+		if strings.Contains(baseOf(name), "_total") {
+			rows = append(rows, row{name, v})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	fmt.Printf("%-52s %14s %12s\n", "counter", "value", "per-sec")
+	for _, r := range rows {
+		rate := ""
+		if prev != nil && dt > 0 {
+			p, ok := prev.Counters[r.name]
+			pv := float64(p)
+			if !ok {
+				pv, ok = prev.Gauges[r.name]
+			}
+			if ok {
+				rate = fmt.Sprintf("%.1f", (r.value-pv)/dt.Seconds())
+			}
+		}
+		fmt.Printf("%-52s %14.0f %12s\n", r.name, r.value, rate)
+	}
+
+	// Histograms: quantiles in microseconds for latency/duration
+	// instruments (the registry records nanoseconds).
+	var hnames []string
+	for name := range doc.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	if len(hnames) > 0 {
+		fmt.Printf("\n%-52s %10s %10s %10s %10s %10s\n",
+			"histogram", "count", "p50", "p90", "p99", "max")
+		for _, name := range hnames {
+			h := doc.Histograms[name]
+			if strings.HasSuffix(baseOf(name), "_ns") {
+				fmt.Printf("%-52s %10d %9.1fµ %9.1fµ %9.1fµ %9.1fµ\n",
+					name, h.Count, h.P50/1e3, h.P90/1e3, h.P99/1e3, float64(h.Max)/1e3)
+			} else {
+				fmt.Printf("%-52s %10d %10.1f %10.1f %10.1f %10d\n",
+					name, h.Count, h.P50, h.P90, h.P99, h.Max)
+			}
+		}
+	}
+
+	if len(doc.Peers) > 0 {
+		fmt.Printf("\n%-6s %-13s %10s %10s %10s %12s\n",
+			"peer", "state", "sent", "refused", "reconnects", "meanOutage")
+		for _, p := range doc.Peers {
+			fmt.Printf("%-6d %-13s %10d %10d %10d %10.1fms\n",
+				p.Node, p.State, p.Sent, p.SendFailures, p.Reconnects, p.MeanOutageMs)
+		}
+	}
+}
+
+// baseOf strips a label set from an instrument name.
+func baseOf(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}

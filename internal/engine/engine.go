@@ -27,10 +27,13 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"time"
 
 	"flipc/internal/commbuf"
 	"flipc/internal/interconnect"
 	"flipc/internal/mem"
+	"flipc/internal/metrics"
 	"flipc/internal/trace"
 	"flipc/internal/wire"
 )
@@ -63,9 +66,20 @@ type Config struct {
 	// a minimal form of the future-work capacity control extension.
 	RateLimit int
 	// Trace, when non-nil, records engine events (sends, deliveries,
-	// drops, refusals) for post-mortem inspection. Tracing costs one
-	// ring append per event; leave nil on hot paths.
+	// drops, refusals) for post-mortem inspection. Events use the
+	// ring's typed fast path — allocation-free, a few atomic stores per
+	// event — so tracing may stay enabled on the message path.
 	Trace *trace.Ring
+	// Metrics, when non-nil, publishes the engine's counters and
+	// latency instruments into the registry: per-pass duration and
+	// quantum utilization, queue-depth samples, and per-endpoint
+	// one-way delivery latency (sends are then stamped, see Stamp).
+	// All instrument updates are single-writer plain stores.
+	Metrics *metrics.Registry
+	// Stamp forces a send timestamp onto every outgoing frame even
+	// without Metrics, so *receivers* can measure one-way latency.
+	// Stamping is implied when Metrics is set.
+	Stamp bool
 }
 
 func (c *Config) applyDefaults() {
@@ -109,6 +123,102 @@ type Engine struct {
 	frame      []byte
 	sendSeqs   []uint8
 	stats      Stats
+
+	lab   *traceLabels // typed trace labels, nil when Trace is nil
+	m     *engMetrics  // registry instruments, nil when Metrics is nil
+	stamp bool         // stamp outgoing frames with a send timestamp
+}
+
+// traceLabels are the engine's pre-interned fast-path trace labels.
+type traceLabels struct {
+	recvBadframe     trace.Label
+	recvWrongnode    trace.Label
+	recvForeignrange trace.Label
+	recvBadendpoint  trace.Label
+	recvNobuffer     trace.Label
+	recvDelivered    trace.Label
+	sendPeerdown     trace.Label
+	sendOK           trace.Label
+}
+
+func newTraceLabels(r *trace.Ring) *traceLabels {
+	return &traceLabels{
+		recvBadframe:     r.Label("recv.badframe"),
+		recvWrongnode:    r.Label("recv.wrongnode"),
+		recvForeignrange: r.Label("recv.foreignrange"),
+		recvBadendpoint:  r.Label("recv.badendpoint"),
+		recvNobuffer:     r.Label("recv.nobuffer"),
+		recvDelivered:    r.Label("recv.delivered"),
+		sendPeerdown:     r.Label("send.peerdown"),
+		sendOK:           r.Label("send.ok"),
+	}
+}
+
+// engMetrics holds the engine's registry instruments. The engine's
+// driving goroutine is the single writer of every one of them.
+type engMetrics struct {
+	reg *metrics.Registry
+
+	sent, received, delivered       *metrics.Counter
+	recvDrops, addrDrops, badFrames *metrics.Counter
+	sendRefused, wireBusy, peerDown *metrics.Counter
+	doorbells, polls                *metrics.Counter
+	pollDur                         *metrics.Histogram // ns per pass that did work
+	sendQDepth, recvQDepth          *metrics.Histogram
+	util                            *metrics.Gauge       // moved/(send+recv quantum), last working pass
+	latency                         *metrics.Histogram   // one-way delivery ns, all endpoints
+	epLatency                       []*metrics.Histogram // per endpoint slot, lazy
+}
+
+func newEngMetrics(reg *metrics.Registry, maxEndpoints int) *engMetrics {
+	return &engMetrics{
+		reg:         reg,
+		sent:        reg.Counter("flipc_engine_sent_total"),
+		received:    reg.Counter("flipc_engine_received_total"),
+		delivered:   reg.Counter("flipc_engine_delivered_total"),
+		recvDrops:   reg.Counter("flipc_engine_recv_drops_total"),
+		addrDrops:   reg.Counter("flipc_engine_addr_drops_total"),
+		badFrames:   reg.Counter("flipc_engine_bad_frames_total"),
+		sendRefused: reg.Counter("flipc_engine_send_refused_total"),
+		wireBusy:    reg.Counter("flipc_engine_wire_busy_total"),
+		peerDown:    reg.Counter("flipc_engine_peer_down_total"),
+		doorbells:   reg.Counter("flipc_engine_doorbells_total"),
+		polls:       reg.Counter("flipc_engine_polls_total"),
+		pollDur:     reg.Histogram("flipc_engine_poll_ns"),
+		sendQDepth:  reg.Histogram("flipc_engine_send_queue_depth"),
+		recvQDepth:  reg.Histogram("flipc_engine_recv_queue_depth"),
+		util:        reg.Gauge("flipc_engine_quantum_utilization"),
+		latency:     reg.Histogram("flipc_recv_latency_ns"),
+		epLatency:   make([]*metrics.Histogram, maxEndpoints),
+	}
+}
+
+// epLatencyHist returns the per-endpoint latency histogram for a slot,
+// creating it in the registry on first delivery to that endpoint.
+func (m *engMetrics) epLatencyHist(slot int) *metrics.Histogram {
+	h := m.epLatency[slot]
+	if h == nil {
+		h = m.reg.Histogram(metrics.Name("flipc_recv_latency_ns", "endpoint", strconv.Itoa(slot)))
+		m.epLatency[slot] = h
+	}
+	return h
+}
+
+// mirror copies the loop-local Stats into the registry counters so
+// scrapers on other goroutines read consistent values. Called once per
+// Poll pass — eleven plain stores.
+func (m *engMetrics) mirror(s *Stats) {
+	m.sent.Set(s.Sent)
+	m.received.Set(s.Received)
+	m.delivered.Set(s.Delivered)
+	m.recvDrops.Set(s.RecvDrops)
+	m.addrDrops.Set(s.AddrDrops)
+	m.badFrames.Set(s.BadFrames)
+	m.sendRefused.Set(s.SendRefused)
+	m.wireBusy.Set(s.WireBusy)
+	m.peerDown.Set(s.PeerDown)
+	m.doorbells.Set(s.Doorbells)
+	m.polls.Set(s.Polls)
 }
 
 type epCache struct {
@@ -139,6 +249,13 @@ func New(buf *commbuf.Buffer, tr interconnect.Transport, cfg Config) (*Engine, e
 	if h, ok := tr.(interconnect.PeerStatusReporter); ok {
 		e.health = h
 	}
+	if cfg.Trace != nil {
+		e.lab = newTraceLabels(cfg.Trace)
+	}
+	if cfg.Metrics != nil {
+		e.m = newEngMetrics(cfg.Metrics, buf.Config().MaxEndpoints)
+	}
+	e.stamp = cfg.Stamp || cfg.Metrics != nil
 	return e, nil
 }
 
@@ -173,23 +290,32 @@ func (e *Engine) endpoint(i int) *commbuf.EndpointInfo {
 // Poll runs one pass of the engine's event loop: first drain incoming
 // frames (bounded by RecvQuantum), then service send endpoints (bounded
 // by SendQuantum). It never blocks and returns whether any work was done.
+//
+// With Metrics configured the pass is measured: working passes record
+// their duration and quantum utilization; every pass mirrors the
+// loop-local counters into the registry so scrapers see live values.
 func (e *Engine) Poll() bool {
 	e.stats.Polls++
-	work := false
-	if e.pollReceive() {
-		work = true
+	if e.m == nil {
+		work := e.pollReceive()
+		if e.pollSend() {
+			work = true
+		}
+		return work
 	}
+	start := time.Now()
+	moved0 := e.stats.Received + e.stats.Sent
+	work := e.pollReceive()
 	if e.pollSend() {
 		work = true
 	}
-	return work
-}
-
-// traceEvent records an engine event when tracing is configured.
-func (e *Engine) traceEvent(what string, args ...interface{}) {
-	if e.cfg.Trace != nil {
-		e.cfg.Trace.Add(what, args...)
+	if work {
+		e.m.pollDur.Observe(uint64(time.Since(start)))
+		moved := e.stats.Received + e.stats.Sent - moved0
+		e.m.util.Set(float64(moved) / float64(e.cfg.RecvQuantum+e.cfg.SendQuantum))
 	}
+	e.m.mirror(&e.stats)
+	return work
 }
 
 func (e *Engine) pollReceive() bool {
@@ -213,13 +339,17 @@ func (e *Engine) deliver(frame []byte) {
 	pkt, err := wire.Decode(frame)
 	if err != nil {
 		e.stats.BadFrames++
-		e.traceEvent("recv.badframe")
+		if e.lab != nil {
+			e.cfg.Trace.Add0(e.lab.recvBadframe)
+		}
 		return
 	}
 	dst := pkt.Dst
 	if dst.Node() != e.tr.LocalNode() {
 		e.stats.AddrDrops++
-		e.traceEvent("recv.wrongnode", dst)
+		if e.lab != nil {
+			e.cfg.Trace.Add1(e.lab.recvWrongnode, uint64(dst))
+		}
 		return
 	}
 	slot, ok := e.buf.SlotForAddrIndex(int(dst.Index()))
@@ -228,14 +358,18 @@ func (e *Engine) deliver(frame []byte) {
 		// nodes demultiplex with interconnect.Mux, so this engine should
 		// never see such frames; count and drop if it does).
 		e.stats.AddrDrops++
-		e.traceEvent("recv.foreignrange", dst)
+		if e.lab != nil {
+			e.cfg.Trace.Add1(e.lab.recvForeignrange, uint64(dst))
+		}
 		return
 	}
 	info := e.endpoint(slot)
 	if info == nil || info.Type != commbuf.EndpointRecv || info.Gen != dst.Gen() {
 		// Unallocated, wrong-type, or stale-generation destination.
 		e.stats.AddrDrops++
-		e.traceEvent("recv.badendpoint", dst)
+		if e.lab != nil {
+			e.cfg.Trace.Add1(e.lab.recvBadendpoint, uint64(dst))
+		}
 		return
 	}
 	id, ok := info.Queue.ProcessPeek(e.view)
@@ -245,7 +379,9 @@ func (e *Engine) deliver(frame []byte) {
 		// control is its job (or internal/flowctl's), not the transport's.
 		info.Drops.Incr(e.view)
 		e.stats.RecvDrops++
-		e.traceEvent("recv.nobuffer", dst)
+		if e.lab != nil {
+			e.cfg.Trace.Add1(e.lab.recvNobuffer, uint64(dst))
+		}
 		return
 	}
 	if e.cfg.ValidityChecks {
@@ -269,7 +405,23 @@ func (e *Engine) deliver(frame []byte) {
 	msg.EngineFillRecv(e.view, int(pkt.Size), pkt.Flags)
 	info.Queue.AdvanceProcess(e.view)
 	e.stats.Delivered++
-	e.traceEvent("recv.delivered", dst, int(pkt.Size))
+	if e.lab != nil {
+		e.cfg.Trace.Add2(e.lab.recvDelivered, uint64(dst), uint64(pkt.Size))
+	}
+	if e.m != nil {
+		// True one-way delivery latency: sender stamped the frame at
+		// transmit, we are past the copy into the posted buffer.
+		if pkt.Stamp != 0 {
+			lat := time.Now().UnixNano() - pkt.Stamp
+			if lat < 0 {
+				lat = 0 // cross-host clock skew: clamp, never corrupt
+			}
+			e.m.latency.Observe(uint64(lat))
+			e.m.epLatencyHist(slot).Observe(uint64(lat))
+		}
+		posted, _ := info.Queue.Depths(e.view)
+		e.m.recvQDepth.Observe(uint64(posted))
+	}
 	if info.WakeupRequested(e.view) {
 		if e.buf.Doorbell().Push(e.view, uint64(info.Index)) {
 			e.stats.Doorbells++
@@ -341,6 +493,13 @@ func (e *Engine) pollSend() bool {
 		if info == nil || info.Type != commbuf.EndpointSend {
 			continue
 		}
+		if e.m != nil {
+			// Backlog sample: how deep the send queue stood when the
+			// engine reached this endpoint.
+			if depth, _ := info.Queue.Depths(e.view); depth > 0 {
+				e.m.sendQDepth.Observe(uint64(depth))
+			}
+		}
 		sent := 0
 		for budget > 0 {
 			if e.cfg.RateLimit > 0 && info.Priority == 0 && sent >= e.cfg.RateLimit {
@@ -399,6 +558,9 @@ func (e *Engine) transmit(info *commbuf.EndpointInfo, id uint64) (advance, work 
 		Seq:     e.sendSeqs[info.Index],
 		Payload: msg.Payload()[:size],
 	}
+	if e.stamp {
+		pkt.Stamp = time.Now().UnixNano()
+	}
 	if err := wire.Encode(&pkt, e.frame); err != nil {
 		// Unencodable without checks enabled (e.g. invalid dst): treat
 		// as a refused send rather than wedging the queue.
@@ -413,7 +575,9 @@ func (e *Engine) transmit(info *commbuf.EndpointInfo, id uint64) (advance, work 
 			// Peer gone, not backpressure: the message stays queued and
 			// drains when the transport re-establishes the link.
 			e.stats.PeerDown++
-			e.traceEvent("send.peerdown", dst)
+			if e.lab != nil {
+				e.cfg.Trace.Add1(e.lab.sendPeerdown, uint64(dst))
+			}
 		} else {
 			e.stats.WireBusy++
 		}
@@ -421,6 +585,8 @@ func (e *Engine) transmit(info *commbuf.EndpointInfo, id uint64) (advance, work 
 	}
 	msg.EngineCompleteSend(e.view)
 	e.stats.Sent++
-	e.traceEvent("send.ok", dst, size)
+	if e.lab != nil {
+		e.cfg.Trace.Add2(e.lab.sendOK, uint64(dst), uint64(size))
+	}
 	return true, true
 }

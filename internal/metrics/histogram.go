@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram bucket layout: log-linear, the bounded-error scheme of
+// HdrHistogram-style recorders. Values 0..15 get exact unit buckets;
+// above that each power-of-two range is split into 16 linear
+// sub-buckets, so the relative quantile error is bounded by 1/16
+// (≈6%) at any magnitude while the whole table stays a fixed 976
+// words. That bound is what lets one histogram cover nanosecond poll
+// passes and second-long outages without configuration.
+const (
+	histSubBits  = 4
+	histSubCount = 1 << histSubBits // 16
+	// HistBuckets is the fixed bucket count: histSubCount exact unit
+	// buckets plus 16 sub-buckets for each of the 60 remaining
+	// power-of-two ranges of a uint64.
+	HistBuckets = histSubCount + (64-histSubBits)*histSubCount // 976
+)
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // 2^exp <= v < 2^(exp+1), exp >= histSubBits
+	sub := int(v>>(uint(exp)-histSubBits)) & (histSubCount - 1)
+	return histSubCount + (exp-histSubBits)*histSubCount + sub
+}
+
+// bucketBounds returns bucket i's value range [lo, hi).
+func bucketBounds(i int) (lo, hi uint64) {
+	if i < histSubCount {
+		return uint64(i), uint64(i) + 1
+	}
+	block := uint(i-histSubCount) / histSubCount
+	sub := uint64(i-histSubCount) % histSubCount
+	lo = (histSubCount + sub) << block
+	return lo, lo + 1<<block
+}
+
+// Histogram is a bounded log-scale histogram of non-negative integer
+// samples (latencies in nanoseconds, queue depths, batch sizes).
+// One goroutine observes; any goroutine snapshots. All updates are
+// plain loads and stores of independent words — wait-free and
+// allocation-free — so it can sit directly on the message path.
+//
+// The zero value must be initialized through Registry.Histogram (or
+// NewHistogram); the instrument is a fixed ~8 KB table.
+type Histogram struct {
+	count Counter
+	sum   Counter
+	min   Counter // value+1, so 0 means "no sample yet"
+	max   Counter
+	bkt   []Counter
+}
+
+// NewHistogram creates a standalone histogram (outside any registry).
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.init()
+	return h
+}
+
+func (h *Histogram) init() { h.bkt = make([]Counter, HistBuckets) }
+
+// Observe records one sample. Single writer only; never allocates.
+func (h *Histogram) Observe(v uint64) {
+	h.bkt[bucketIndex(v)].Inc()
+	h.count.Inc()
+	h.sum.Add(v)
+	if m := h.min.Value(); m == 0 || v+1 < m {
+		h.min.Set(v + 1)
+	}
+	if v > h.max.Value() {
+		h.max.Set(v)
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count.Value() }
+
+// HistSnapshot is a point-in-time copy of a histogram, safe to read,
+// merge, and query at leisure.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Min     uint64 // 0 when empty
+	Max     uint64
+	Buckets []uint64 // len HistBuckets; nil when Count == 0
+}
+
+// Snapshot copies the histogram with plain loads. A snapshot racing
+// the writer may be transiently skewed by the in-flight sample.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Value(),
+		Sum:   h.sum.Value(),
+		Max:   h.max.Value(),
+	}
+	if m := h.min.Value(); m > 0 {
+		s.Min = m - 1
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Buckets = make([]uint64, HistBuckets)
+	for i := range h.bkt {
+		s.Buckets[i] = h.bkt[i].Value()
+	}
+	return s
+}
+
+// Mean returns the average sample, or NaN when empty.
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) with linear
+// interpolation inside the landing bucket. It returns NaN on an empty
+// snapshot or out-of-range q. The result's relative error is bounded
+// by the bucket width (≤ 1/16 of the value).
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q < 0 || q > 1 || len(s.Buckets) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count-1)
+	var cum float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if rank < cum+float64(n) {
+			lo, hi := bucketBounds(i)
+			v := float64(lo)
+			if hi-lo > 1 {
+				// Interpolate inside wide buckets; unit buckets hold
+				// exactly the value lo.
+				frac := (rank - cum + 0.5) / float64(n)
+				v += frac * float64(hi-lo)
+			}
+			// Clamp to the observed extremes so tiny histograms do not
+			// report values outside [Min, Max].
+			if v < float64(s.Min) {
+				v = float64(s.Min)
+			}
+			if v > float64(s.Max) {
+				v = float64(s.Max)
+			}
+			return v
+		}
+		cum += float64(n)
+	}
+	return float64(s.Max)
+}
+
+// Merge folds o into s (bucket-wise addition), for aggregating
+// per-endpoint histograms into a node-wide view. Both snapshots must
+// come from this package's fixed layout.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if o.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		s.Min = o.Min
+		s.Max = o.Max
+	} else {
+		if o.Min < s.Min {
+			s.Min = o.Min
+		}
+		if o.Max > s.Max {
+			s.Max = o.Max
+		}
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if s.Buckets == nil {
+		s.Buckets = make([]uint64, HistBuckets)
+	}
+	for i, n := range o.Buckets {
+		s.Buckets[i] += n
+	}
+}

@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 15, 16, 17, 31, 32, 33, 63, 64, 100,
+		1 << 10, 1<<10 + 1, 1 << 20, 1 << 40, 1 << 62, math.MaxUint64} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, i, prev)
+		}
+		if i >= HistBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		prev = i
+	}
+}
+
+func TestBucketBoundsRoundTrip(t *testing.T) {
+	// Every value must fall inside its own bucket's bounds, and bounds
+	// must tile the axis without gaps.
+	for i := 0; i < HistBuckets; i++ {
+		lo, hi := bucketBounds(i)
+		if bucketIndex(lo) != i {
+			t.Fatalf("bucket %d: lo %d maps to %d", i, lo, bucketIndex(lo))
+		}
+		if hi > lo && bucketIndex(hi-1) != i {
+			t.Fatalf("bucket %d: hi-1 %d maps to %d", i, hi-1, bucketIndex(hi-1))
+		}
+		if i > 0 {
+			_, prevHi := bucketBounds(i - 1)
+			if prevHi != lo {
+				t.Fatalf("gap between bucket %d and %d: %d != %d", i-1, i, prevHi, lo)
+			}
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Mean()) {
+		t.Fatal("empty histogram must yield NaN quantile and mean")
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1996))
+	// Log-uniform samples over [1, 1e7] ns — the latency range the
+	// instruments are built for.
+	vals := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.Float64() * math.Log(1e7))
+		h.Observe(uint64(v))
+		vals = append(vals, math.Floor(v))
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := s.Quantile(q)
+		exact := exactQuantile(vals, q)
+		relErr := math.Abs(got-exact) / exact
+		if relErr > 1.0/8 { // bucket width 1/16, allow 2x for interpolation + sampling
+			t.Errorf("q=%v: got %.0f, exact %.0f, rel err %.3f", q, got, exact, relErr)
+		}
+	}
+	if s.Min > uint64(exactQuantile(vals, 0)) {
+		t.Fatalf("min %d above smallest sample", s.Min)
+	}
+}
+
+func exactQuantile(vals []float64, q float64) float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	return sorted[int(q*float64(len(sorted)-1))]
+}
+
+func TestHistogramSmallExact(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []uint64{3, 3, 3, 7} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	if s.Min != 3 || s.Max != 7 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+	if got := s.Mean(); got != 4 {
+		t.Fatalf("mean = %v, want 4", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := uint64(0); i < 100; i++ {
+		a.Observe(i)
+		b.Observe(i + 1000)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 200 {
+		t.Fatalf("merged count = %d", sa.Count)
+	}
+	if sa.Min != 0 || sa.Max != 1099 {
+		t.Fatalf("merged min/max = %d/%d", sa.Min, sa.Max)
+	}
+	if q := sa.Quantile(0.25); q > 60 {
+		t.Fatalf("p25 = %v, want within the low cluster", q)
+	}
+	if q := sa.Quantile(0.75); q < 950 {
+		t.Fatalf("p75 = %v, want within the high cluster", q)
+	}
+	// Merging into an empty snapshot copies.
+	var empty HistSnapshot
+	empty.Merge(sb)
+	if empty.Count != 100 || empty.Min != 1000 {
+		t.Fatalf("merge into empty: %+v", empty)
+	}
+	// Merging an empty snapshot is a no-op.
+	before := sb.Count
+	sb.Merge(HistSnapshot{})
+	if sb.Count != before {
+		t.Fatal("merge of empty changed count")
+	}
+}

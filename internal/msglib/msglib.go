@@ -21,8 +21,10 @@ package msglib
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"flipc/internal/core"
+	"flipc/internal/metrics"
 )
 
 // ErrBackpressure is returned when neither a free buffer nor a queue
@@ -35,6 +37,18 @@ type Outbox struct {
 	ep   *core.Endpoint
 	pool []*core.Message
 	sent uint64
+
+	mSent, mBackpressure *metrics.Counter // nil until Instrument
+}
+
+// Instrument registers the outbox's counters with reg, labeled by the
+// endpoint's index. The outbox is the counters' single writer (it is
+// single-threaded like the endpoint it wraps), so updates stay
+// wait-free plain stores.
+func (o *Outbox) Instrument(reg *metrics.Registry) {
+	ep := strconv.Itoa(int(o.ep.Addr().Index()))
+	o.mSent = reg.Counter(metrics.Name("flipc_outbox_sent_total", "endpoint", ep))
+	o.mBackpressure = reg.Counter(metrics.Name("flipc_outbox_backpressure_total", "endpoint", ep))
 }
 
 // NewOutbox creates an outbox with its own send endpoint (depth 0 =
@@ -85,6 +99,9 @@ func (o *Outbox) SendFlags(dst core.Addr, payload []byte, flags uint8) error {
 	}
 	o.reclaim()
 	if len(o.pool) == 0 {
+		if o.mBackpressure != nil {
+			o.mBackpressure.Inc()
+		}
 		return ErrBackpressure
 	}
 	m := o.pool[len(o.pool)-1]
@@ -93,11 +110,17 @@ func (o *Outbox) SendFlags(dst core.Addr, payload []byte, flags uint8) error {
 	if err := o.ep.SendFlags(m, dst, n, flags); err != nil {
 		o.pool = append(o.pool, m)
 		if errors.Is(err, core.ErrQueueFull) {
+			if o.mBackpressure != nil {
+				o.mBackpressure.Inc()
+			}
 			return ErrBackpressure
 		}
 		return err
 	}
 	o.sent++
+	if o.mSent != nil {
+		o.mSent.Inc()
+	}
 	return nil
 }
 
@@ -121,6 +144,23 @@ type Inbox struct {
 	d        *core.Domain
 	ep       *core.Endpoint
 	received uint64
+
+	mReceived *metrics.Counter // nil until Instrument
+}
+
+// Instrument registers the inbox's receive counter with reg, labeled
+// by the endpoint's index. Single-writer, like Outbox.Instrument.
+func (in *Inbox) Instrument(reg *metrics.Registry) {
+	ep := strconv.Itoa(int(in.ep.Addr().Index()))
+	in.mReceived = reg.Counter(metrics.Name("flipc_inbox_received_total", "endpoint", ep))
+}
+
+// bump counts one consumed message.
+func (in *Inbox) bump() {
+	in.received++
+	if in.mReceived != nil {
+		in.mReceived.Inc()
+	}
 }
 
 // NewInbox creates an inbox whose endpoint (depth 0 = domain default)
@@ -161,7 +201,7 @@ func (in *Inbox) Receive() (payload []byte, flags uint8, ok bool) {
 	if err := in.ep.Post(m); err != nil {
 		in.d.FreeBuffer(m)
 	}
-	in.received++
+	in.bump()
 	return payload, flags, true
 }
 
@@ -170,7 +210,7 @@ func (in *Inbox) Receive() (payload []byte, flags uint8, ok bool) {
 func (in *Inbox) ReceiveZeroCopy() (*core.Message, bool) {
 	m, ok := in.ep.Receive()
 	if ok {
-		in.received++
+		in.bump()
 	}
 	return m, ok
 }
@@ -196,7 +236,7 @@ func (in *Inbox) ReceiveBlock(prio core.Priority) ([]byte, uint8, error) {
 	if err := in.ep.Post(m); err != nil {
 		in.d.FreeBuffer(m)
 	}
-	in.received++
+	in.bump()
 	return payload, flags, nil
 }
 

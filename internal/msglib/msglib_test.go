@@ -252,6 +252,7 @@ func TestQuickOutboxInboxRoundTrip(t *testing.T) {
 		if len(payload) > a.MaxPayload() {
 			payload = payload[:a.MaxPayload()]
 		}
+		flags &^= wire.FlagStamped // reserved transport bit, masked by wire.Encode
 		for {
 			err := out.SendFlags(in.Addr(), payload, flags)
 			if err == nil {

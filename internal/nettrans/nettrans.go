@@ -47,10 +47,12 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"flipc/internal/metrics"
 	"flipc/internal/stats"
 	"flipc/internal/trace"
 	"flipc/internal/wire"
@@ -153,6 +155,12 @@ type Config struct {
 	// Trace, when non-nil, records peer lifecycle events (peer.up,
 	// peer.down, peer.redial, peer.dead, rx.drop).
 	Trace *trace.Ring
+	// Metrics, when non-nil, exposes the transport's loss-accounting
+	// counters and per-peer health through the registry. The transport
+	// keeps its own atomics as the source of truth and registers
+	// snapshot-time funcs over them, so the hot paths gain no new
+	// stores.
+	Metrics *metrics.Registry
 }
 
 // peer is one remote node's connection state machine plus counters.
@@ -218,6 +226,11 @@ type Transport struct {
 	closed chan struct{}
 	once   sync.Once
 
+	// rxDropLab is the interned typed-trace label for the hot rx.drop
+	// event (the only trace event on the receive path; lifecycle events
+	// stay on the formatted slow path because they carry errors).
+	rxDropLab trace.Label
+
 	sent       atomic.Uint64
 	delivered  atomic.Uint64
 	peerDowns  atomic.Uint64
@@ -253,8 +266,49 @@ func ListenConfig(cfg Config) (*Transport, error) {
 		inbox:  make(chan []byte, cfg.InboxDepth),
 		closed: make(chan struct{}),
 	}
+	if cfg.Trace != nil {
+		t.rxDropLab = cfg.Trace.Label("rx.drop")
+	}
+	if cfg.Metrics != nil {
+		t.registerMetrics(cfg.Metrics)
+	}
 	go t.acceptLoop()
 	return t, nil
+}
+
+// registerMetrics bridges the transport's loss-accounting atomics into
+// the registry as snapshot-time funcs. Per-peer instruments are added
+// lazily by peerFor as peers appear.
+func (t *Transport) registerMetrics(reg *metrics.Registry) {
+	reg.Func("flipc_transport_sent_total", func() float64 { return float64(t.sent.Load()) })
+	reg.Func("flipc_transport_delivered_total", func() float64 { return float64(t.delivered.Load()) })
+	reg.Func("flipc_transport_peer_downs_total", func() float64 { return float64(t.peerDowns.Load()) })
+	reg.Func("flipc_transport_rx_drops_total", func() float64 { return float64(t.rxDrops.Load()) })
+	reg.Func("flipc_transport_reconnects_total", func() float64 { return float64(t.reconnects.Load()) })
+	reg.Func("flipc_transport_inbox_depth", func() float64 { return float64(len(t.inbox)) })
+}
+
+// registerPeerMetrics exposes one peer's health through the registry.
+// Called once per peer from peerFor; the funcs read the peer's own
+// atomics (and, for state, its mutex) at snapshot time only.
+func (t *Transport) registerPeerMetrics(reg *metrics.Registry, p *peer) {
+	node := strconv.Itoa(int(p.node))
+	reg.Func(metrics.Name("flipc_peer_sent_total", "peer", node),
+		func() float64 { return float64(p.sent.Load()) })
+	reg.Func(metrics.Name("flipc_peer_send_failures_total", "peer", node),
+		func() float64 { return float64(p.sendFails.Load()) })
+	reg.Func(metrics.Name("flipc_peer_reconnects_total", "peer", node),
+		func() float64 { return float64(p.reconnects.Load()) })
+	reg.Func(metrics.Name("flipc_peer_state", "peer", node), func() float64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return float64(p.state)
+	})
+	reg.Func(metrics.Name("flipc_peer_mean_outage_ms", "peer", node), func() float64 {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		return p.reconnect.Value()
+	})
 }
 
 // Addr returns the listening address to advertise to peers.
@@ -296,6 +350,9 @@ func (t *Transport) peerFor(node wire.NodeID) *peer {
 	if p == nil {
 		p = &peer{node: node, state: PeerUnknown}
 		t.peers[node] = p
+		if t.cfg.Metrics != nil {
+			t.registerPeerMetrics(t.cfg.Metrics, p)
+		}
 	}
 	return p
 }
@@ -590,7 +647,9 @@ func (t *Transport) readLoop(p *peer, conn net.Conn) {
 			// Inbox full: FLIPC semantics allow dropping here — but the
 			// loss must be visible, so count it.
 			t.rxDrops.Add(1)
-			t.traceEvent("rx.drop", p.node)
+			if t.cfg.Trace != nil {
+				t.cfg.Trace.Add1(t.rxDropLab, uint64(p.node))
+			}
 		}
 	}
 }

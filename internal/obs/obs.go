@@ -1,0 +1,264 @@
+// Package obs is the node observability surface: an HTTP handler that
+// exposes the wait-free metrics registry, transport peer health, and
+// the trace ring of a running FLIPC node.
+//
+// Routes:
+//
+//	/metrics      Prometheus text exposition (default) or JSON with
+//	              server-side quantiles (?format=json) — the schema
+//	              flipcstat -watch consumes.
+//	/healthz      200 when every known peer is connected (or none are
+//	              known), 503 otherwise; JSON body with peer states.
+//	/debug/trace  plain-text dump of the trace ring, oldest first.
+//
+// Scrapes never block the message path: every read is a registry
+// snapshot (plain loads) or a per-peer health copy. The cost of a
+// scrape lands entirely on the scraper's goroutine.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+
+	"flipc/internal/metrics"
+	"flipc/internal/nettrans"
+	"flipc/internal/trace"
+)
+
+// Server bundles the observable parts of one node. Any field may be
+// nil; the corresponding route degrades (empty metrics, healthy with
+// no peers, 404 trace).
+type Server struct {
+	// Registry is the node's metrics registry.
+	Registry *metrics.Registry
+	// Health returns the transport's per-peer health snapshots
+	// (typically nettrans.Transport.Health).
+	Health func() []nettrans.PeerHealth
+	// Trace is the node's trace ring, dumped by /debug/trace.
+	Trace *trace.Ring
+}
+
+// HistJSON is one histogram in the JSON exposition: counts plus
+// server-side quantiles, so consumers need no bucket layout knowledge.
+// Quantile fields are 0 (not NaN, which JSON cannot carry) when the
+// histogram is empty — check Count.
+type HistJSON struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Min   uint64  `json:"min"`
+	Max   uint64  `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// PeerJSON is one peer's health in the JSON exposition.
+type PeerJSON struct {
+	Node         uint16  `json:"node"`
+	State        string  `json:"state"`
+	Addr         string  `json:"addr,omitempty"`
+	Sent         uint64  `json:"sent"`
+	SendFailures uint64  `json:"send_failures"`
+	Reconnects   uint64  `json:"reconnects"`
+	Attempts     int     `json:"attempts,omitempty"`
+	MeanOutageMs float64 `json:"mean_outage_ms"`
+}
+
+// MetricsJSON is the /metrics?format=json document.
+type MetricsJSON struct {
+	Counters   map[string]uint64   `json:"counters"`
+	Gauges     map[string]float64  `json:"gauges"`
+	Histograms map[string]HistJSON `json:"histograms"`
+	Peers      []PeerJSON          `json:"peers"`
+}
+
+// Handler returns the HTTP handler serving the observability routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/trace", s.handleTrace)
+	return mux
+}
+
+func (s *Server) peers() []PeerJSON {
+	if s.Health == nil {
+		return nil
+	}
+	hs := s.Health()
+	out := make([]PeerJSON, 0, len(hs))
+	for _, h := range hs {
+		out = append(out, PeerJSON{
+			Node:         uint16(h.Node),
+			State:        h.State.String(),
+			Addr:         h.Addr,
+			Sent:         h.Sent,
+			SendFailures: h.SendFailures,
+			Reconnects:   h.Reconnects,
+			Attempts:     h.Attempts,
+			MeanOutageMs: h.MeanOutageMs,
+		})
+	}
+	return out
+}
+
+// jsonQuantile maps an empty-histogram NaN to 0 for JSON.
+func jsonQuantile(h metrics.HistSnapshot, q float64) float64 {
+	v := h.Quantile(q)
+	if math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// MetricsDoc builds the JSON exposition document from the current
+// instrument state.
+func (s *Server) MetricsDoc() MetricsJSON {
+	doc := MetricsJSON{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistJSON{},
+		Peers:      s.peers(),
+	}
+	if s.Registry == nil {
+		return doc
+	}
+	snap := s.Registry.Snapshot()
+	doc.Counters = snap.Counters
+	doc.Gauges = snap.Gauges
+	for name, h := range snap.Histograms {
+		j := HistJSON{Count: h.Count, Sum: h.Sum, Min: h.Min, Max: h.Max}
+		if h.Count > 0 {
+			j.Mean = h.Mean()
+			j.P50 = jsonQuantile(h, 0.50)
+			j.P90 = jsonQuantile(h, 0.90)
+			j.P99 = jsonQuantile(h, 0.99)
+			j.P999 = jsonQuantile(h, 0.999)
+		}
+		doc.Histograms[name] = j
+	}
+	return doc
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.MetricsDoc())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.writePrometheus(w)
+}
+
+// baseName strips a Prometheus label set from an instrument name.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// labeled splices extra labels into a possibly-labeled name:
+// labeled(`m{peer="1"}`, `quantile="0.5"`) = `m{peer="1",quantile="0.5"}`.
+func labeled(name, extra string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:len(name)-1] + "," + extra + "}"
+	}
+	return name + "{" + extra + "}"
+}
+
+// writePrometheus renders the registry (and peer health) in the
+// Prometheus text exposition format. Histograms are rendered as
+// summaries: precomputed quantiles plus _sum and _count, which keeps
+// the exposition small (the raw layout has 976 buckets per histogram).
+func (s *Server) writePrometheus(w io.Writer) {
+	if s.Registry == nil {
+		return
+	}
+	snap := s.Registry.Snapshot()
+	counters, gauges, hists := snap.Names()
+	lastType := ""
+	for _, name := range counters {
+		if b := baseName(name); b != lastType {
+			fmt.Fprintf(w, "# TYPE %s counter\n", b)
+			lastType = b
+		}
+		fmt.Fprintf(w, "%s %d\n", name, snap.Counters[name])
+	}
+	lastType = ""
+	for _, name := range gauges {
+		if b := baseName(name); b != lastType {
+			fmt.Fprintf(w, "# TYPE %s gauge\n", b)
+			lastType = b
+		}
+		fmt.Fprintf(w, "%s %g\n", name, snap.Gauges[name])
+	}
+	lastType = ""
+	for _, name := range hists {
+		h := snap.Histograms[name]
+		if b := baseName(name); b != lastType {
+			fmt.Fprintf(w, "# TYPE %s summary\n", b)
+			lastType = b
+		}
+		if h.Count > 0 {
+			for _, q := range []struct {
+				label string
+				q     float64
+			}{{"0.5", 0.5}, {"0.9", 0.9}, {"0.99", 0.99}, {"0.999", 0.999}} {
+				fmt.Fprintf(w, "%s %g\n", labeled(name, `quantile="`+q.label+`"`), h.Quantile(q.q))
+			}
+		}
+		fmt.Fprintf(w, "%s %d\n", baseSuffix(name, "_sum"), h.Sum)
+		fmt.Fprintf(w, "%s %d\n", baseSuffix(name, "_count"), h.Count)
+	}
+}
+
+// baseSuffix appends a suffix to the base name, preserving any label
+// set: baseSuffix(`m{e="1"}`, "_sum") = `m_sum{e="1"}`.
+func baseSuffix(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	peers := s.peers()
+	healthy := true
+	for _, p := range peers {
+		if p.State != nettrans.PeerConnected.String() {
+			healthy = false
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !healthy {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	// Sort for stable output (Health is already node-ordered; keep the
+	// guarantee local).
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Node < peers[j].Node })
+	json.NewEncoder(w).Encode(struct {
+		Healthy bool       `json:"healthy"`
+		Peers   []PeerJSON `json:"peers"`
+	}{healthy, peers})
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.Trace == nil {
+		http.Error(w, "trace ring not enabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "# %d events recorded (ring shows most recent)\n", s.Trace.Total())
+	s.Trace.Dump(w)
+}

@@ -278,3 +278,72 @@ func (h *Histogram) BinRange(i int) (lo, hi float64) {
 	lo = h.Lo + float64(i)*h.width
 	return lo, lo + h.width
 }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of the recorded
+// samples with linear interpolation inside the landing bin.
+//
+// Out-of-range samples participate in the ranking: a rank that lands
+// among the Under samples returns -Inf and one that lands among the
+// Over samples returns +Inf, because the histogram only knows those
+// samples lie outside [Lo, Hi), not where. Quantile returns NaN on an
+// empty histogram or an out-of-range q.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Total()
+	if total == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(total-1)
+	if rank < float64(h.Under) && h.Under > 0 {
+		return math.Inf(-1)
+	}
+	cum := float64(h.Under)
+	for i, n := range h.Bins {
+		if n == 0 {
+			continue
+		}
+		if rank < cum+float64(n) {
+			lo, _ := h.BinRange(i)
+			frac := (rank - cum + 0.5) / float64(n)
+			return lo + frac*h.width
+		}
+		cum += float64(n)
+	}
+	return math.Inf(1) // rank landed among the Over samples
+}
+
+// Mean returns the bin-midpoint approximation of the in-range sample
+// mean. Under/Over samples are excluded — their values are unknown —
+// so a histogram whose samples all missed the range returns NaN, as
+// does an empty one.
+func (h *Histogram) Mean() float64 {
+	var n int
+	var sum float64
+	for i, b := range h.Bins {
+		if b == 0 {
+			continue
+		}
+		lo, hi := h.BinRange(i)
+		sum += float64(b) * (lo + hi) / 2
+		n += b
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Merge folds o's counts into h. The histograms must have identical
+// geometry (Lo, Hi, bin count); merging mismatched layouts would
+// silently misbucket, so it is an error instead.
+func (h *Histogram) Merge(o *Histogram) error {
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.Bins) != len(o.Bins) {
+		return fmt.Errorf("stats: merge geometry mismatch: [%v,%v)x%d vs [%v,%v)x%d",
+			h.Lo, h.Hi, len(h.Bins), o.Lo, o.Hi, len(o.Bins))
+	}
+	for i, b := range o.Bins {
+		h.Bins[i] += b
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+	return nil
+}

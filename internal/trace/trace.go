@@ -1,17 +1,33 @@
 // Package trace is a lightweight fixed-capacity event trace used for
 // debugging FLIPC internals and experiments. Events are recorded into a
-// ring (oldest overwritten), cheap enough to leave enabled in tests,
-// and dumped in order on demand.
+// ring (oldest overwritten) and dumped in order on demand.
+//
+// The ring has two recording paths:
+//
+//   - the typed fast path (Label + Add0/Add1/Add2): allocation-free and
+//     lock-free — an atomic cursor claims a slot and the fixed-size
+//     record is published with plain atomic stores. This is cheap
+//     enough to leave enabled on the message path (engine.Config.Trace),
+//     which is the whole point: the paper's argument is quantitative,
+//     so the instruments must be on while the numbers are taken.
+//   - the legacy formatted path (Add): accepts arbitrary arguments,
+//     allocating one record per event. Use it for cold events (peer
+//     lifecycle, errors) where readability beats cost.
+//
+// Both paths share one ring, so a dump interleaves them in order.
+// Readers never block writers: a slot being overwritten mid-read is
+// detected by its sequence word and skipped.
 package trace
 
 import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Event is one trace record.
+// Event is one trace record as returned to readers.
 type Event struct {
 	At   time.Time
 	What string
@@ -26,13 +42,32 @@ func (e Event) String() string {
 	return fmt.Sprintf("%s %s %v", e.At.Format("15:04:05.000000"), e.What, e.Args)
 }
 
-// Ring is a bounded concurrent trace buffer. The zero value is unusable;
-// call New.
+// Label names a typed fast-path event. Obtain one with Ring.Label at
+// setup time and pass it to Add0/Add1/Add2 on the hot path.
+type Label uint32
+
+// slot is one fixed ring record. All fields are atomics so concurrent
+// writers and readers stay race-free; the seq word is the publication
+// ticket (claim index + 1; 0 = never written). A reader that sees seq
+// change across its field loads discards the torn record.
+type slot struct {
+	seq atomic.Uint64
+	at  atomic.Int64  // UnixNano
+	lab atomic.Uint32 // label index + 1; 0 = formatted record in ev
+	n   atomic.Uint32 // argument count for typed records
+	a0  atomic.Uint64
+	a1  atomic.Uint64
+	ev  atomic.Pointer[Event] // formatted slow-path record
+}
+
+// Ring is a bounded concurrent trace buffer. The zero value is
+// unusable; call New.
 type Ring struct {
-	mu    sync.Mutex
-	buf   []Event
-	next  int
-	total uint64
+	slots  []slot
+	cursor atomic.Uint64 // total events ever claimed
+
+	mu     sync.Mutex // label interning only
+	labels atomic.Pointer[[]string]
 }
 
 // New creates a ring holding up to n events (minimum 1).
@@ -40,41 +75,133 @@ func New(n int) *Ring {
 	if n < 1 {
 		n = 1
 	}
-	return &Ring{buf: make([]Event, 0, n)}
+	r := &Ring{slots: make([]slot, n)}
+	empty := []string{}
+	r.labels.Store(&empty)
+	return r
 }
 
-// Add records an event.
+// Label interns a fast-path event name. Interning takes a lock; do it
+// once at setup, never on the hot path. Repeated interning of the same
+// name returns the same label.
+func (r *Ring) Label(name string) Label {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := *r.labels.Load()
+	for i, s := range cur {
+		if s == name {
+			return Label(i)
+		}
+	}
+	next := make([]string, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = name
+	r.labels.Store(&next)
+	return Label(len(cur))
+}
+
+// labelName resolves a label for readers.
+func (r *Ring) labelName(l Label) string {
+	cur := *r.labels.Load()
+	if int(l) < len(cur) {
+		return cur[l]
+	}
+	return fmt.Sprintf("label(%d)", uint32(l))
+}
+
+// claim reserves the next slot and returns it with its ticket.
+func (r *Ring) claim() (*slot, uint64) {
+	idx := r.cursor.Add(1) - 1
+	return &r.slots[idx%uint64(len(r.slots))], idx + 1
+}
+
+// Add0 records a typed event with no arguments. Allocation-free.
+func (r *Ring) Add0(lab Label) {
+	s, ticket := r.claim()
+	s.seq.Store(0)
+	s.at.Store(time.Now().UnixNano())
+	s.lab.Store(uint32(lab) + 1)
+	s.n.Store(0)
+	s.seq.Store(ticket)
+}
+
+// Add1 records a typed event with one argument. Allocation-free.
+func (r *Ring) Add1(lab Label, a0 uint64) {
+	s, ticket := r.claim()
+	s.seq.Store(0)
+	s.at.Store(time.Now().UnixNano())
+	s.lab.Store(uint32(lab) + 1)
+	s.a0.Store(a0)
+	s.n.Store(1)
+	s.seq.Store(ticket)
+}
+
+// Add2 records a typed event with two arguments. Allocation-free.
+func (r *Ring) Add2(lab Label, a0, a1 uint64) {
+	s, ticket := r.claim()
+	s.seq.Store(0)
+	s.at.Store(time.Now().UnixNano())
+	s.lab.Store(uint32(lab) + 1)
+	s.a0.Store(a0)
+	s.a1.Store(a1)
+	s.n.Store(2)
+	s.seq.Store(ticket)
+}
+
+// Add records a formatted event — the legacy slow path. It allocates
+// (boxing args plus one record) and should stay off hot paths; use a
+// Label with Add0/Add1/Add2 there.
 func (r *Ring) Add(what string, args ...interface{}) {
-	e := Event{At: time.Now(), What: what, Args: args}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.total++
-	if len(r.buf) < cap(r.buf) {
-		r.buf = append(r.buf, e)
-		return
-	}
-	r.buf[r.next] = e
-	r.next = (r.next + 1) % cap(r.buf)
-}
-
-// Events returns the recorded events, oldest first.
-func (r *Ring) Events() []Event {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]Event, 0, len(r.buf))
-	if len(r.buf) < cap(r.buf) {
-		return append(out, r.buf...)
-	}
-	out = append(out, r.buf[r.next:]...)
-	return append(out, r.buf[:r.next]...)
+	e := &Event{At: time.Now(), What: what, Args: args}
+	s, ticket := r.claim()
+	s.seq.Store(0)
+	s.ev.Store(e)
+	s.lab.Store(0)
+	s.seq.Store(ticket)
 }
 
 // Total returns the number of events ever recorded (including
 // overwritten ones).
-func (r *Ring) Total() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.total
+func (r *Ring) Total() uint64 { return r.cursor.Load() }
+
+// Events returns the recorded events, oldest first. Slots being
+// rewritten concurrently are skipped rather than returned torn.
+func (r *Ring) Events() []Event {
+	n := uint64(len(r.slots))
+	end := r.cursor.Load() // tickets are 1..end
+	start := uint64(1)
+	if end > n {
+		start = end - n + 1
+	}
+	out := make([]Event, 0, end-start+1)
+	for ticket := start; ticket <= end; ticket++ {
+		s := &r.slots[(ticket-1)%n]
+		if s.seq.Load() != ticket {
+			continue // unpublished or already overwritten
+		}
+		var e Event
+		if labPlus := s.lab.Load(); labPlus > 0 {
+			e.At = time.Unix(0, s.at.Load())
+			e.What = r.labelName(Label(labPlus - 1))
+			switch s.n.Load() {
+			case 1:
+				e.Args = []interface{}{s.a0.Load()}
+			case 2:
+				e.Args = []interface{}{s.a0.Load(), s.a1.Load()}
+			}
+		} else {
+			ev := s.ev.Load()
+			if ev == nil {
+				continue
+			}
+			e = *ev
+		}
+		if s.seq.Load() != ticket {
+			continue // overwritten while reading: discard the torn record
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 // Dump writes the events to w, one per line.

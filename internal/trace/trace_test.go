@@ -94,7 +94,102 @@ func TestConcurrentAdd(t *testing.T) {
 	if r.Total() != 8000 {
 		t.Fatalf("total = %d", r.Total())
 	}
-	if len(r.Events()) != 128 {
-		t.Fatalf("events = %d", len(r.Events()))
+	// Writers never block each other, so a slot overwritten while
+	// racing may be discarded as torn — the ring returns at most its
+	// capacity, never garbage.
+	evs := r.Events()
+	if len(evs) == 0 || len(evs) > 128 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	for _, e := range evs {
+		if e.What != "e" {
+			t.Fatalf("torn record leaked: %v", e)
+		}
+	}
+}
+
+func TestTypedFastPath(t *testing.T) {
+	r := New(8)
+	send := r.Label("send.ok")
+	drop := r.Label("recv.drop")
+	if r.Label("send.ok") != send {
+		t.Fatal("re-interning changed the label")
+	}
+	r.Add0(drop)
+	r.Add1(send, 42)
+	r.Add2(send, 7, 9)
+	r.Add("formatted", "x") // slow path interleaves in the same ring
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[0].What != "recv.drop" || len(evs[0].Args) != 0 {
+		t.Fatalf("ev0 = %v", evs[0])
+	}
+	if evs[1].What != "send.ok" || evs[1].Args[0] != uint64(42) {
+		t.Fatalf("ev1 = %v", evs[1])
+	}
+	if evs[2].Args[0] != uint64(7) || evs[2].Args[1] != uint64(9) {
+		t.Fatalf("ev2 = %v", evs[2])
+	}
+	if evs[3].What != "formatted" {
+		t.Fatalf("ev3 = %v", evs[3])
+	}
+	if r.Total() != 4 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+func TestTypedConcurrent(t *testing.T) {
+	r := New(256)
+	lab := r.Label("hot")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Add2(lab, uint64(g), uint64(i))
+			}
+		}(g)
+	}
+	// A reader racing the writers must never see a torn or invalid
+	// record.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			for _, e := range r.Events() {
+				if e.What != "hot" || len(e.Args) != 2 {
+					t.Errorf("bad record %v", e)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if r.Total() != 8000 {
+		t.Fatalf("total = %d", r.Total())
+	}
+}
+
+// BenchmarkTraceAdd measures the legacy formatted path (allocates).
+func BenchmarkTraceAdd(b *testing.B) {
+	r := New(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add("send.ok", i)
+	}
+}
+
+// BenchmarkTraceAddTyped measures the fast path; must report 0
+// allocs/op so Config.Trace can stay enabled on the message path.
+func BenchmarkTraceAddTyped(b *testing.B) {
+	r := New(4096)
+	lab := r.Label("send.ok")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Add2(lab, uint64(i), 64)
 	}
 }

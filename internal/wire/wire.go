@@ -107,10 +107,23 @@ func MaxPayload(messageSize int) int { return messageSize - HeaderBytes }
 
 // Flags carried in the message header. PriorityMask supports the
 // paper's future-work extension of prioritized inter-node transport.
+// FlagStamped is transport-internal: it marks a frame carrying a
+// send-timestamp trailer and is never delivered to applications
+// (Encode masks it from application flags; Decode strips it).
 const (
 	FlagUrgent   uint8 = 1 << 7 // expedited class (extension)
+	FlagStamped  uint8 = 1 << 6 // frame carries a timestamp trailer (internal)
 	PriorityMask uint8 = 0x07   // 8 priority levels (extension)
 )
+
+// StampBytes is the size of the optional send-timestamp trailer: a
+// big-endian UnixNano written into the last eight bytes of the fixed
+// frame. The trailer rides in the zero-filled slack after the payload,
+// so it costs no wire bytes (frames are always the full fixed size)
+// and is simply omitted when the payload leaves no room — one-way
+// latency observation degrades gracefully instead of shrinking the
+// application's payload capacity.
+const StampBytes = 8
 
 // Packet is one fixed-size FLIPC message in flight. Src is transport
 // bookkeeping (tracing, tests); it is not part of the 8-byte header and
@@ -122,6 +135,13 @@ type Packet struct {
 	Flags   uint8
 	Seq     uint8 // low bits of the per-endpoint sequence, for debugging
 	Payload []byte
+	// Stamp is the sender's UnixNano at transmit time, 0 when absent.
+	// Encode writes it as a frame trailer when the payload leaves
+	// StampBytes of slack; Decode recovers it so the receive side can
+	// record one-way delivery latency. Clock comparability across
+	// nodes is the deployment's problem (the paper's clusters share a
+	// chassis); within one host it is exact.
+	Stamp int64
 }
 
 // Header layout (8 bytes, big-endian):
@@ -151,12 +171,17 @@ func Encode(p *Packet, frame []byte) error {
 	}
 	binary.BigEndian.PutUint32(frame[0:4], uint32(p.Dst))
 	binary.BigEndian.PutUint16(frame[4:6], p.Size)
-	frame[6] = p.Flags
+	flags := p.Flags &^ FlagStamped // reserved bit: applications cannot set it
 	frame[7] = p.Seq
 	n := copy(frame[HeaderBytes:], p.Payload)
 	for i := HeaderBytes + n; i < len(frame); i++ {
 		frame[i] = 0
 	}
+	if p.Stamp != 0 && len(p.Payload)+StampBytes <= MaxPayload(len(frame)) {
+		binary.BigEndian.PutUint64(frame[len(frame)-StampBytes:], uint64(p.Stamp))
+		flags |= FlagStamped
+	}
+	frame[6] = flags
 	return nil
 }
 
@@ -174,12 +199,21 @@ func Decode(frame []byte) (*Packet, error) {
 	if int(size) > MaxPayload(len(frame)) {
 		return nil, fmt.Errorf("wire: frame size field %d exceeds max payload %d", size, MaxPayload(len(frame)))
 	}
+	flags := frame[6]
+	var stamp int64
+	if flags&FlagStamped != 0 {
+		if int(size)+StampBytes <= MaxPayload(len(frame)) {
+			stamp = int64(binary.BigEndian.Uint64(frame[len(frame)-StampBytes:]))
+		}
+		flags &^= FlagStamped // internal bit: never delivered to applications
+	}
 	return &Packet{
 		Dst:     dst,
 		Size:    size,
-		Flags:   frame[6],
+		Flags:   flags,
 		Seq:     frame[7],
 		Payload: frame[HeaderBytes : HeaderBytes+int(size) : HeaderBytes+int(size)],
+		Stamp:   stamp,
 	}, nil
 }
 

@@ -199,6 +199,7 @@ func TestQuickEncodeDecode(t *testing.T) {
 		if len(payload) > MaxPayload(msgSize) {
 			payload = payload[:MaxPayload(msgSize)]
 		}
+		flags &^= FlagStamped // reserved transport bit, masked by Encode
 		dst, err := MakeAddr(7, 7, 7)
 		if err != nil {
 			return false
@@ -216,5 +217,85 @@ func TestQuickEncodeDecode(t *testing.T) {
 	}
 	if err := quick.Check(prop, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStampRoundTrip(t *testing.T) {
+	dst := mustAddr(t, 3, 9, 1)
+	payload := []byte("stamped")
+	stamp := int64(1_700_000_000_123_456_789)
+	p := &Packet{Dst: dst, Size: uint16(len(payload)), Payload: payload, Stamp: stamp}
+	frame := make([]byte, 128)
+	if err := Encode(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	if frame[6]&FlagStamped == 0 {
+		t.Fatal("FlagStamped not set on stamped frame")
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stamp != stamp {
+		t.Fatalf("stamp = %d, want %d", got.Stamp, stamp)
+	}
+	if got.Flags&FlagStamped != 0 {
+		t.Fatal("FlagStamped leaked to application flags")
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("payload = %q", got.Payload)
+	}
+}
+
+func TestStampOmittedWhenNoRoom(t *testing.T) {
+	dst := mustAddr(t, 3, 9, 1)
+	frame := make([]byte, 64)
+	// Payload fills the frame to within StampBytes-1 of capacity: no
+	// room for the trailer, so the stamp is silently dropped.
+	payload := make([]byte, MaxPayload(64)-StampBytes+1)
+	p := &Packet{Dst: dst, Size: uint16(len(payload)), Payload: payload, Stamp: 42}
+	if err := Encode(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	if frame[6]&FlagStamped != 0 {
+		t.Fatal("FlagStamped set with no trailer room")
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stamp != 0 {
+		t.Fatalf("stamp = %d, want 0", got.Stamp)
+	}
+	// Exactly StampBytes of slack is enough.
+	payload = make([]byte, MaxPayload(64)-StampBytes)
+	p = &Packet{Dst: dst, Size: uint16(len(payload)), Payload: payload, Stamp: 42}
+	if err := Encode(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stamp != 42 {
+		t.Fatalf("stamp = %d, want 42", got.Stamp)
+	}
+}
+
+func TestStampFlagCannotBeForged(t *testing.T) {
+	dst := mustAddr(t, 3, 9, 1)
+	// An application setting the reserved bit gets it masked: no stale
+	// trailer bytes are ever interpreted as a timestamp.
+	p := &Packet{Dst: dst, Size: 2, Payload: []byte("hi"), Flags: FlagStamped | FlagUrgent}
+	frame := make([]byte, 64)
+	if err := Encode(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stamp != 0 || got.Flags != FlagUrgent {
+		t.Fatalf("stamp=%d flags=%#x, want unforged", got.Stamp, got.Flags)
 	}
 }
