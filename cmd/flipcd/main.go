@@ -59,6 +59,8 @@ func main() {
 		maxBack  = flag.Duration("reconnect-max", 5*time.Second, "redial backoff cap")
 		httpAddr = flag.String("http", "", "observability HTTP listen address (/metrics, /healthz, /debug/trace); empty disables")
 		traceBuf = flag.Int("tracebuf", 4096, "trace ring capacity when -http is set")
+		checksum = flag.Bool("checksum", false, "CRC32C-checksum outgoing frames and verify flagged arrivals")
+		checks   = flag.Bool("checks", true, "engine validity checks (quarantine on comm-buffer corruption)")
 	)
 	flag.Parse()
 
@@ -97,8 +99,9 @@ func main() {
 	reportOnFatal = tr // fatal exits from here on include the health report
 	fmt.Printf("flipcd: node %d listening on %s (message size %d)\n", *node, tr.Addr(), *msgSize)
 
+	var srv *obs.Server
 	if *httpAddr != "" {
-		srv := &obs.Server{Registry: reg, Health: tr.Health, Trace: ring}
+		srv = &obs.Server{Registry: reg, Health: tr.Health, Trace: ring}
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			fatal(fmt.Errorf("http listen %s: %w", *httpAddr, err))
@@ -119,12 +122,21 @@ func main() {
 		Node:        wire.NodeID(*node),
 		MessageSize: *msgSize,
 		NumBuffers:  64,
-		Engine:      engine.Config{Trace: ring, Metrics: reg},
+		Engine: engine.Config{
+			Trace:          ring,
+			Metrics:        reg,
+			Checksum:       *checksum,
+			ValidityChecks: *checks,
+		},
 	}, tr)
 	if err != nil {
 		fatal(err)
 	}
 	defer d.Close()
+	reportEngine = d.Engine() // reports from here on include fault containment
+	if srv != nil {
+		srv.Quarantined = d.Engine().Quarantined
+	}
 	d.Start()
 
 	// Echo service: reply to each message's embedded reply address.
@@ -200,7 +212,8 @@ func main() {
 	}
 }
 
-// report prints the transport's loss accounting and per-peer health.
+// report prints the transport's loss accounting, per-peer health, and
+// — once the domain is up — the engine's fault containment state.
 func report(tr *nettrans.Transport) {
 	st := tr.Stats()
 	fmt.Printf("flipcd: transport sent=%d delivered=%d peerDowns=%d rxDrops=%d reconnects=%d\n",
@@ -209,12 +222,30 @@ func report(tr *nettrans.Transport) {
 		fmt.Printf("flipcd: peer %d %-12s sent=%d refused=%d reconnects=%d meanOutage=%.1fms\n",
 			h.Node, h.State, h.Sent, h.SendFailures, h.Reconnects, h.MeanOutageMs)
 	}
+	if reportEngine == nil {
+		return
+	}
+	es := reportEngine.Stats()
+	fmt.Printf("flipcd: engine drops recv=%d addr=%d bad=%d checksum=%d quarantine=%d; quarantines=%d recoveries=%d\n",
+		es.RecvDrops, es.AddrDrops, es.BadFrames, es.ChecksumDrops, es.QuarantineDrops,
+		es.Quarantines, es.QuarantineRecoveries)
+	for _, q := range reportEngine.Quarantined() {
+		fmt.Printf("flipcd: QUARANTINED endpoint slot %d (%s, since pass %d) — free and re-allocate to recover\n",
+			q.Slot, q.Kind, q.Pass)
+	}
 }
 
 // reportOnFatal, once the transport is up, makes fatal exits emit the
 // health report: a daemon dying mid-flight must not take its loss
 // accounting with it.
 var reportOnFatal *nettrans.Transport
+
+// reportEngine, once the domain is up, adds the engine's fault
+// containment state (loss categories, quarantined endpoints) to every
+// report. Reads are safe: Quarantined is a published snapshot, and the
+// stats race in a crashing daemon is an accepted tradeoff for having
+// the numbers at all.
+var reportEngine *engine.Engine
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "flipcd: %v\n", err)

@@ -10,6 +10,8 @@
 //	flipcsim -nodes 16 -src 0 -dst 15         # across the 4x4 mesh
 //	flipcsim -poll 4us -msgs 1000 -gap 5us    # slow engine, heavy load
 //	flipcsim -policy priority -prio 7         # prioritized send endpoint
+//	flipcsim -chaos 0.05 -checksum -msgs 2000 # 5% of every fault mode
+//	flipcsim -chaos-drop 0.1 -chaos-seed 7    # drops only, reproducible
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"time"
 
 	"flipc/internal/engine"
+	"flipc/internal/faultinject"
 	"flipc/internal/sim"
 	"flipc/internal/simcluster"
 	"flipc/internal/stats"
@@ -38,10 +41,36 @@ func main() {
 		policy  = flag.String("policy", "rr", "send policy: rr or priority")
 		prio    = flag.Int("prio", 0, "send endpoint transport priority (0-255)")
 		payload = flag.Int("payload", 32, "payload bytes per message")
+
+		chaos        = flag.Float64("chaos", 0, "enable every fault mode at this rate (0..1)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "fault injection seed (node n uses seed+n)")
+		chaosDrop    = flag.Float64("chaos-drop", -1, "frame drop rate (overrides -chaos)")
+		chaosDup     = flag.Float64("chaos-dup", -1, "frame duplication rate (overrides -chaos)")
+		chaosCorrupt = flag.Float64("chaos-corrupt", -1, "frame bit-corruption rate (overrides -chaos)")
+		chaosDelay   = flag.Float64("chaos-delay", -1, "frame delay rate (overrides -chaos)")
+		chaosReorder = flag.Float64("chaos-reorder", -1, "frame reorder rate (overrides -chaos)")
+		checksum     = flag.Bool("checksum", false, "CRC32C-checksum every frame (corruption becomes a counted drop)")
+		checks       = flag.Bool("checks", false, "enable engine validity checks")
 	)
 	flag.Parse()
 
-	ecfg := engine.Config{}
+	pick := func(override float64) float64 {
+		if override >= 0 {
+			return override
+		}
+		return *chaos
+	}
+	ccfg := faultinject.Config{
+		Seed:        *chaosSeed,
+		DropRate:    pick(*chaosDrop),
+		DupRate:     pick(*chaosDup),
+		CorruptRate: pick(*chaosCorrupt),
+		DelayRate:   pick(*chaosDelay),
+		ReorderRate: pick(*chaosReorder),
+	}
+	chaosOn := ccfg.DropRate+ccfg.DupRate+ccfg.CorruptRate+ccfg.DelayRate+ccfg.ReorderRate > 0
+
+	ecfg := engine.Config{Checksum: *checksum, ValidityChecks: *checks}
 	switch *policy {
 	case "rr":
 	case "priority":
@@ -50,13 +79,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "flipcsim: unknown policy %q\n", *policy)
 		os.Exit(2)
 	}
-	c, err := simcluster.New(simcluster.Config{
+	scfg := simcluster.Config{
 		Nodes:        *nodes,
 		MessageSize:  *msgSize,
 		NumBuffers:   *window + 32,
 		PollInterval: sim.Time(poll.Nanoseconds()),
 		Engine:       ecfg,
-	})
+	}
+	if chaosOn {
+		scfg.Chaos = &ccfg
+	}
+	c, err := simcluster.New(scfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -76,6 +109,34 @@ func main() {
 		*nodes, *src, *dst, c.Mesh.Hops(uint16ToNode(*src), uint16ToNode(*dst)), *msgSize, *poll)
 	fmt.Printf("sent %d, delivered %d, dropped %d, pending %d\n",
 		*msgs, len(p.Latencies), p.Endpoint().Drops(), p.Pending())
+	if chaosOn {
+		var inj faultinject.Stats
+		for _, j := range c.Injectors {
+			st := j.Stats()
+			inj.Sent += st.Sent
+			inj.Forwarded += st.Forwarded
+			inj.Dropped += st.Dropped
+			inj.Duplicated += st.Duplicated
+			inj.Corrupted += st.Corrupted
+			inj.Delayed += st.Delayed
+			inj.Reordered += st.Reordered
+		}
+		var est engine.Stats
+		quarantined := 0
+		for _, d := range c.Domains {
+			st := d.Engine().Stats()
+			est.RecvDrops += st.RecvDrops
+			est.AddrDrops += st.AddrDrops
+			est.BadFrames += st.BadFrames
+			est.ChecksumDrops += st.ChecksumDrops
+			est.QuarantineDrops += st.QuarantineDrops
+			quarantined += len(d.Engine().Quarantined())
+		}
+		fmt.Printf("chaos: injected drop=%d dup=%d corrupt=%d delay=%d reorder=%d (of %d frames)\n",
+			inj.Dropped, inj.Duplicated, inj.Corrupted, inj.Delayed, inj.Reordered, inj.Sent)
+		fmt.Printf("chaos: receiver loss recv=%d addr=%d bad=%d checksum=%d quarantine=%d; %d endpoints quarantined\n",
+			est.RecvDrops, est.AddrDrops, est.BadFrames, est.ChecksumDrops, est.QuarantineDrops, quarantined)
+	}
 	if len(p.Latencies) == 0 {
 		fatal(fmt.Errorf("nothing delivered"))
 	}

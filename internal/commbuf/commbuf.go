@@ -407,6 +407,17 @@ func (b *Buffer) ValidBufID(id uint64) bool { return id < uint64(b.cfg.NumBuffer
 // metaWordOffset returns the word offset of buffer id's meta word.
 func (b *Buffer) metaWordOffset(id int) int { return b.bufMetaBase + id*b.bufMetaStride }
 
+// MetaWordOffset returns the word offset of buffer id's meta word, for
+// fault-injection tooling that models a hostile application scribbling
+// on its own control words. Reports false for out-of-range ids.
+// Production code never needs this.
+func (b *Buffer) MetaWordOffset(id int) (int, bool) {
+	if id < 0 || id >= b.cfg.NumBuffers {
+		return 0, false
+	}
+	return b.metaWordOffset(id), true
+}
+
 // payloadOffset returns the byte offset of buffer id's payload.
 func (b *Buffer) payloadOffset(id int) int { return b.payloadBase[id] }
 

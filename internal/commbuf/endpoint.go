@@ -273,38 +273,69 @@ func (b *Buffer) EndpointCfgWord(eng mem.View, i int) uint64 {
 	return eng.Load(b.epCfgBase + i*b.epCfgStride)
 }
 
+// EndpointCfgOffset returns the word offset of descriptor slot i's
+// config word, for fault-injection tooling that models a hostile
+// application forging descriptors. Reports false for out-of-range
+// slots. Production code never needs this.
+func (b *Buffer) EndpointCfgOffset(i int) (int, bool) {
+	if i < 0 || i >= b.cfg.MaxEndpoints {
+		return 0, false
+	}
+	return b.epCfgBase + i*b.epCfgStride, true
+}
+
+// ForgedCfgWord returns a descriptor config word that claims to be
+// active but cannot describe a sane endpoint (invalid type), for
+// fault-injection tooling. Storing it in a descriptor slot makes the
+// engine observe a forged config word and quarantine the slot.
+func ForgedCfgWord() uint64 {
+	return packEpCfg(slotActive, EndpointType(0x7F), 8, 1, 0)
+}
+
 // OpenEndpoint reads descriptor slot i through the engine's view and
 // returns a handle when the slot holds an active, sane endpoint.
 func (b *Buffer) OpenEndpoint(eng mem.View, i int) (*EndpointInfo, bool) {
+	info, err := b.OpenEndpointChecked(eng, i)
+	return info, err == nil && info != nil
+}
+
+// OpenEndpointChecked is OpenEndpoint distinguishing the two ways a
+// slot can yield no endpoint: (nil, nil) for a slot that is simply not
+// active (unallocated, freed, out of range), versus (nil, error) for a
+// slot whose config word claims to be active but whose descriptor body
+// does not describe a sane endpoint — a forged config word or scribbled
+// descriptor, which the engine quarantines rather than silently
+// ignores.
+func (b *Buffer) OpenEndpointChecked(eng mem.View, i int) (*EndpointInfo, error) {
 	if i < 0 || i >= b.cfg.MaxEndpoints {
-		return nil, false
+		return nil, nil
 	}
 	cfgOff := b.epCfgBase + i*b.epCfgStride
 	state, typ, depth, gen, prio := unpackEpCfg(eng.Load(cfgOff))
 	if state != slotActive {
-		return nil, false
+		return nil, nil
 	}
 	if typ != EndpointSend && typ != EndpointRecv {
-		return nil, false
+		return nil, fmt.Errorf("commbuf: endpoint %d active with invalid type %d", i, uint8(typ))
 	}
 	qBase := int(eng.Load(cfgOff + 1))
 	cBase := int(eng.Load(cfgOff + 2))
 	aBase := int(eng.Load(cfgOff + 3))
 	queue, err := waitfree.NewQueue(b.arena, qBase, depth, b.cfg.LineWords, b.cfg.Padded)
 	if err != nil {
-		return nil, false
+		return nil, fmt.Errorf("commbuf: endpoint %d descriptor: %w", i, err)
 	}
 	drops, err := waitfree.NewCounter(b.arena, cBase, b.cfg.LineWords, b.cfg.Padded)
 	if err != nil {
-		return nil, false
+		return nil, fmt.Errorf("commbuf: endpoint %d descriptor: %w", i, err)
 	}
 	if !b.arena.ValidWord(aBase + 1) {
-		return nil, false
+		return nil, fmt.Errorf("commbuf: endpoint %d app line %d outside arena", i, aBase)
 	}
 	return &EndpointInfo{
 		Index: i, Type: typ, Depth: depth, Gen: gen, Priority: prio,
 		Queue: queue, Drops: drops, wakeWord: aBase,
-	}, true
+	}, nil
 }
 
 // WakeupRequested reads the blocked-receiver flag through the engine's

@@ -292,3 +292,65 @@ func TestPaddedEndpointLineIsolation(t *testing.T) {
 		t.Fatalf("padded layout (%d invalidations) not better than unpadded (%d)", padded, unpadded)
 	}
 }
+
+func TestOpenEndpointChecked(t *testing.T) {
+	b := newBuffer(t, defaultConfig())
+	eng := b.View(mem.ActorEngine)
+
+	// Unallocated slot: no endpoint, no fault.
+	if info, err := b.OpenEndpointChecked(eng, 0); info != nil || err != nil {
+		t.Fatalf("unallocated slot: info=%v err=%v", info, err)
+	}
+	// Out of range: same — it is simply not this buffer's slot.
+	if info, err := b.OpenEndpointChecked(eng, -1); info != nil || err != nil {
+		t.Fatalf("out-of-range slot: info=%v err=%v", info, err)
+	}
+
+	ep, err := b.AllocEndpoint(EndpointSend, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := b.OpenEndpointChecked(eng, ep.Index())
+	if err != nil || info == nil || info.Type != EndpointSend {
+		t.Fatalf("active slot: info=%v err=%v", info, err)
+	}
+
+	// Freed slot: inactive again, not a fault.
+	if err := b.FreeEndpoint(ep); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := b.OpenEndpointChecked(eng, ep.Index()); info != nil || err != nil {
+		t.Fatalf("freed slot: info=%v err=%v", info, err)
+	}
+}
+
+func TestOpenEndpointCheckedForgedDescriptor(t *testing.T) {
+	b := newBuffer(t, defaultConfig())
+	eng := b.View(mem.ActorEngine)
+	app := b.View(mem.ActorApp)
+
+	// Forged config word: active state, garbage body.
+	off, ok := b.EndpointCfgOffset(3)
+	if !ok {
+		t.Fatal("EndpointCfgOffset out of range")
+	}
+	app.Store(off, ForgedCfgWord())
+	if _, err := b.OpenEndpointChecked(eng, 3); err == nil {
+		t.Fatal("forged config word accepted")
+	}
+	if _, ok := b.OpenEndpoint(eng, 3); ok {
+		t.Fatal("OpenEndpoint accepted forged descriptor")
+	}
+
+	// A real endpoint whose queue-base word is scribbled out of the
+	// arena: active state, corrupt descriptor body.
+	ep, err := b.AllocEndpoint(EndpointRecv, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgOff, _ := b.EndpointCfgOffset(ep.Index())
+	app.Store(cfgOff+1, 1<<40) // queue base far outside the arena
+	if _, err := b.OpenEndpointChecked(eng, ep.Index()); err == nil {
+		t.Fatal("wild queue base accepted")
+	}
+}

@@ -25,9 +25,11 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"flipc/internal/commbuf"
@@ -80,6 +82,12 @@ type Config struct {
 	// without Metrics, so *receivers* can measure one-way latency.
 	// Stamping is implied when Metrics is set.
 	Stamp bool
+	// Checksum puts a CRC32C trailer on every outgoing frame (when the
+	// payload leaves trailer room — see wire.ChecksumBytes). Receivers
+	// verify flag-gated, per frame, so checksumming and plain senders
+	// interoperate; failures are counted as Stats.ChecksumDrops on the
+	// receive side.
+	Checksum bool
 }
 
 func (c *Config) applyDefaults() {
@@ -94,17 +102,37 @@ func (c *Config) applyDefaults() {
 // Stats counts engine activity. Read via Engine.Stats; written only by
 // the engine's own loop.
 type Stats struct {
-	Sent        uint64 // messages transmitted
-	Received    uint64 // frames taken from the transport
-	Delivered   uint64 // messages placed into posted receive buffers
-	RecvDrops   uint64 // arrivals discarded: no posted buffer
-	AddrDrops   uint64 // arrivals discarded: bad/stale destination
-	SendRefused uint64 // queued sends refused by validity checks
-	WireBusy    uint64 // TrySend rejections, peer up (left queued, retried)
-	PeerDown    uint64 // TrySend rejections, peer down (left queued until it recovers)
-	BadFrames   uint64 // undecodable frames from the transport
-	Doorbells   uint64 // wakeups posted to the kernel ring
-	Polls       uint64 // Poll passes executed
+	Sent          uint64 // messages transmitted
+	Received      uint64 // frames taken from the transport
+	Delivered     uint64 // messages placed into posted receive buffers
+	RecvDrops     uint64 // arrivals discarded: no posted buffer
+	AddrDrops     uint64 // arrivals discarded: bad/stale destination
+	SendRefused   uint64 // queued sends refused by validity checks (policy, per message)
+	WireBusy      uint64 // TrySend rejections, peer up (left queued, retried)
+	PeerDown      uint64 // TrySend rejections, peer down (left queued until it recovers)
+	BadFrames     uint64 // undecodable frames from the transport
+	ChecksumDrops uint64 // arrivals discarded: frame failed CRC32C verification
+	Doorbells     uint64 // wakeups posted to the kernel ring
+	Polls         uint64 // Poll passes executed
+
+	// Fault containment. QuarantineDrops counts arrivals discarded
+	// because the destination endpoint is (or just became) quarantined;
+	// EndpointFaults counts quarantine episodes by category (index by
+	// FaultKind; index 0, FaultNone, stays zero); Quarantines and
+	// QuarantineRecoveries count episodes entered and lifted.
+	QuarantineDrops      uint64
+	EndpointFaults       [NumFaultKinds]uint64
+	Quarantines          uint64
+	QuarantineRecoveries uint64
+}
+
+// Faults returns the total quarantine episodes across all categories.
+func (s *Stats) Faults() uint64 {
+	var n uint64
+	for _, v := range s.EndpointFaults {
+		n += v
+	}
+	return n
 }
 
 // Engine is one node's messaging engine instance.
@@ -127,30 +155,43 @@ type Engine struct {
 	lab   *traceLabels // typed trace labels, nil when Trace is nil
 	m     *engMetrics  // registry instruments, nil when Metrics is nil
 	stamp bool         // stamp outgoing frames with a send timestamp
+
+	// qsnap is the cross-goroutine quarantine snapshot: the engine loop
+	// stores an immutable slice on every quarantine/recovery; any
+	// goroutine may load it through Quarantined().
+	qsnap atomic.Pointer[[]QuarantinedEndpoint]
 }
 
 // traceLabels are the engine's pre-interned fast-path trace labels.
 type traceLabels struct {
 	recvBadframe     trace.Label
+	recvChecksum     trace.Label
 	recvWrongnode    trace.Label
 	recvForeignrange trace.Label
 	recvBadendpoint  trace.Label
 	recvNobuffer     trace.Label
+	recvQuarantined  trace.Label
 	recvDelivered    trace.Label
 	sendPeerdown     trace.Label
 	sendOK           trace.Label
+	epQuarantine     trace.Label
+	epRecover        trace.Label
 }
 
 func newTraceLabels(r *trace.Ring) *traceLabels {
 	return &traceLabels{
 		recvBadframe:     r.Label("recv.badframe"),
+		recvChecksum:     r.Label("recv.checksum"),
 		recvWrongnode:    r.Label("recv.wrongnode"),
 		recvForeignrange: r.Label("recv.foreignrange"),
 		recvBadendpoint:  r.Label("recv.badendpoint"),
 		recvNobuffer:     r.Label("recv.nobuffer"),
+		recvQuarantined:  r.Label("recv.quarantined"),
 		recvDelivered:    r.Label("recv.delivered"),
 		sendPeerdown:     r.Label("send.peerdown"),
 		sendOK:           r.Label("send.ok"),
+		epQuarantine:     r.Label("ep.quarantine"),
+		epRecover:        r.Label("ep.recover"),
 	}
 }
 
@@ -162,8 +203,12 @@ type engMetrics struct {
 	sent, received, delivered       *metrics.Counter
 	recvDrops, addrDrops, badFrames *metrics.Counter
 	sendRefused, wireBusy, peerDown *metrics.Counter
+	checksumDrops, quarDrops        *metrics.Counter
+	quarantines, quarRecoveries     *metrics.Counter
 	doorbells, polls                *metrics.Counter
-	pollDur                         *metrics.Histogram // ns per pass that did work
+	epFaults                        [NumFaultKinds]*metrics.Counter // by FaultKind, index 0 unused
+	quarantined                     *metrics.Gauge                  // endpoints currently quarantined
+	pollDur                         *metrics.Histogram              // ns per pass that did work
 	sendQDepth, recvQDepth          *metrics.Histogram
 	util                            *metrics.Gauge       // moved/(send+recv quantum), last working pass
 	latency                         *metrics.Histogram   // one-way delivery ns, all endpoints
@@ -171,26 +216,36 @@ type engMetrics struct {
 }
 
 func newEngMetrics(reg *metrics.Registry, maxEndpoints int) *engMetrics {
-	return &engMetrics{
-		reg:         reg,
-		sent:        reg.Counter("flipc_engine_sent_total"),
-		received:    reg.Counter("flipc_engine_received_total"),
-		delivered:   reg.Counter("flipc_engine_delivered_total"),
-		recvDrops:   reg.Counter("flipc_engine_recv_drops_total"),
-		addrDrops:   reg.Counter("flipc_engine_addr_drops_total"),
-		badFrames:   reg.Counter("flipc_engine_bad_frames_total"),
-		sendRefused: reg.Counter("flipc_engine_send_refused_total"),
-		wireBusy:    reg.Counter("flipc_engine_wire_busy_total"),
-		peerDown:    reg.Counter("flipc_engine_peer_down_total"),
-		doorbells:   reg.Counter("flipc_engine_doorbells_total"),
-		polls:       reg.Counter("flipc_engine_polls_total"),
-		pollDur:     reg.Histogram("flipc_engine_poll_ns"),
-		sendQDepth:  reg.Histogram("flipc_engine_send_queue_depth"),
-		recvQDepth:  reg.Histogram("flipc_engine_recv_queue_depth"),
-		util:        reg.Gauge("flipc_engine_quantum_utilization"),
-		latency:     reg.Histogram("flipc_recv_latency_ns"),
-		epLatency:   make([]*metrics.Histogram, maxEndpoints),
+	m := &engMetrics{
+		reg:            reg,
+		sent:           reg.Counter("flipc_engine_sent_total"),
+		received:       reg.Counter("flipc_engine_received_total"),
+		delivered:      reg.Counter("flipc_engine_delivered_total"),
+		recvDrops:      reg.Counter("flipc_engine_recv_drops_total"),
+		addrDrops:      reg.Counter("flipc_engine_addr_drops_total"),
+		badFrames:      reg.Counter("flipc_engine_bad_frames_total"),
+		sendRefused:    reg.Counter("flipc_engine_send_refused_total"),
+		wireBusy:       reg.Counter("flipc_engine_wire_busy_total"),
+		peerDown:       reg.Counter("flipc_engine_peer_down_total"),
+		checksumDrops:  reg.Counter("flipc_engine_checksum_drops_total"),
+		quarDrops:      reg.Counter("flipc_engine_quarantine_drops_total"),
+		quarantines:    reg.Counter("flipc_engine_quarantines_total"),
+		quarRecoveries: reg.Counter("flipc_engine_quarantine_recoveries_total"),
+		doorbells:      reg.Counter("flipc_engine_doorbells_total"),
+		polls:          reg.Counter("flipc_engine_polls_total"),
+		quarantined:    reg.Gauge("flipc_engine_quarantined"),
+		pollDur:        reg.Histogram("flipc_engine_poll_ns"),
+		sendQDepth:     reg.Histogram("flipc_engine_send_queue_depth"),
+		recvQDepth:     reg.Histogram("flipc_engine_recv_queue_depth"),
+		util:           reg.Gauge("flipc_engine_quantum_utilization"),
+		latency:        reg.Histogram("flipc_recv_latency_ns"),
+		epLatency:      make([]*metrics.Histogram, maxEndpoints),
 	}
+	for k := 1; k < NumFaultKinds; k++ {
+		m.epFaults[k] = reg.Counter(metrics.Name(
+			"flipc_engine_endpoint_faults_total", "kind", FaultKind(k).String()))
+	}
+	return m
 }
 
 // epLatencyHist returns the per-endpoint latency histogram for a slot,
@@ -206,7 +261,7 @@ func (m *engMetrics) epLatencyHist(slot int) *metrics.Histogram {
 
 // mirror copies the loop-local Stats into the registry counters so
 // scrapers on other goroutines read consistent values. Called once per
-// Poll pass — eleven plain stores.
+// Poll pass — a fixed handful of plain stores.
 func (m *engMetrics) mirror(s *Stats) {
 	m.sent.Set(s.Sent)
 	m.received.Set(s.Received)
@@ -217,14 +272,23 @@ func (m *engMetrics) mirror(s *Stats) {
 	m.sendRefused.Set(s.SendRefused)
 	m.wireBusy.Set(s.WireBusy)
 	m.peerDown.Set(s.PeerDown)
+	m.checksumDrops.Set(s.ChecksumDrops)
+	m.quarDrops.Set(s.QuarantineDrops)
+	m.quarantines.Set(s.Quarantines)
+	m.quarRecoveries.Set(s.QuarantineRecoveries)
 	m.doorbells.Set(s.Doorbells)
 	m.polls.Set(s.Polls)
+	for k := 1; k < NumFaultKinds; k++ {
+		m.epFaults[k].Set(s.EndpointFaults[k])
+	}
 }
 
 type epCache struct {
-	cfgWord uint64 // config word the cache was built from
-	seen    bool   // cfgWord/info are populated
-	info    *commbuf.EndpointInfo
+	cfgWord   uint64 // config word the cache was built from
+	seen      bool   // cfgWord/info are populated
+	info      *commbuf.EndpointInfo
+	fault     FaultKind // != FaultNone while the slot is quarantined
+	faultPass uint64    // Polls value when the fault was detected
 }
 
 // New creates an engine for a communication buffer bound to a transport.
@@ -272,20 +336,41 @@ func (e *Engine) Config() Config { return e.cfg }
 // bump). Change detection is one config-word load; only a changed word
 // pays for OpenEndpoint's validation, and any change also invalidates
 // the priority scan order.
+//
+// A config-word change is also the quarantine exit: the fault that
+// froze the slot described the old descriptor, so a re-allocation
+// (generation bump) or free lifts the quarantine and the slot is
+// serviced fresh. While the word is unchanged a quarantined slot stays
+// frozen — the cached fault short-circuits every pass.
 func (e *Engine) endpoint(i int) *commbuf.EndpointInfo {
 	w := e.buf.EndpointCfgWord(e.view, i)
 	c := &e.eps[i]
 	if c.seen && c.cfgWord == w {
 		return c.info
 	}
-	info, ok := e.buf.OpenEndpoint(e.view, i)
-	if !ok {
-		info = nil
-	}
+	recovered := c.seen && c.fault != FaultNone
+	info, err := e.buf.OpenEndpointChecked(e.view, i)
 	*c = epCache{cfgWord: w, seen: true, info: info}
 	e.orderStale = true
-	return info
+	if recovered {
+		e.stats.QuarantineRecoveries++
+		if e.lab != nil {
+			e.cfg.Trace.Add1(e.lab.epRecover, uint64(i))
+		}
+		e.publishQuarantined()
+	}
+	if err != nil {
+		// Active state bit with a corrupt descriptor body: a forged
+		// config word. Quarantine the slot; its traffic is counted, not
+		// trusted.
+		e.quarantine(i, FaultBadDescriptor)
+	}
+	return c.info
 }
+
+// faulted reports whether slot i is quarantined, without touching the
+// shared descriptor (callers go through endpoint(i) first).
+func (e *Engine) faulted(i int) bool { return e.eps[i].fault != FaultNone }
 
 // Poll runs one pass of the engine's event loop: first drain incoming
 // frames (bounded by RecvQuantum), then service send endpoints (bounded
@@ -315,6 +400,7 @@ func (e *Engine) Poll() bool {
 		e.m.util.Set(float64(moved) / float64(e.cfg.RecvQuantum+e.cfg.SendQuantum))
 	}
 	e.m.mirror(&e.stats)
+	e.m.quarantined.Set(float64(len(e.Quarantined())))
 	return work
 }
 
@@ -338,6 +424,17 @@ func (e *Engine) pollReceive() bool {
 func (e *Engine) deliver(frame []byte) {
 	pkt, err := wire.Decode(frame)
 	if err != nil {
+		if errors.Is(err, wire.ErrChecksum) {
+			// The frame carried a CRC32C trailer and failed it: a
+			// distinct loss category, because nothing in the header can
+			// be trusted (not even the destination for per-endpoint
+			// accounting).
+			e.stats.ChecksumDrops++
+			if e.lab != nil {
+				e.cfg.Trace.Add0(e.lab.recvChecksum)
+			}
+			return
+		}
 		e.stats.BadFrames++
 		if e.lab != nil {
 			e.cfg.Trace.Add0(e.lab.recvBadframe)
@@ -364,6 +461,16 @@ func (e *Engine) deliver(frame []byte) {
 		return
 	}
 	info := e.endpoint(slot)
+	if e.faulted(slot) {
+		// Quarantined destination (possibly quarantined just now by the
+		// descriptor check in endpoint). The fault episode was counted
+		// when detected; each arriving frame is its own loss category.
+		e.stats.QuarantineDrops++
+		if e.lab != nil {
+			e.cfg.Trace.Add1(e.lab.recvQuarantined, uint64(dst))
+		}
+		return
+	}
 	if info == nil || info.Type != commbuf.EndpointRecv || info.Gen != dst.Gen() {
 		// Unallocated, wrong-type, or stale-generation destination.
 		e.stats.AddrDrops++
@@ -372,7 +479,17 @@ func (e *Engine) deliver(frame []byte) {
 		}
 		return
 	}
-	id, ok := info.Queue.ProcessPeek(e.view)
+	id, ok, err := e.peek(info)
+	if err != nil {
+		// Wild queue pointers: nothing read from this queue can be
+		// trusted. Freeze the endpoint.
+		e.quarantine(slot, FaultQueueInvariant)
+		e.stats.QuarantineDrops++
+		if e.lab != nil {
+			e.cfg.Trace.Add1(e.lab.recvQuarantined, uint64(dst))
+		}
+		return
+	}
 	if !ok {
 		// No posted receive buffer: discard and count. The application
 		// reads this counter via flipc's read-and-reset interface; flow
@@ -385,25 +502,37 @@ func (e *Engine) deliver(frame []byte) {
 		return
 	}
 	if e.cfg.ValidityChecks {
-		if err := e.checkRecvBuffer(id); err != nil {
-			// A corrupted queue slot: refuse to touch memory, drop the
-			// message, and skip the slot so the queue keeps moving.
-			info.Drops.Incr(e.view)
-			e.stats.RecvDrops++
-			info.Queue.AdvanceProcess(e.view)
+		if k := e.checkRecvBuffer(id); k != FaultNone {
+			// A corrupted queue slot: refuse to touch memory and freeze
+			// the endpoint — the queue is not advanced (a frozen queue
+			// cannot mislead the engine again, and re-allocation is the
+			// recovery path).
+			e.quarantine(slot, k)
+			e.stats.QuarantineDrops++
+			if e.lab != nil {
+				e.cfg.Trace.Add1(e.lab.recvQuarantined, uint64(dst))
+			}
 			return
 		}
 	}
 	msg, err := e.buf.MsgByID(id)
 	if err != nil {
-		info.Drops.Incr(e.view)
-		e.stats.RecvDrops++
-		info.Queue.AdvanceProcess(e.view)
+		// Out-of-range buffer id caught without validity checks: still
+		// unambiguous corruption, still never touched. Quarantine.
+		e.quarantine(slot, FaultBadBufID)
+		e.stats.QuarantineDrops++
 		return
 	}
 	copy(msg.Payload(), pkt.Payload)
 	msg.EngineFillRecv(e.view, int(pkt.Size), pkt.Flags)
-	info.Queue.AdvanceProcess(e.view)
+	if err := info.Queue.AdvanceProcessChecked(e.view); err != nil {
+		// The release pointer moved under us between peek and advance:
+		// only a scribble can do that. The buffer was filled but cannot
+		// be handed over; count the frame as quarantine loss.
+		e.quarantine(slot, FaultQueueInvariant)
+		e.stats.QuarantineDrops++
+		return
+	}
 	e.stats.Delivered++
 	if e.lab != nil {
 		e.cfg.Trace.Add2(e.lab.recvDelivered, uint64(dst), uint64(pkt.Size))
@@ -430,18 +559,33 @@ func (e *Engine) deliver(frame []byte) {
 	}
 }
 
-func (e *Engine) checkRecvBuffer(id uint64) error {
+// peek reads the next processable buffer id from an endpoint queue,
+// with the invariant check fused in when ValidityChecks is configured
+// (an idle queue then costs no more than the unchecked peek — the
+// checks' price is paid per message, not per poll).
+func (e *Engine) peek(info *commbuf.EndpointInfo) (uint64, bool, error) {
+	if e.cfg.ValidityChecks {
+		return info.Queue.ProcessPeekChecked(e.view)
+	}
+	id, ok := info.Queue.ProcessPeek(e.view)
+	return id, ok, nil
+}
+
+// checkRecvBuffer validates a posted receive buffer id read from an
+// application-writable queue slot, returning the fault category when
+// the slot cannot be trusted.
+func (e *Engine) checkRecvBuffer(id uint64) FaultKind {
 	if !e.buf.ValidBufID(id) {
-		return fmt.Errorf("engine: posted buffer id %d out of range", id)
+		return FaultBadBufID
 	}
 	msg, err := e.buf.MsgByID(id)
 	if err != nil {
-		return err
+		return FaultBadBufID
 	}
 	if _, _, _, state := msg.EngineMeta(e.view); state != commbuf.StateQueued {
-		return fmt.Errorf("engine: posted buffer %d in state %v", id, state)
+		return FaultBadBufState
 	}
-	return nil
+	return FaultNone
 }
 
 // sendOrder returns the endpoint scan order for this pass. Both
@@ -459,7 +603,8 @@ func (e *Engine) sendOrder() []int {
 		if e.orderStale {
 			e.prioOrder = e.prioOrder[:0]
 			for i := 0; i < n; i++ {
-				if info := e.eps[i].info; info != nil && info.Type == commbuf.EndpointSend {
+				if info := e.eps[i].info; info != nil && info.Type == commbuf.EndpointSend &&
+					e.eps[i].fault == FaultNone {
 					e.prioOrder = append(e.prioOrder, i)
 				}
 			}
@@ -490,7 +635,7 @@ func (e *Engine) pollSend() bool {
 			break
 		}
 		info := e.endpoint(i)
-		if info == nil || info.Type != commbuf.EndpointSend {
+		if info == nil || info.Type != commbuf.EndpointSend || e.faulted(i) {
 			continue
 		}
 		if e.m != nil {
@@ -505,18 +650,36 @@ func (e *Engine) pollSend() bool {
 			if e.cfg.RateLimit > 0 && info.Priority == 0 && sent >= e.cfg.RateLimit {
 				break // capacity control extension: low-priority cap
 			}
-			id, ok := info.Queue.ProcessPeek(e.view)
+			id, ok, err := e.peek(info)
+			if err != nil {
+				// Wild queue pointers: freeze the endpoint before reading
+				// a slot through them. No quantum is consumed — a faulty
+				// endpoint cannot starve its neighbors in this pass.
+				e.quarantine(i, FaultQueueInvariant)
+				work = true
+				break
+			}
 			if !ok {
 				break
 			}
-			advance, didWork := e.transmit(info, id)
-			if didWork {
+			verdict, kind := e.transmit(info, id)
+			if verdict == txFault {
+				// Corrupt buffer id or state: the queue cannot be advanced
+				// past it safely (the slot is untrusted), so freeze the
+				// endpoint. No quantum consumed.
+				e.quarantine(i, kind)
 				work = true
+				break
 			}
-			if !advance {
-				break // wire busy: preserve order, retry next pass
+			if verdict == txBusy {
+				break // wire busy/peer down: preserve order, retry next pass
 			}
-			info.Queue.AdvanceProcess(e.view)
+			work = true
+			if err := info.Queue.AdvanceProcessChecked(e.view); err != nil {
+				// Release pointer scribbled between peek and advance.
+				e.quarantine(i, FaultQueueInvariant)
+				break
+			}
 			budget--
 			sent++
 		}
@@ -524,39 +687,66 @@ func (e *Engine) pollSend() bool {
 	return work
 }
 
-// transmit attempts to put one queued send buffer on the wire.
-// It reports (advance past this buffer, any work done).
-func (e *Engine) transmit(info *commbuf.EndpointInfo, id uint64) (advance, work bool) {
-	if e.cfg.ValidityChecks && !e.buf.ValidBufID(id) {
-		// Corrupt slot: count on the endpoint and skip it.
-		info.Drops.Incr(e.view)
-		e.stats.SendRefused++
-		return true, true
+// txVerdict is transmit's outcome for one queued send buffer.
+type txVerdict uint8
+
+const (
+	// txSent: on the wire; advance the queue, consume budget.
+	txSent txVerdict = iota
+	// txRefused: policy refusal (bad destination, oversize, node not
+	// allowed, unencodable) — dropped with per-message accounting;
+	// advance the queue, consume budget, endpoint stays healthy.
+	txRefused
+	// txBusy: transport backpressure or peer down; leave queued, retry
+	// next pass.
+	txBusy
+	// txFault: the queue slot or buffer meta is corrupt — the endpoint
+	// must be quarantined (see the FaultKind returned alongside).
+	txFault
+)
+
+// transmit attempts to put one queued send buffer on the wire. A
+// txFault verdict carries the fault category; every other verdict
+// returns FaultNone.
+//
+// The corruption checks (buffer id in range, buffer actually queued)
+// run unconditionally: they are what keeps the engine's no-panic,
+// no-wild-memory guarantee, and they cost two loads. ValidityChecks
+// gates only the policy checks the paper prices at +2 µs.
+func (e *Engine) transmit(info *commbuf.EndpointInfo, id uint64) (txVerdict, FaultKind) {
+	if !e.buf.ValidBufID(id) {
+		return txFault, FaultBadBufID
 	}
 	msg, err := e.buf.MsgByID(id)
 	if err != nil {
-		info.Drops.Incr(e.view)
-		e.stats.SendRefused++
-		return true, true
+		return txFault, FaultBadBufID
 	}
 	dst, size, flags, state := msg.EngineMeta(e.view)
 	if e.cfg.ValidityChecks {
-		if state != commbuf.StateQueued || !dst.Valid() ||
+		if state != commbuf.StateQueued {
+			// The application kept ownership of a buffer it queued (or
+			// queued one it never owned): state corruption, not policy.
+			return txFault, FaultBadBufState
+		}
+		if !dst.Valid() ||
 			size < 0 || size > e.buf.Config().MaxPayload() ||
 			!e.buf.NodeAllowed(e.view, dst.Node()) {
+			// Policy refusal: this message is dropped and counted, but the
+			// endpoint is healthy and later messages flow.
 			msg.EngineDropSend(e.view)
 			info.Drops.Incr(e.view)
 			e.stats.SendRefused++
-			return true, true
+			return txRefused, FaultNone
 		}
 	}
 	e.sendSeqs[info.Index]++
 	pkt := wire.Packet{
-		Dst:     dst,
-		Size:    uint16(size),
-		Flags:   flags,
-		Seq:     e.sendSeqs[info.Index],
-		Payload: msg.Payload()[:size],
+		Dst:      dst,
+		Size:     uint16(size),
+		Flags:    flags,
+		Seq:      e.sendSeqs[info.Index],
+		Payload:  msg.Payload()[:size],
+		Checksum: e.cfg.Checksum,
 	}
 	if e.stamp {
 		pkt.Stamp = time.Now().UnixNano()
@@ -564,10 +754,11 @@ func (e *Engine) transmit(info *commbuf.EndpointInfo, id uint64) (advance, work 
 	if err := wire.Encode(&pkt, e.frame); err != nil {
 		// Unencodable without checks enabled (e.g. invalid dst): treat
 		// as a refused send rather than wedging the queue.
+		e.sendSeqs[info.Index]--
 		msg.EngineDropSend(e.view)
 		info.Drops.Incr(e.view)
 		e.stats.SendRefused++
-		return true, true
+		return txRefused, FaultNone
 	}
 	if !e.tr.TrySend(dst.Node(), e.frame) {
 		e.sendSeqs[info.Index]-- // not sent; reuse the sequence number
@@ -581,12 +772,12 @@ func (e *Engine) transmit(info *commbuf.EndpointInfo, id uint64) (advance, work 
 		} else {
 			e.stats.WireBusy++
 		}
-		return false, false
+		return txBusy, FaultNone
 	}
 	msg.EngineCompleteSend(e.view)
 	e.stats.Sent++
 	if e.lab != nil {
 		e.cfg.Trace.Add2(e.lab.sendOK, uint64(dst), uint64(size))
 	}
-	return true, true
+	return txSent, FaultNone
 }

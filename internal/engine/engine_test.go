@@ -236,7 +236,7 @@ func TestWrongTypeEndpointDropped(t *testing.T) {
 	}
 }
 
-func TestValidityChecksRefuseBadSends(t *testing.T) {
+func TestCorruptSendSlotQuarantinesEndpoint(t *testing.T) {
 	a, _ := newPair(t, Config{ValidityChecks: true})
 	sep, _ := a.buf.AllocEndpoint(commbuf.EndpointSend, 4)
 	// Corrupt the queue: release a slot value that is not a buffer ID.
@@ -244,13 +244,19 @@ func TestValidityChecksRefuseBadSends(t *testing.T) {
 		t.Fatal("release failed")
 	}
 	a.eng.Poll()
-	if st := a.eng.Stats(); st.SendRefused != 1 || st.Sent != 0 {
-		t.Fatalf("stats = %+v", st)
+	st := a.eng.Stats()
+	if st.EndpointFaults[FaultBadBufID] != 1 || st.Quarantines != 1 {
+		t.Fatalf("corrupt slot not quarantined: %+v", st)
 	}
-	if sep.Drops().Read(a.app) != 1 {
-		t.Fatal("refused send not counted on endpoint")
+	if st.Sent != 0 || st.SendRefused != 0 {
+		t.Fatalf("corrupt slot treated as traffic: %+v", st)
 	}
-	// Engine did not wedge: a good send still goes through.
+	q := a.eng.Quarantined()
+	if len(q) != 1 || q[0].Slot != sep.Index() || q[0].Kind != FaultBadBufID {
+		t.Fatalf("quarantine snapshot = %+v", q)
+	}
+	// The endpoint is frozen: a later good send on it goes nowhere, and
+	// the episode is counted once, not per pass.
 	m, _ := a.buf.AllocMsg()
 	dst, _ := wire.MakeAddr(1, 0, 1)
 	copy(m.Payload(), "ok")
@@ -259,20 +265,70 @@ func TestValidityChecksRefuseBadSends(t *testing.T) {
 	}
 	sep.Queue().Release(a.app, uint64(m.ID()))
 	a.eng.Poll()
-	if st := a.eng.Stats(); st.Sent != 1 {
-		t.Fatalf("good send after corruption failed: %+v", st)
+	a.eng.Poll()
+	if st := a.eng.Stats(); st.Sent != 0 || st.Quarantines != 1 {
+		t.Fatalf("quarantined endpoint still serviced: %+v", st)
+	}
+	// Recovery: the application frees and re-allocates the slot. The
+	// config word changes (generation bump), the engine rebuilds its
+	// cache, and the fresh endpoint flows.
+	if err := a.buf.FreeEndpoint(sep); err != nil {
+		t.Fatal(err)
+	}
+	sep2, err := a.buf.AllocEndpoint(commbuf.EndpointSend, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep2.Index() != sep.Index() {
+		t.Fatalf("slot not reused: %d vs %d", sep2.Index(), sep.Index())
+	}
+	m2, _ := a.buf.AllocMsg()
+	copy(m2.Payload(), "ok")
+	if err := m2.StageSend(a.app, dst, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	sep2.Queue().Release(a.app, uint64(m2.ID()))
+	a.eng.Poll()
+	st = a.eng.Stats()
+	if st.QuarantineRecoveries != 1 || st.Sent != 1 {
+		t.Fatalf("quarantine not lifted by generation bump: %+v", st)
+	}
+	if q := a.eng.Quarantined(); len(q) != 0 {
+		t.Fatalf("quarantine snapshot not cleared: %+v", q)
 	}
 }
 
-func TestValidityChecksRefuseStaleStateSend(t *testing.T) {
+func TestUnstagedBufferQuarantinesEndpoint(t *testing.T) {
 	a, _ := newPair(t, Config{ValidityChecks: true})
 	sep, _ := a.buf.AllocEndpoint(commbuf.EndpointSend, 4)
 	m, _ := a.buf.AllocMsg()
-	// Release a buffer that was never staged (state Owned, not Queued).
+	// Release a buffer that was never staged (state Owned, not Queued):
+	// the application still owns memory the engine would transmit.
 	sep.Queue().Release(a.app, uint64(m.ID()))
 	a.eng.Poll()
-	if st := a.eng.Stats(); st.SendRefused != 1 {
-		t.Fatalf("unstaged buffer sent: %+v", st)
+	st := a.eng.Stats()
+	if st.EndpointFaults[FaultBadBufState] != 1 || st.Sent != 0 {
+		t.Fatalf("unstaged buffer not quarantined: %+v", st)
+	}
+}
+
+// A faulty endpoint consumes no send quantum: with SendQuantum=1, the
+// pass that quarantines slot 0 must still transmit slot 1's message.
+func TestFaultConsumesNoQuantum(t *testing.T) {
+	a, b := newPair(t, Config{ValidityChecks: true, SendQuantum: 1})
+	bad, _ := a.buf.AllocEndpoint(commbuf.EndpointSend, 4)
+	good, _ := a.buf.AllocEndpoint(commbuf.EndpointSend, 4)
+	rep, _ := b.buf.AllocEndpoint(commbuf.EndpointRecv, 4)
+	post(t, b, rep)
+	bad.Queue().Release(a.app, 9999) // corrupt slot on the first-scanned endpoint
+	send(t, a, good, rep.Addr(), "through")
+	a.eng.Poll()
+	st := a.eng.Stats()
+	if st.EndpointFaults[FaultBadBufID] != 1 {
+		t.Fatalf("bad endpoint not quarantined: %+v", st)
+	}
+	if st.Sent != 1 {
+		t.Fatalf("fault consumed the pass's quantum: %+v", st)
 	}
 }
 

@@ -127,6 +127,153 @@ func TestFuzzRandomFramesFromWire(t *testing.T) {
 	}
 }
 
+// TestFuzzCorruptQueuePointers scribbles random values over an
+// endpoint queue's application-writable control words — release,
+// acquire, and the slot array — between engine passes. The engine must
+// quarantine (or simply ignore) the wreckage without panicking, and a
+// fresh endpoint must still get service.
+func TestFuzzCorruptQueuePointers(t *testing.T) {
+	prop := func(vals []uint64) bool {
+		a, b := newPair2(t)
+		evil, err := a.buf.AllocEndpoint(commbuf.EndpointSend, 8)
+		if err != nil {
+			return false
+		}
+		relOff, _, acqOff, slotBase := evil.Queue().DebugOffsets()
+		offs := []int{relOff, acqOff, slotBase, slotBase + 3}
+		for i, v := range vals {
+			if i >= 16 {
+				break
+			}
+			a.app.Store(offs[i%len(offs)], v)
+			a.eng.Poll()
+		}
+		return goodPathWorks(t, a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzForgedConfigWords overwrites endpoint descriptor config words
+// with random garbage — free slots that suddenly claim to be active
+// endpoints, active slots whose type/depth/generation mutate under the
+// engine. Survival plus continued service is the property; the engine
+// may quarantine any slot it finds insane.
+func TestFuzzForgedConfigWords(t *testing.T) {
+	prop := func(words []uint64, slots []uint8) bool {
+		a, b := newPair2(t)
+		n := len(words)
+		if len(slots) < n {
+			n = len(slots)
+		}
+		for i := 0; i < n && i < 16; i++ {
+			off, ok := a.buf.EndpointCfgOffset(int(slots[i]) % 8)
+			if !ok {
+				continue
+			}
+			a.app.Store(off, words[i])
+			a.eng.Poll()
+			a.eng.Poll()
+		}
+		return goodPathWorks(t, a, b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuzzWireChecksum feeds a checksumming engine well-formed
+// checksummed frames with random bits flipped. Whatever the flip hits —
+// payload (checksum failure), header fields (bad frame or stale
+// address), or the checksum flag itself (the documented flag-gate blind
+// spot, a spurious delivery) — every arrival must land in exactly one
+// accounting category and the engine must keep running.
+func TestFuzzWireChecksum(t *testing.T) {
+	prop := func(payloads [][]byte, seed int64) bool {
+		fabric := interconnect.NewFabric(64)
+		buf, err := commbuf.New(commbuf.Config{Node: 0, MessageSize: 64})
+		if err != nil {
+			return false
+		}
+		tr, err := fabric.Attach(0)
+		if err != nil {
+			return false
+		}
+		injector, err := fabric.Attach(1)
+		if err != nil {
+			return false
+		}
+		eng, err := New(buf, tr, Config{ValidityChecks: true, Checksum: true})
+		if err != nil {
+			return false
+		}
+		app := buf.View(mem.ActorApp)
+		rep, err := buf.AllocEndpoint(commbuf.EndpointRecv, 16)
+		if err != nil {
+			return false
+		}
+		post := func(ep *commbuf.Endpoint) bool {
+			m, err := buf.AllocMsg()
+			if err != nil {
+				return false
+			}
+			if err := m.StageRecv(app); err != nil {
+				return false
+			}
+			return ep.Queue().Release(app, uint64(m.ID()))
+		}
+		for i := 0; i < 8; i++ {
+			if !post(rep) {
+				return false
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, p := range payloads {
+			if len(p) > 40 {
+				p = p[:40]
+			}
+			pkt := &wire.Packet{Dst: rep.Addr(), Size: uint16(len(p)), Payload: p, Checksum: true}
+			frame := make([]byte, 64)
+			if err := wire.Encode(pkt, frame); err != nil {
+				continue
+			}
+			for b := 1 + rng.Intn(3); b > 0; b-- {
+				bit := rng.Intn(len(frame) * 8)
+				frame[bit/8] ^= 1 << (bit % 8)
+			}
+			injector.TrySend(0, frame)
+			eng.Poll()
+		}
+		st := eng.Stats()
+		if st.Received != st.Delivered+st.RecvDrops+st.AddrDrops+st.BadFrames+st.ChecksumDrops+st.QuarantineDrops {
+			return false
+		}
+		// An intact checksummed frame must still get through.
+		rep2, err := buf.AllocEndpoint(commbuf.EndpointRecv, 4)
+		if err != nil {
+			return false
+		}
+		if !post(rep2) {
+			return false
+		}
+		good := &wire.Packet{Dst: rep2.Addr(), Size: 2, Payload: []byte("ok"), Checksum: true}
+		frame := make([]byte, 64)
+		if err := wire.Encode(good, frame); err != nil {
+			return false
+		}
+		injector.TrySend(0, frame)
+		for i := 0; i < 10; i++ {
+			eng.Poll()
+		}
+		_, delivered := rep2.Queue().Acquire(app)
+		return delivered
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestEngineSurvivesFullDoorbell: a wait-free producer cannot block; a
 // full doorbell must not stall delivery.
 func TestEngineSurvivesFullDoorbell(t *testing.T) {

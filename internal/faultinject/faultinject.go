@@ -1,0 +1,278 @@
+// Package faultinject provides deterministic fault injection for FLIPC
+// transports and communication buffers — the chaos harness behind the
+// fault-containment guarantees (endpoint quarantine, frame checksums,
+// exact loss accounting).
+//
+// An Injector wraps any interconnect.Transport and applies seeded,
+// composable fault modes to the frames flowing through it: drop,
+// duplicate, bit-corrupt, delay (in poll counts, not wall time — so
+// runs are reproducible), reorder, and per-peer partition. Every
+// injected fault is counted, which is what lets the chaos soak test
+// assert exact conservation: every frame an engine sent is either
+// delivered or appears in exactly one loss category.
+//
+// A Corruptor models a buggy or hostile application scribbling on the
+// communication buffer through its own (legitimate, app-actor) view:
+// wild queue pointers, out-of-range buffer ids, forged endpoint
+// descriptors. The engine must respond by quarantining the endpoint,
+// never by panicking or touching wild memory.
+//
+// Determinism: all randomness comes from one math/rand.Rand seeded at
+// construction. Two injectors with the same seed and the same call
+// sequence make identical decisions; the package never reads the clock.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"flipc/internal/interconnect"
+	"flipc/internal/wire"
+)
+
+// Config selects the fault mix. All rates are probabilities in [0, 1]
+// applied independently per frame; zero disables the mode. The zero
+// Config injects nothing (the Injector is then a transparent,
+// still-counting wrapper).
+type Config struct {
+	// Seed drives every random decision. Equal seeds give equal fault
+	// sequences for equal traffic.
+	Seed int64
+	// DropRate silently discards outgoing frames (counted, per the
+	// FLIPC discipline: drops are never silent to the observer).
+	DropRate float64
+	// DupRate sends an outgoing frame twice.
+	DupRate float64
+	// CorruptRate flips CorruptBits random bits in an outgoing frame.
+	CorruptRate float64
+	// CorruptBits is how many bits each corruption flips (default 1).
+	CorruptBits int
+	// DelayRate holds an incoming frame for 1..DelayPolls extra Poll
+	// calls before releasing it.
+	DelayRate float64
+	// DelayPolls bounds the delay in polls (default 4).
+	DelayPolls int
+	// ReorderRate holds an incoming frame for one poll so a later frame
+	// can overtake it.
+	ReorderRate float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.CorruptBits <= 0 {
+		c.CorruptBits = 1
+	}
+	if c.DelayPolls <= 0 {
+		c.DelayPolls = 4
+	}
+}
+
+// Validate rejects rates outside [0, 1].
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"DropRate", c.DropRate}, {"DupRate", c.DupRate},
+		{"CorruptRate", c.CorruptRate}, {"DelayRate", c.DelayRate},
+		{"ReorderRate", c.ReorderRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faultinject: %s %v outside [0,1]", r.name, r.v)
+		}
+	}
+	return nil
+}
+
+// Stats counts injected faults. Every count is a frame-level event;
+// together with the wrapped transport's own accounting they close the
+// conservation equation (see the package test).
+type Stats struct {
+	Sent        uint64 // frames the engine handed us that were accepted (incl. swallowed)
+	Forwarded   uint64 // frames actually passed to the inner transport
+	Dropped     uint64 // frames swallowed by DropRate
+	Partitioned uint64 // frames swallowed by an active partition
+	Duplicated  uint64 // extra copies the inner transport accepted
+	Corrupted   uint64 // frames with flipped bits (still forwarded)
+	Delayed     uint64 // incoming frames held for >1 poll
+	Reordered   uint64 // incoming frames held so a successor overtakes
+}
+
+// held is a frame parked on the receive side until a poll count.
+type held struct {
+	frame     []byte
+	releaseAt uint64
+}
+
+// Injector wraps a Transport with fault injection. Safe for concurrent
+// use when the inner transport is (all state is mutex-guarded), so it
+// composes with both the single-threaded Mesh and the goroutine-safe
+// Fabric.
+type Injector struct {
+	inner interconnect.Transport
+
+	mu        sync.Mutex
+	cfg       Config
+	rng       *rand.Rand
+	stats     Stats
+	pollCount uint64
+	heldIn    []held
+	parts     map[wire.NodeID]bool
+}
+
+// Wrap wraps a transport. The configuration may be the zero value for
+// a transparent pass-through that still counts traffic.
+func Wrap(inner interconnect.Transport, cfg Config) (*Injector, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("faultinject: nil inner transport")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg.applyDefaults()
+	return &Injector{
+		inner: inner,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		parts: make(map[wire.NodeID]bool),
+	}, nil
+}
+
+// LocalNode forwards to the wrapped transport.
+func (j *Injector) LocalNode() wire.NodeID { return j.inner.LocalNode() }
+
+// PeerUp forwards to the wrapped transport's reporter, or reports true
+// (the in-process transports are reliable by construction).
+func (j *Injector) PeerUp(dst wire.NodeID) bool {
+	if r, ok := j.inner.(interconnect.PeerStatusReporter); ok {
+		return r.PeerUp(dst)
+	}
+	return true
+}
+
+// TrySend applies the send-side fault modes: partition and drop swallow
+// the frame (reporting acceptance — the loss must look like the wire,
+// not like backpressure), corrupt flips bits in a copy, duplicate sends
+// twice. When the inner transport refuses the frame, nothing is counted
+// and the refusal propagates so the engine retries as usual.
+func (j *Injector) TrySend(dst wire.NodeID, frame []byte) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.parts[dst] {
+		j.stats.Sent++
+		j.stats.Partitioned++
+		return true
+	}
+	if j.roll(j.cfg.DropRate) {
+		j.stats.Sent++
+		j.stats.Dropped++
+		return true
+	}
+	out := frame
+	corrupted := false
+	if j.roll(j.cfg.CorruptRate) {
+		// Copy before flipping: the engine reuses its frame buffer and
+		// the inner transport copies on accept, but the caller's bytes
+		// are not ours to damage.
+		out = append([]byte(nil), frame...)
+		for b := 0; b < j.cfg.CorruptBits; b++ {
+			bit := j.rng.Intn(len(out) * 8)
+			out[bit/8] ^= 1 << (bit % 8)
+		}
+		corrupted = true
+	}
+	if !j.inner.TrySend(dst, out) {
+		return false
+	}
+	j.stats.Sent++
+	j.stats.Forwarded++
+	if corrupted {
+		j.stats.Corrupted++
+	}
+	if j.roll(j.cfg.DupRate) && j.inner.TrySend(dst, out) {
+		j.stats.Forwarded++
+		j.stats.Duplicated++
+	}
+	return true
+}
+
+// Poll applies the receive-side fault modes. Held (delayed/reordered)
+// frames are released oldest-first once due; fresh frames from the
+// inner transport may be parked by DelayRate (1..DelayPolls polls) or
+// ReorderRate (one poll, letting the next frame overtake). A held
+// frame is never lost: it stays queued until a later Poll releases it.
+func (j *Injector) Poll() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.pollCount++
+	for i, h := range j.heldIn {
+		if h.releaseAt <= j.pollCount {
+			j.heldIn = append(j.heldIn[:i], j.heldIn[i+1:]...)
+			return h.frame, true
+		}
+	}
+	for {
+		frame, ok := j.inner.Poll()
+		if !ok {
+			return nil, false
+		}
+		if j.roll(j.cfg.DelayRate) {
+			j.stats.Delayed++
+			j.heldIn = append(j.heldIn, held{
+				frame:     frame,
+				releaseAt: j.pollCount + 1 + uint64(j.rng.Intn(j.cfg.DelayPolls)),
+			})
+			continue
+		}
+		if j.roll(j.cfg.ReorderRate) {
+			j.stats.Reordered++
+			j.heldIn = append(j.heldIn, held{frame: frame, releaseAt: j.pollCount + 1})
+			continue
+		}
+		return frame, true
+	}
+}
+
+// Partition sets or clears a one-way partition toward dst: while set,
+// every TrySend to dst is swallowed and counted.
+func (j *Injector) Partition(dst wire.NodeID, on bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if on {
+		j.parts[dst] = true
+	} else {
+		delete(j.parts, dst)
+	}
+}
+
+// Heal clears all partitions.
+func (j *Injector) Heal() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.parts = make(map[wire.NodeID]bool)
+}
+
+// Held returns how many incoming frames are currently parked. A soak
+// drains until every injector reports zero.
+func (j *Injector) Held() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.heldIn)
+}
+
+// Stats returns a snapshot of the fault counters.
+func (j *Injector) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// roll draws one Bernoulli decision. A zero rate consumes no
+// randomness, so disabled modes do not perturb the decision sequence
+// of the enabled ones.
+func (j *Injector) roll(rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	return j.rng.Float64() < rate
+}

@@ -1,0 +1,461 @@
+package faultinject_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flipc/internal/commbuf"
+	"flipc/internal/core"
+	"flipc/internal/engine"
+	"flipc/internal/faultinject"
+	"flipc/internal/interconnect"
+	"flipc/internal/wire"
+)
+
+// The chaos soak: a three-node in-process cluster with every injector
+// fault mode live at 2%, a mid-run partition, and deliberate
+// comm-buffer corruption on every node, driven with the engines on
+// their own goroutines (run it with -race). Sacrificial endpoints are
+// poisoned, quarantined, and recovered via free/re-allocate while the
+// main traffic keeps flowing. At the end the conservation law must
+// hold exactly:
+//
+//	every frame an engine sent is delivered or appears in exactly
+//	one loss category — injector drop, partition, receiver checksum
+//	failure, no-posted-buffer, stale address, or quarantined
+//	destination — with duplicates accounted on the other side.
+//
+// Any engine panic fails the test; so does a quarantine that never
+// recovers, or a single unaccounted frame.
+func TestChaosSoakConservation(t *testing.T) {
+	const (
+		nodes       = 3
+		msgsPerNode = 35000
+		chaosBurst  = 50
+		seed        = 20260806
+		deadline    = 60 * time.Second
+	)
+	chaos := faultinject.Config{
+		DropRate:    0.02,
+		DupRate:     0.02,
+		CorruptRate: 0.02,
+		CorruptBits: 1,
+		DelayRate:   0.02,
+		DelayPolls:  4,
+		ReorderRate: 0.02,
+	}
+
+	type node struct {
+		d        *core.Domain
+		inj      *faultinject.Injector
+		port     interconnect.Transport
+		sep      *core.Endpoint // main traffic source
+		rep      *core.Endpoint // main inbox, kept stocked
+		chaosRep *core.Endpoint // inbox whose queue gets scribbled mid-run
+	}
+	fabric := interconnect.NewFabric(512)
+	ns := make([]*node, nodes)
+	for i := range ns {
+		port, err := fabric.Attach(wire.NodeID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := chaos
+		cfg.Seed = seed + int64(i)
+		inj, err := faultinject.Wrap(port, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := core.NewDomain(core.Config{
+			Node:        wire.NodeID(i),
+			MessageSize: 64,
+			NumBuffers:  256,
+			Engine: engine.Config{
+				ValidityChecks: true,
+				Checksum:       true,
+				SendQuantum:    16,
+				RecvQuantum:    16,
+			},
+		}, inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		n := &node{d: d, inj: inj, port: port}
+		if n.sep, err = d.NewSendEndpoint(32); err != nil {
+			t.Fatal(err)
+		}
+		if n.rep, err = d.NewRecvEndpoint(16); err != nil {
+			t.Fatal(err)
+		}
+		if n.chaosRep, err = d.NewRecvEndpoint(8); err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < 12; b++ {
+			m, err := d.AllocBuffer()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ep := n.rep
+			if b >= 8 {
+				ep = n.chaosRep
+			}
+			if ep.Post(m) != nil {
+				d.FreeBuffer(m)
+			}
+		}
+		ns[i] = n
+	}
+	repAddr := make([]core.Addr, nodes)
+	chaosAddr := make([]core.Addr, nodes)
+	for i, n := range ns {
+		repAddr[i] = n.rep.Addr()
+		chaosAddr[i] = n.chaosRep.Addr()
+		n.d.Start()
+	}
+
+	// Every node's application runs on its own goroutine: the comm
+	// buffer's single-app-writer discipline holds per buffer, while the
+	// engines race freely against them.
+	var (
+		wg        sync.WaitGroup
+		scribbled [nodes]atomic.Bool
+		failed    atomic.Bool
+	)
+	fatalf := func(format string, args ...any) {
+		failed.Store(true)
+		t.Errorf(format, args...)
+	}
+	slotOf := func(n *node, ep *core.Endpoint) int {
+		slot, ok := n.d.Buffer().SlotForAddrIndex(int(ep.Addr().Index()))
+		if !ok {
+			fatalf("no slot for endpoint %v", ep.Addr())
+			return -1
+		}
+		return slot
+	}
+	quarantinedSlot := func(n *node, slot int) bool {
+		for _, q := range n.d.Engine().Quarantined() {
+			if q.Slot == slot {
+				return true
+			}
+		}
+		return false
+	}
+	waitQuarantine := func(n *node, slot int, want bool) bool {
+		limit := time.Now().Add(deadline)
+		for quarantinedSlot(n, slot) != want {
+			if failed.Load() || time.Now().After(limit) {
+				return false
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		return true
+	}
+
+	for i := range ns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := ns[i]
+			corr := faultinject.NewCorruptor(n.d.Buffer(), seed+100+int64(i))
+			reclaim := func() {
+				for {
+					m, ok := n.sep.Acquire()
+					if !ok {
+						return
+					}
+					n.d.FreeBuffer(m)
+				}
+			}
+			drainInbox := func() {
+				for {
+					m, ok := n.rep.Receive()
+					if !ok {
+						return
+					}
+					if n.rep.Post(m) != nil {
+						n.d.FreeBuffer(m)
+					}
+				}
+			}
+			sendTo := func(dst core.Addr, tag byte) bool {
+				for attempt := 0; ; attempt++ {
+					reclaim()
+					drainInbox()
+					m, err := n.d.AllocBuffer()
+					if err != nil {
+						time.Sleep(10 * time.Microsecond)
+						continue
+					}
+					m.Payload()[0] = tag
+					err = n.sep.Send(m, dst, 8)
+					if err == nil {
+						return true
+					}
+					n.d.FreeBuffer(m)
+					if !errors.Is(err, core.ErrQueueFull) {
+						fatalf("node %d: send: %v", i, err)
+						return false
+					}
+					if failed.Load() || attempt > 1<<22 {
+						fatalf("node %d: send queue never drained", i)
+						return false
+					}
+					time.Sleep(10 * time.Microsecond)
+				}
+			}
+			// Mix: the bulk to the two peers' main inboxes, a trickle to
+			// the next peer's chaos inbox (scribbled mid-run on its side).
+			peers := [2]int{(i + 1) % nodes, (i + 2) % nodes}
+			for sent := 0; sent < msgsPerNode && !failed.Load(); sent++ {
+				dst := repAddr[peers[sent%2]]
+				if sent%10 == 9 {
+					dst = chaosAddr[peers[0]]
+				}
+				if !sendTo(dst, byte(sent)) {
+					return
+				}
+				switch sent {
+				case msgsPerNode / 8:
+					n.inj.Partition(wire.NodeID(peers[0]), true)
+				case msgsPerNode/8 + 2000:
+					n.inj.Heal()
+				case msgsPerNode / 4:
+					// Scribble our own chaos inbox's release pointer: peer
+					// traffic aimed at it must quarantine the slot.
+					corr.ScribbleRelease(chaosEP(n.d, n.chaosRep))
+					scribbled[i].Store(true)
+				case msgsPerNode / 2:
+					// Sacrificial send endpoint: poison, watch the engine
+					// quarantine it, recover by re-allocating the slot, and
+					// prove the reborn endpoint sends.
+					sac, err := n.d.NewSendEndpoint(4)
+					if err != nil {
+						fatalf("node %d: sac alloc: %v", i, err)
+						return
+					}
+					slot := slotOf(n, sac)
+					if !corr.WildBufID(chaosEP(n.d, sac)) {
+						fatalf("node %d: wild release failed", i)
+						return
+					}
+					if !waitQuarantine(n, slot, true) {
+						fatalf("node %d: send-side quarantine never observed", i)
+						return
+					}
+					if err := sac.Free(); err != nil {
+						fatalf("node %d: sac free: %v", i, err)
+						return
+					}
+					sac2, err := n.d.NewSendEndpoint(4)
+					if err != nil {
+						fatalf("node %d: sac realloc: %v", i, err)
+						return
+					}
+					if got := slotOf(n, sac2); got != slot {
+						fatalf("node %d: realloc got slot %d, want %d", i, got, slot)
+						return
+					}
+					if !waitQuarantine(n, slot, false) {
+						fatalf("node %d: quarantine never lifted after realloc", i)
+						return
+					}
+					m, err := n.d.AllocBuffer()
+					if err == nil {
+						m.Payload()[0] = 0xEE
+						if err := sac2.Send(m, repAddr[peers[1]], 8); err != nil {
+							n.d.FreeBuffer(m)
+						}
+					}
+				}
+			}
+			if failed.Load() {
+				return
+			}
+			// Wait until every node has scribbled its chaos inbox, then
+			// burst traffic at them: these arrivals are guaranteed to hit
+			// poisoned queues, making the recv-side quarantine
+			// deterministic regardless of scheduling.
+			for k := 0; k < nodes; k++ {
+				for !scribbled[k].Load() {
+					if failed.Load() {
+						return
+					}
+					time.Sleep(10 * time.Microsecond)
+				}
+			}
+			for b := 0; b < chaosBurst; b++ {
+				for _, p := range peers {
+					if !sendTo(chaosAddr[p], 0xCC) {
+						return
+					}
+				}
+			}
+			// Recover our own chaos inbox: the burst above guarantees the
+			// engine has (or will) put it in quarantine.
+			slot := slotOf(n, n.chaosRep)
+			if !waitQuarantine(n, slot, true) {
+				fatalf("node %d: recv-side quarantine never observed", i)
+				return
+			}
+			if err := n.chaosRep.Free(); err != nil {
+				fatalf("node %d: chaos inbox free: %v", i, err)
+				return
+			}
+			reborn, err := n.d.NewRecvEndpoint(8)
+			if err != nil {
+				fatalf("node %d: chaos inbox realloc: %v", i, err)
+				return
+			}
+			_ = reborn
+			if !waitQuarantine(n, slot, false) {
+				fatalf("node %d: recv quarantine never lifted", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if failed.Load() {
+		t.FailNow()
+	}
+
+	// Quiesce: engines are still running; wait until the injectors hold
+	// nothing, the fabric has handed over everything forwarded into it,
+	// and the flow counters stop moving (outstanding sends drained).
+	type flow struct{ fwd, del, sent uint64 }
+	sample := func() flow {
+		var f flow
+		for _, n := range ns {
+			st := n.inj.Stats()
+			f.fwd += st.Forwarded
+			f.sent += st.Sent
+			f.del += n.port.(interface{ Stats() interconnect.Stats }).Stats().Delivered
+		}
+		return f
+	}
+	limit := time.Now().Add(deadline)
+	var prev flow
+	for {
+		if time.Now().After(limit) {
+			t.Fatal("cluster never quiesced")
+		}
+		held := 0
+		for _, n := range ns {
+			held += n.inj.Held()
+		}
+		cur := sample()
+		if held == 0 && cur.fwd == cur.del && cur == prev {
+			break
+		}
+		prev = cur
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, n := range ns {
+		n.d.Close() // joins the engine goroutine: stats reads below are safe
+	}
+
+	// Conservation, per injector: accepted == swallowed + forwarded
+	// primaries.
+	var inj faultinject.Stats
+	for i, n := range ns {
+		st := n.inj.Stats()
+		if st.Sent != st.Dropped+st.Partitioned+(st.Forwarded-st.Duplicated) {
+			t.Errorf("node %d: injector books don't balance: %+v", i, st)
+		}
+		inj.Sent += st.Sent
+		inj.Forwarded += st.Forwarded
+		inj.Dropped += st.Dropped
+		inj.Partitioned += st.Partitioned
+		inj.Duplicated += st.Duplicated
+		inj.Corrupted += st.Corrupted
+		inj.Delayed += st.Delayed
+		inj.Reordered += st.Reordered
+	}
+	var eng engine.Stats
+	var faults [engine.NumFaultKinds]uint64
+	for i, n := range ns {
+		st := n.d.Engine().Stats()
+		if got := st.Delivered + st.RecvDrops + st.AddrDrops + st.BadFrames + st.ChecksumDrops + st.QuarantineDrops; got != st.Received {
+			t.Errorf("node %d: received %d != delivered %d + drops %d/%d/%d/%d/%d",
+				i, st.Received, st.Delivered, st.RecvDrops, st.AddrDrops,
+				st.BadFrames, st.ChecksumDrops, st.QuarantineDrops)
+		}
+		eng.Sent += st.Sent
+		eng.Received += st.Received
+		eng.Delivered += st.Delivered
+		eng.RecvDrops += st.RecvDrops
+		eng.AddrDrops += st.AddrDrops
+		eng.BadFrames += st.BadFrames
+		eng.ChecksumDrops += st.ChecksumDrops
+		eng.QuarantineDrops += st.QuarantineDrops
+		eng.Quarantines += st.Quarantines
+		eng.QuarantineRecoveries += st.QuarantineRecoveries
+		for k, c := range st.EndpointFaults {
+			faults[k] += c
+		}
+	}
+	// Every frame the engines sent entered an injector; every frame the
+	// injectors released was received by an engine.
+	if eng.Sent != inj.Sent {
+		t.Errorf("engines sent %d, injectors accepted %d", eng.Sent, inj.Sent)
+	}
+	if eng.Received != inj.Forwarded {
+		t.Errorf("injectors forwarded %d, engines received %d", inj.Forwarded, eng.Received)
+	}
+	// The global conservation law: sent - swallowed + duplicated lands
+	// in exactly one receive-side category.
+	lost := eng.RecvDrops + eng.AddrDrops + eng.BadFrames + eng.ChecksumDrops + eng.QuarantineDrops
+	if eng.Sent-inj.Dropped-inj.Partitioned+inj.Duplicated != eng.Delivered+lost {
+		t.Errorf("conservation violated: sent=%d dropped=%d partitioned=%d duplicated=%d delivered=%d lost=%d",
+			eng.Sent, inj.Dropped, inj.Partitioned, inj.Duplicated, eng.Delivered, lost)
+	}
+	if eng.Sent < 100000 {
+		t.Errorf("soak too small: %d messages sent, want >= 100000", eng.Sent)
+	}
+	// Every chaos mode fired, and every one left its audit trail.
+	for name, v := range map[string]uint64{
+		"Dropped": inj.Dropped, "Partitioned": inj.Partitioned,
+		"Duplicated": inj.Duplicated, "Corrupted": inj.Corrupted,
+		"Delayed": inj.Delayed, "Reordered": inj.Reordered,
+		"ChecksumDrops":   eng.ChecksumDrops,
+		"QuarantineDrops": eng.QuarantineDrops,
+		"Delivered":       eng.Delivered,
+	} {
+		if v == 0 {
+			t.Errorf("%s never happened — chaos mode not exercised", name)
+		}
+	}
+	// Each node quarantined its sacrificial send endpoint and its
+	// scribbled inbox, and recovered both via slot re-allocation.
+	if eng.Quarantines < 2*nodes {
+		t.Errorf("quarantine episodes = %d, want >= %d", eng.Quarantines, 2*nodes)
+	}
+	if eng.QuarantineRecoveries < 2*nodes {
+		t.Errorf("quarantine recoveries = %d, want >= %d", eng.QuarantineRecoveries, 2*nodes)
+	}
+	if faults[engine.FaultBadBufID] < nodes {
+		t.Errorf("bad-buffer-id faults = %d, want >= %d", faults[engine.FaultBadBufID], nodes)
+	}
+	if faults[engine.FaultQueueInvariant] < nodes {
+		t.Errorf("queue-invariant faults = %d, want >= %d", faults[engine.FaultQueueInvariant], nodes)
+	}
+	t.Logf("chaos soak: sent=%d delivered=%d | injector drop=%d partition=%d dup=%d corrupt=%d delay=%d reorder=%d | recv drops=%d addr=%d bad=%d cksum=%d quarantine=%d | episodes=%d recoveries=%d",
+		eng.Sent, eng.Delivered, inj.Dropped, inj.Partitioned, inj.Duplicated,
+		inj.Corrupted, inj.Delayed, inj.Reordered,
+		eng.RecvDrops, eng.AddrDrops, eng.BadFrames, eng.ChecksumDrops,
+		eng.QuarantineDrops, eng.Quarantines, eng.QuarantineRecoveries)
+}
+
+// chaosEP digs the commbuf endpoint out of a core endpoint via the
+// buffer's slot table, so the Corruptor can scribble on it through the
+// application view — exactly what a buggy application could do.
+func chaosEP(d *core.Domain, ep *core.Endpoint) *commbuf.Endpoint {
+	slot, ok := d.Buffer().SlotForAddrIndex(int(ep.Addr().Index()))
+	if !ok {
+		panic("endpoint has no slot")
+	}
+	return d.Buffer().EndpointByIndex(slot)
+}

@@ -252,7 +252,8 @@ func TestQuickOutboxInboxRoundTrip(t *testing.T) {
 		if len(payload) > a.MaxPayload() {
 			payload = payload[:a.MaxPayload()]
 		}
-		flags &^= wire.FlagStamped // reserved transport bit, masked by wire.Encode
+		// Reserved transport bits (stamp, checksum), masked by wire.Encode.
+		flags &^= wire.FlagStamped | wire.FlagChecksummed
 		for {
 			err := out.SendFlags(in.Addr(), payload, flags)
 			if err == nil {

@@ -8,7 +8,8 @@
 //	              server-side quantiles (?format=json) — the schema
 //	              flipcstat -watch consumes.
 //	/healthz      200 when every known peer is connected (or none are
-//	              known), 503 otherwise; JSON body with peer states.
+//	              known) and no endpoint is quarantined, 503 otherwise;
+//	              JSON body with peer states and quarantined endpoints.
 //	/debug/trace  plain-text dump of the trace ring, oldest first.
 //
 // Scrapes never block the message path: every read is a registry
@@ -25,6 +26,7 @@ import (
 	"sort"
 	"strings"
 
+	"flipc/internal/engine"
 	"flipc/internal/metrics"
 	"flipc/internal/nettrans"
 	"flipc/internal/trace"
@@ -41,6 +43,30 @@ type Server struct {
 	Health func() []nettrans.PeerHealth
 	// Trace is the node's trace ring, dumped by /debug/trace.
 	Trace *trace.Ring
+	// Quarantined returns the engine's quarantined endpoints (typically
+	// engine.Engine.Quarantined — safe from any goroutine). A non-empty
+	// result marks the node degraded on /healthz: the engine has fenced
+	// off part of the communication buffer.
+	Quarantined func() []engine.QuarantinedEndpoint
+}
+
+// QuarantineJSON is one quarantined endpoint in the JSON exposition.
+type QuarantineJSON struct {
+	Slot int    `json:"slot"`
+	Kind string `json:"kind"`
+	Pass uint64 `json:"pass"`
+}
+
+func (s *Server) quarantined() []QuarantineJSON {
+	if s.Quarantined == nil {
+		return nil
+	}
+	qs := s.Quarantined()
+	out := make([]QuarantineJSON, 0, len(qs))
+	for _, q := range qs {
+		out = append(out, QuarantineJSON{Slot: q.Slot, Kind: q.Kind.String(), Pass: q.Pass})
+	}
+	return out
 }
 
 // HistJSON is one histogram in the JSON exposition: counts plus
@@ -233,7 +259,8 @@ func baseSuffix(name, suffix string) string {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	peers := s.peers()
-	healthy := true
+	quarantined := s.quarantined()
+	healthy := len(quarantined) == 0
 	for _, p := range peers {
 		if p.State != nettrans.PeerConnected.String() {
 			healthy = false
@@ -248,9 +275,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// guarantee local).
 	sort.Slice(peers, func(i, j int) bool { return peers[i].Node < peers[j].Node })
 	json.NewEncoder(w).Encode(struct {
-		Healthy bool       `json:"healthy"`
-		Peers   []PeerJSON `json:"peers"`
-	}{healthy, peers})
+		Healthy     bool             `json:"healthy"`
+		Peers       []PeerJSON       `json:"peers"`
+		Quarantined []QuarantineJSON `json:"quarantined,omitempty"`
+	}{healthy, peers, quarantined})
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -19,6 +19,7 @@ import (
 
 	"flipc/internal/core"
 	"flipc/internal/engine"
+	"flipc/internal/faultinject"
 	"flipc/internal/interconnect"
 	"flipc/internal/sim"
 	"flipc/internal/wire"
@@ -40,6 +41,12 @@ type Config struct {
 	PollInterval sim.Time
 	// Engine configures every node's engine (checks, policy, quanta).
 	Engine engine.Config
+	// Chaos, when non-nil, wraps every node's transport in a
+	// deterministic fault injector (node n is seeded Chaos.Seed+n, so a
+	// cluster run is reproducible from one seed). The per-node injectors
+	// are exposed as Cluster.Injectors for partition control and fault
+	// accounting.
+	Chaos *faultinject.Config
 }
 
 // Cluster is a virtual-time FLIPC cluster.
@@ -47,6 +54,9 @@ type Cluster struct {
 	Clock   *sim.Clock
 	Mesh    *interconnect.Mesh
 	Domains []*core.Domain
+	// Injectors holds each node's fault injector when Config.Chaos is
+	// set (nil otherwise), indexed by node.
+	Injectors []*faultinject.Injector
 
 	cfg     Config
 	tickers []*sim.Ticker
@@ -80,9 +90,20 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{Clock: clock, Mesh: mesh, cfg: cfg}
 	for n := 0; n < cfg.Nodes; n++ {
-		tr, err := mesh.Attach(wire.NodeID(n))
+		var tr interconnect.Transport
+		tr, err = mesh.Attach(wire.NodeID(n))
 		if err != nil {
 			return nil, err
+		}
+		if cfg.Chaos != nil {
+			ccfg := *cfg.Chaos
+			ccfg.Seed += int64(n)
+			inj, err := faultinject.Wrap(tr, ccfg)
+			if err != nil {
+				return nil, err
+			}
+			c.Injectors = append(c.Injectors, inj)
+			tr = inj
 		}
 		d, err := core.NewDomain(core.Config{
 			Node:        wire.NodeID(n),

@@ -132,16 +132,67 @@ func (q *Queue) ProcessPeek(eng mem.View) (uint64, bool) {
 	return eng.Load(q.slot(proc)), true
 }
 
+// ProcessPeekChecked is ProcessPeek with the engine-safety half of the
+// queue invariant fused in: the unprocessed backlog release-process
+// must lie in (0, capacity], which catches a release pointer scribbled
+// backwards (huge unsigned difference) or wildly forwards. A non-nil
+// error means the control words are corrupt and nothing read through
+// this queue can be trusted.
+//
+// Deliberately NOT checked here: acquire <= process. The acquire word
+// is application-owned and nothing the engine does depends on it, so
+// loading it from the engine would re-create exactly the app/engine
+// line ping-pong the padded layout exists to eliminate (each engine
+// read pulls the line, each application acquire then pays an
+// invalidation). The check uses only words the engine must load
+// anyway, so it is free of coherency cost, and an idle queue costs
+// exactly what an unchecked peek costs.
+func (q *Queue) ProcessPeekChecked(eng mem.View) (uint64, bool, error) {
+	proc := eng.Load(q.process)
+	rel := eng.Load(q.release)
+	pending := rel - proc
+	if pending == 0 {
+		return 0, false, nil
+	}
+	if pending > q.capacity {
+		return 0, false, fmt.Errorf("waitfree: queue invariant violated: process=%d release=%d capacity=%d",
+			proc, rel, q.capacity)
+	}
+	return eng.Load(q.slot(proc)), true, nil
+}
+
 // AdvanceProcess moves the engine's process pointer past the buffer
 // returned by the last ProcessPeek. Calling it with nothing pending is
 // a bug in the engine; it panics rather than corrupt the invariant.
+// The panic is reserved for trusted callers (tests, single-actor
+// drivers); the engine's untrusted read path uses
+// AdvanceProcessChecked, because on a queue whose control words the
+// application can scribble, "nothing pending" may mean corruption
+// rather than an engine bug.
 func (q *Queue) AdvanceProcess(eng mem.View) {
+	if err := q.AdvanceProcessChecked(eng); err != nil {
+		panic(err.Error())
+	}
+}
+
+// AdvanceProcessChecked is AdvanceProcess for the engine's read path
+// over application-writable memory: instead of panicking when no buffer
+// is processable — which there can only mean the application moved the
+// release pointer out from under the engine — it returns an error so
+// the engine can quarantine the endpoint and keep running.
+func (q *Queue) AdvanceProcessChecked(eng mem.View) error {
 	proc := eng.Load(q.process)
 	rel := eng.Load(q.release)
-	if proc == rel {
-		panic("waitfree: AdvanceProcess with no processable buffer")
+	// pending is the unprocessed backlog; on a sane queue it is in
+	// (0, capacity]. Zero means nothing to process; anything above
+	// capacity means the release pointer moved backwards or wildly
+	// forwards under the engine (free-running counters, so a backwards
+	// move shows up as a huge unsigned difference).
+	if pending := rel - proc; pending == 0 || pending > q.capacity {
+		return fmt.Errorf("waitfree: AdvanceProcess with no processable buffer (process=%d release=%d)", proc, rel)
 	}
 	eng.Store(q.process, proc+1)
+	return nil
 }
 
 // Acquire removes and returns the slot value at the tail on behalf of
@@ -189,6 +240,14 @@ func (q *Queue) Full(v mem.View) bool {
 func (q *Queue) Empty(v mem.View) bool {
 	rel := v.Load(q.release)
 	return rel == v.Load(q.process) && rel == v.Load(q.acquire)
+}
+
+// DebugOffsets returns the queue's control-word offsets — release,
+// process, acquire, and the first slot — for fault-injection tooling
+// and tests that model wild application writes. Production code never
+// needs these.
+func (q *Queue) DebugOffsets() (release, process, acquire, slotBase int) {
+	return q.release, q.process, q.acquire, q.slotBase
 }
 
 // CheckInvariant verifies acquire <= process <= release <= acquire+capacity.

@@ -394,3 +394,49 @@ func (l *lineTracer) OnStore(a mem.Actor, w int) {
 	l.writers[line][a] = true
 }
 func (l *lineTracer) OnBusLock(a mem.Actor, w int) {}
+
+func TestAdvanceProcessChecked(t *testing.T) {
+	q, app, eng := newQueue(t, 4, true)
+	if err := q.AdvanceProcessChecked(eng); err == nil {
+		t.Fatal("empty-queue advance accepted")
+	}
+	if !q.Release(app, 7) {
+		t.Fatal("release failed")
+	}
+	if err := q.AdvanceProcessChecked(eng); err != nil {
+		t.Fatalf("advance with pending buffer: %v", err)
+	}
+	// The corruption case the checked form exists for: the application
+	// yanks the release pointer backwards between the engine's peek and
+	// advance. The checked advance must degrade to an error, never panic.
+	rel, _, _, _ := q.DebugOffsets()
+	app.Store(rel, 0)
+	if err := q.AdvanceProcessChecked(eng); err == nil {
+		t.Fatal("advance past scribbled release pointer accepted")
+	}
+}
+
+func TestAdvanceProcessPanicsForTrustedCallers(t *testing.T) {
+	q, _, eng := newQueue(t, 4, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceProcess on empty queue did not panic")
+		}
+	}()
+	q.AdvanceProcess(eng)
+}
+
+func TestDebugOffsets(t *testing.T) {
+	q, app, eng := newQueue(t, 4, true)
+	rel, proc, acq, slots := q.DebugOffsets()
+	// Offsets must be the live control words: a store through them is
+	// visible to normal operations.
+	app.Store(rel, 3)
+	app.Store(slots, 42)
+	if v, ok := q.ProcessPeek(eng); !ok || v != 42 {
+		t.Fatalf("ProcessPeek after raw stores = %d,%v", v, ok)
+	}
+	if proc == rel || acq == rel || proc == acq {
+		t.Fatal("control-word offsets alias")
+	}
+}

@@ -17,7 +17,9 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 )
 
 // NodeID identifies a node in the cluster.
@@ -107,13 +109,15 @@ func MaxPayload(messageSize int) int { return messageSize - HeaderBytes }
 
 // Flags carried in the message header. PriorityMask supports the
 // paper's future-work extension of prioritized inter-node transport.
-// FlagStamped is transport-internal: it marks a frame carrying a
-// send-timestamp trailer and is never delivered to applications
-// (Encode masks it from application flags; Decode strips it).
+// FlagStamped and FlagChecksummed are transport-internal: they mark a
+// frame carrying a timestamp trailer or a CRC32C trailer and are never
+// delivered to applications (Encode masks them from application flags;
+// Decode strips them).
 const (
-	FlagUrgent   uint8 = 1 << 7 // expedited class (extension)
-	FlagStamped  uint8 = 1 << 6 // frame carries a timestamp trailer (internal)
-	PriorityMask uint8 = 0x07   // 8 priority levels (extension)
+	FlagUrgent      uint8 = 1 << 7 // expedited class (extension)
+	FlagStamped     uint8 = 1 << 6 // frame carries a timestamp trailer (internal)
+	FlagChecksummed uint8 = 1 << 5 // frame carries a CRC32C trailer (internal)
+	PriorityMask    uint8 = 0x07   // 8 priority levels (extension)
 )
 
 // StampBytes is the size of the optional send-timestamp trailer: a
@@ -124,6 +128,38 @@ const (
 // latency observation degrades gracefully instead of shrinking the
 // application's payload capacity.
 const StampBytes = 8
+
+// ChecksumBytes is the size of the optional frame-integrity trailer: a
+// big-endian CRC32C (Castagnoli) over the entire fixed frame, written
+// into the four bytes immediately before the timestamp trailer. Like
+// the stamp it rides in the zero-filled slack after the payload, so it
+// costs no wire bytes and is omitted (flag clear) when the payload
+// leaves no room — integrity protection degrades gracefully instead of
+// shrinking the application's payload capacity.
+//
+// The checksum is flag-gated per frame: receivers verify it whenever
+// FlagChecksummed is set, so checksumming and non-checksumming senders
+// interoperate on one cluster. The trailer slot is at a fixed offset
+// (frame end minus StampBytes+ChecksumBytes) regardless of whether a
+// stamp is present, and the CRC is computed with the slot itself read
+// as zero.
+const ChecksumBytes = 4
+
+// ErrChecksum is the sentinel wrapped by Decode when a checksummed
+// frame fails CRC verification. Receivers match it with errors.Is and
+// count such frames as a distinct loss category (the engine's
+// ChecksumDrops): unlike other decode failures, the header fields of a
+// checksum-failed frame cannot be trusted at all.
+var ErrChecksum = errors.New("wire: frame checksum mismatch")
+
+// castagnoli is the CRC32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// zeroChecksum substitutes for the trailer slot during verification.
+var zeroChecksum [ChecksumBytes]byte
+
+// checksumSlot returns the byte offset of the CRC trailer in a frame.
+func checksumSlot(frameLen int) int { return frameLen - StampBytes - ChecksumBytes }
 
 // Packet is one fixed-size FLIPC message in flight. Src is transport
 // bookkeeping (tracing, tests); it is not part of the 8-byte header and
@@ -142,6 +178,10 @@ type Packet struct {
 	// nodes is the deployment's problem (the paper's clusters share a
 	// chassis); within one host it is exact.
 	Stamp int64
+	// Checksum, on Encode, requests a CRC32C trailer (written when the
+	// payload leaves room, silently omitted otherwise). On Decode it
+	// reports that the frame carried a checksum and it verified.
+	Checksum bool
 }
 
 // Header layout (8 bytes, big-endian):
@@ -171,7 +211,8 @@ func Encode(p *Packet, frame []byte) error {
 	}
 	binary.BigEndian.PutUint32(frame[0:4], uint32(p.Dst))
 	binary.BigEndian.PutUint16(frame[4:6], p.Size)
-	flags := p.Flags &^ FlagStamped // reserved bit: applications cannot set it
+	// Reserved bits: applications cannot set the internal trailer flags.
+	flags := p.Flags &^ (FlagStamped | FlagChecksummed)
 	frame[7] = p.Seq
 	n := copy(frame[HeaderBytes:], p.Payload)
 	for i := HeaderBytes + n; i < len(frame); i++ {
@@ -181,7 +222,18 @@ func Encode(p *Packet, frame []byte) error {
 		binary.BigEndian.PutUint64(frame[len(frame)-StampBytes:], uint64(p.Stamp))
 		flags |= FlagStamped
 	}
+	if p.Checksum && len(p.Payload)+StampBytes+ChecksumBytes <= MaxPayload(len(frame)) {
+		flags |= FlagChecksummed
+	}
 	frame[6] = flags
+	if flags&FlagChecksummed != 0 {
+		// The trailer slot is still zero from the fill above, so the CRC
+		// over the whole frame equals the CRC with the slot zeroed —
+		// exactly what Decode reconstructs.
+		slot := checksumSlot(len(frame))
+		binary.BigEndian.PutUint32(frame[slot:slot+ChecksumBytes],
+			crc32.Checksum(frame, castagnoli))
+	}
 	return nil
 }
 
@@ -191,6 +243,22 @@ func Decode(frame []byte) (*Packet, error) {
 	if err := CheckMessageSize(len(frame)); err != nil {
 		return nil, fmt.Errorf("wire: bad frame: %w", err)
 	}
+	// Verify the checksum before trusting any header field: a corrupted
+	// frame may present an arbitrary destination or size, and the caller
+	// must be able to count it as checksum loss rather than misroute it.
+	flags := frame[6]
+	checksummed := flags&FlagChecksummed != 0
+	if checksummed {
+		slot := checksumSlot(len(frame))
+		want := binary.BigEndian.Uint32(frame[slot : slot+ChecksumBytes])
+		crc := crc32.Update(0, castagnoli, frame[:slot])
+		crc = crc32.Update(crc, castagnoli, zeroChecksum[:])
+		crc = crc32.Update(crc, castagnoli, frame[slot+ChecksumBytes:])
+		if crc != want {
+			return nil, fmt.Errorf("%w (stored %08x, computed %08x)", ErrChecksum, want, crc)
+		}
+		flags &^= FlagChecksummed // internal bit: never delivered to applications
+	}
 	dst := Addr(binary.BigEndian.Uint32(frame[0:4]))
 	size := binary.BigEndian.Uint16(frame[4:6])
 	if !dst.Valid() {
@@ -199,7 +267,6 @@ func Decode(frame []byte) (*Packet, error) {
 	if int(size) > MaxPayload(len(frame)) {
 		return nil, fmt.Errorf("wire: frame size field %d exceeds max payload %d", size, MaxPayload(len(frame)))
 	}
-	flags := frame[6]
 	var stamp int64
 	if flags&FlagStamped != 0 {
 		if int(size)+StampBytes <= MaxPayload(len(frame)) {
@@ -208,12 +275,13 @@ func Decode(frame []byte) (*Packet, error) {
 		flags &^= FlagStamped // internal bit: never delivered to applications
 	}
 	return &Packet{
-		Dst:     dst,
-		Size:    size,
-		Flags:   flags,
-		Seq:     frame[7],
-		Payload: frame[HeaderBytes : HeaderBytes+int(size) : HeaderBytes+int(size)],
-		Stamp:   stamp,
+		Dst:      dst,
+		Size:     size,
+		Flags:    flags,
+		Seq:      frame[7],
+		Payload:  frame[HeaderBytes : HeaderBytes+int(size) : HeaderBytes+int(size)],
+		Stamp:    stamp,
+		Checksum: checksummed,
 	}, nil
 }
 

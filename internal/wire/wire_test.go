@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -199,7 +200,7 @@ func TestQuickEncodeDecode(t *testing.T) {
 		if len(payload) > MaxPayload(msgSize) {
 			payload = payload[:MaxPayload(msgSize)]
 		}
-		flags &^= FlagStamped // reserved transport bit, masked by Encode
+		flags &^= FlagStamped | FlagChecksummed // reserved transport bits, masked by Encode
 		dst, err := MakeAddr(7, 7, 7)
 		if err != nil {
 			return false
@@ -279,6 +280,175 @@ func TestStampOmittedWhenNoRoom(t *testing.T) {
 	}
 	if got.Stamp != 42 {
 		t.Fatalf("stamp = %d, want 42", got.Stamp)
+	}
+}
+
+func TestChecksumRoundTrip(t *testing.T) {
+	dst := mustAddr(t, 3, 9, 1)
+	payload := []byte("integrity")
+	p := &Packet{Dst: dst, Size: uint16(len(payload)), Payload: payload, Checksum: true, Stamp: 777}
+	frame := make([]byte, 128)
+	if err := Encode(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	if frame[6]&FlagChecksummed == 0 {
+		t.Fatal("FlagChecksummed not set on checksummed frame")
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Checksum {
+		t.Fatal("verified checksum not reported")
+	}
+	if got.Flags&FlagChecksummed != 0 {
+		t.Fatal("FlagChecksummed leaked to application flags")
+	}
+	if got.Stamp != 777 || !bytes.Equal(got.Payload, payload) {
+		t.Fatalf("stamp=%d payload=%q", got.Stamp, got.Payload)
+	}
+}
+
+func TestChecksumDetectsAnySingleBitFlip(t *testing.T) {
+	dst := mustAddr(t, 3, 9, 1)
+	payload := []byte("every bit is load-bearing")
+	p := &Packet{Dst: dst, Size: uint16(len(payload)), Payload: payload, Checksum: true, Stamp: 123456789}
+	pristine := make([]byte, 64)
+	if err := Encode(p, pristine); err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, len(pristine))
+	for bit := 0; bit < len(pristine)*8; bit++ {
+		if bit == 6*8+5 {
+			// The one blind spot of a flag-gated checksum: flipping the
+			// FlagChecksummed bit itself turns verification off. DESIGN.md
+			// documents this as the compatibility trade-off.
+			continue
+		}
+		copy(frame, pristine)
+		frame[bit/8] ^= 1 << (bit % 8)
+		if _, err := Decode(frame); err == nil {
+			t.Fatalf("bit flip at %d undetected", bit)
+		}
+	}
+}
+
+func TestChecksumErrorIsSentinel(t *testing.T) {
+	dst := mustAddr(t, 3, 9, 1)
+	p := &Packet{Dst: dst, Size: 2, Payload: []byte("ok"), Checksum: true}
+	frame := make([]byte, 64)
+	if err := Encode(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	frame[HeaderBytes] ^= 0x01
+	_, err := Decode(frame)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted checksummed frame: err = %v, want ErrChecksum", err)
+	}
+	// A non-checksummed frame with a corrupted payload is NOT a checksum
+	// error (nothing to verify): corruption passes through undetected,
+	// which is exactly the flag-gated contract.
+	p = &Packet{Dst: dst, Size: 2, Payload: []byte("ok")}
+	if err := Encode(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	frame[HeaderBytes] ^= 0x01
+	if _, err := Decode(frame); err != nil {
+		t.Fatalf("unchecksummed frame rejected: %v", err)
+	}
+}
+
+func TestChecksumOmittedWhenNoRoom(t *testing.T) {
+	dst := mustAddr(t, 3, 9, 1)
+	frame := make([]byte, 64)
+	// Payload leaves less than StampBytes+ChecksumBytes of slack: the
+	// checksum is silently omitted and the frame decodes unverified.
+	payload := make([]byte, MaxPayload(64)-StampBytes-ChecksumBytes+1)
+	p := &Packet{Dst: dst, Size: uint16(len(payload)), Payload: payload, Checksum: true}
+	if err := Encode(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	if frame[6]&FlagChecksummed != 0 {
+		t.Fatal("FlagChecksummed set with no trailer room")
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Checksum {
+		t.Fatal("unverified frame reported as checksummed")
+	}
+	// Exactly StampBytes+ChecksumBytes of slack is enough.
+	payload = make([]byte, MaxPayload(64)-StampBytes-ChecksumBytes)
+	p = &Packet{Dst: dst, Size: uint16(len(payload)), Payload: payload, Checksum: true}
+	if err := Encode(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Checksum {
+		t.Fatal("checksum dropped with exactly enough room")
+	}
+}
+
+func TestChecksumFlagCannotBeForged(t *testing.T) {
+	dst := mustAddr(t, 3, 9, 1)
+	// An application setting the reserved bit gets it masked; a frame
+	// whose flag byte is corrupted to claim a checksum fails closed.
+	p := &Packet{Dst: dst, Size: 2, Payload: []byte("hi"), Flags: FlagChecksummed | FlagUrgent}
+	frame := make([]byte, 64)
+	if err := Encode(p, frame); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Checksum || got.Flags != FlagUrgent {
+		t.Fatalf("checksum=%v flags=%#x, want unforged", got.Checksum, got.Flags)
+	}
+	// Now forge the wire bit directly: the zero trailer slot will not
+	// match the computed CRC, so the frame is dropped as checksum loss.
+	frame[6] |= FlagChecksummed
+	if _, err := Decode(frame); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("forged wire flag: err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestQuickChecksumCorruption(t *testing.T) {
+	// Fuzz: any random mutation of a checksummed frame must either be
+	// detected (decode error) or leave the frame byte-identical.
+	prop := func(payload []byte, idx uint16, mutation byte) bool {
+		frame := make([]byte, 96)
+		if len(payload) > MaxPayload(96)-StampBytes-ChecksumBytes {
+			payload = payload[:MaxPayload(96)-StampBytes-ChecksumBytes]
+		}
+		dst, err := MakeAddr(2, 4, 6)
+		if err != nil {
+			return false
+		}
+		p := &Packet{Dst: dst, Size: uint16(len(payload)), Payload: payload, Checksum: true, Stamp: 42}
+		if err := Encode(p, frame); err != nil {
+			return false
+		}
+		i := int(idx) % len(frame)
+		orig := frame[i]
+		frame[i] ^= mutation
+		_, err = Decode(frame)
+		if frame[i] == orig {
+			return err == nil
+		}
+		if frame[6]&FlagChecksummed == 0 {
+			// Corruption cleared the gate flag itself: verification is
+			// off, so detection is not guaranteed (flag-gated by design).
+			return true
+		}
+		return errors.Is(err, ErrChecksum)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
 	}
 }
 
