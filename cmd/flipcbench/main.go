@@ -121,12 +121,23 @@ var entries = []entry{
 
 func main() {
 	var (
-		exp  = flag.String("experiment", "all", "experiment ID (E1..E10, A1..A3) or 'all'")
-		seed = flag.Int64("seed", 1996, "jitter seed (results are deterministic per seed)")
-		list = flag.Bool("list", false, "list experiments and exit")
-		csv  = flag.Bool("csv", false, "emit CSV instead of the aligned table (single experiment only)")
+		exp       = flag.String("experiment", "all", "experiment ID (E1..E10, A1..A3) or 'all'")
+		seed      = flag.Int64("seed", 1996, "jitter seed (results are deterministic per seed)")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		csv       = flag.Bool("csv", false, "emit CSV instead of the aligned table (single experiment only)")
+		pubsub    = flag.Bool("pubsub", false, "run the wall-clock pub/sub fanout benchmark instead of the experiments")
+		jsonPath  = flag.String("json", "", "with -pubsub: also write the JSON report to this file")
+		publishes = flag.Int("publishes", 1000, "with -pubsub: publishes per fanout width")
 	)
 	flag.Parse()
+
+	if *pubsub {
+		if err := runPubsub(*jsonPath, *publishes); err != nil {
+			fmt.Fprintf(os.Stderr, "flipcbench: pubsub: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range entries {

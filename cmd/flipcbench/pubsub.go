@@ -1,0 +1,244 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"flipc/internal/core"
+	"flipc/internal/interconnect"
+	"flipc/internal/nameservice"
+	"flipc/internal/stats"
+	"flipc/internal/topic"
+	"flipc/internal/wire"
+)
+
+// The pub/sub benchmark: wall-clock fanout throughput and one-way
+// latency through internal/topic on the in-process Fabric, at fanout
+// 1, 8, and 64. Each publish stamps its send time into the payload;
+// every delivery yields one latency sample. Drops (publisher window or
+// subscriber inbox) are counted, never silent, so the run also checks
+// the fanout conservation law before reporting.
+
+type pubsubResult struct {
+	Subscribers   int     `json:"subscribers"`
+	Publishes     uint64  `json:"publishes"`
+	FanoutSent    uint64  `json:"fanout_sent"`
+	FanoutDropped uint64  `json:"fanout_dropped"`
+	Delivered     uint64  `json:"delivered"`
+	RecvDropped   uint64  `json:"recv_dropped"`
+	PublishPerSec float64 `json:"publish_per_sec"`
+	FramesPerSec  float64 `json:"frames_per_sec"`
+	LatencyP50Us  float64 `json:"latency_p50_us"`
+	LatencyP99Us  float64 `json:"latency_p99_us"`
+	Samples       int     `json:"latency_samples"`
+}
+
+type pubsubReport struct {
+	Benchmark   string         `json:"benchmark"`
+	MessageSize int            `json:"message_size"`
+	Class       string         `json:"class"`
+	Results     []pubsubResult `json:"results"`
+}
+
+// runPubsub benchmarks each fanout width and writes the JSON report to
+// path ("-" or "" = stdout only; a file also gets a human summary on
+// stdout).
+func runPubsub(path string, publishes int) error {
+	report := pubsubReport{Benchmark: "pubsub_fanout", MessageSize: 128, Class: topic.Normal.String()}
+	for _, subs := range []int{1, 8, 64} {
+		r, err := pubsubOne(subs, publishes)
+		if err != nil {
+			return fmt.Errorf("pubsub fanout %d: %w", subs, err)
+		}
+		report.Results = append(report.Results, r)
+		fmt.Printf("pubsub %2d subs: %8.0f publish/s %10.0f frames/s  p50 %7.1fµs  p99 %7.1fµs  (delivered %d, dropped pub %d + recv %d)\n",
+			r.Subscribers, r.PublishPerSec, r.FramesPerSec, r.LatencyP50Us, r.LatencyP99Us,
+			r.Delivered, r.FanoutDropped, r.RecvDropped)
+	}
+	var out io.Writer = os.Stdout
+	if path != "" && path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+func pubsubOne(subs, publishes int) (pubsubResult, error) {
+	const (
+		msgSize  = 128
+		subNodes = 4 // subscriber domains; fanout spreads round-robin
+	)
+	fabric := interconnect.NewFabric(4096)
+	mkDomain := func(node wire.NodeID) (*core.Domain, error) {
+		tr, err := fabric.Attach(node)
+		if err != nil {
+			return nil, err
+		}
+		d, err := core.NewDomain(core.Config{
+			Node: node, MessageSize: msgSize,
+			NumBuffers: 2048, MaxEndpoints: 64, DefaultQueueDepth: 64,
+		}, tr)
+		if err != nil {
+			return nil, err
+		}
+		d.Start()
+		return d, nil
+	}
+	pubD, err := mkDomain(0)
+	if err != nil {
+		return pubsubResult{}, err
+	}
+	defer pubD.Close()
+	var subDs []*core.Domain
+	for n := 1; n <= subNodes; n++ {
+		d, err := mkDomain(wire.NodeID(n))
+		if err != nil {
+			return pubsubResult{}, err
+		}
+		defer d.Close()
+		subDs = append(subDs, d)
+	}
+
+	dir := topic.LocalDirectory{R: nameservice.NewTopicRegistry()}
+	type subRun struct {
+		s   *topic.Subscriber
+		lat []float64
+	}
+	runs := make([]*subRun, subs)
+	for i := range runs {
+		s, err := topic.NewSubscriber(subDs[i%subNodes], dir, "bench", topic.Normal, 64, 64)
+		if err != nil {
+			return pubsubResult{}, err
+		}
+		runs[i] = &subRun{s: s}
+	}
+	window := topic.PublisherWindow(subs, 4)
+	if window < 64 {
+		window = 64
+	}
+	pub, err := topic.NewPublisher(pubD, dir, topic.PublisherConfig{
+		Topic: "bench", Class: topic.Normal, Depth: 64, Window: window})
+	if err != nil {
+		return pubsubResult{}, err
+	}
+	if pub.Subscribers() != subs {
+		return pubsubResult{}, fmt.Errorf("plan has %d subscribers, want %d", pub.Subscribers(), subs)
+	}
+
+	// Drain goroutines: one per subscriber (each inbox is
+	// single-threaded, each goroutine owns exactly one). They stop when
+	// the publisher closes done and the inbox runs dry.
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, r := range runs {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			idle := 0
+			for {
+				payload, _, ok := r.s.Receive()
+				if !ok {
+					select {
+					case <-done:
+						idle++
+						if idle > 100 {
+							return
+						}
+					default:
+					}
+					time.Sleep(50 * time.Microsecond)
+					continue
+				}
+				idle = 0
+				if len(payload) >= 8 {
+					sent := int64(binary.BigEndian.Uint64(payload[:8]))
+					r.lat = append(r.lat, float64(time.Now().UnixNano()-sent)/1e3)
+				}
+			}
+		}()
+	}
+
+	// Paced publish loop: a gap proportional to fanout keeps the
+	// offered load near the engine's sustainable rate so latency
+	// measures the pipeline, not an unbounded backlog. The wait spins
+	// on the clock (time.Sleep granularity is too coarse at these
+	// gaps) but yields each turn so the engine goroutines make
+	// progress on small core counts.
+	gap := time.Duration(subs)*2*time.Microsecond + 10*time.Microsecond
+	var payload [8]byte
+	t0 := time.Now()
+	next := t0
+	for i := 0; i < publishes; i++ {
+		for time.Now().Before(next) {
+			runtime.Gosched()
+		}
+		next = next.Add(gap)
+		binary.BigEndian.PutUint64(payload[:], uint64(time.Now().UnixNano()))
+		if _, err := pub.Publish(payload[:]); err != nil {
+			return pubsubResult{}, err
+		}
+	}
+	elapsed := time.Since(t0)
+	// Let in-flight frames land, then stop the drains.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		var got uint64
+		for _, r := range runs {
+			got += r.s.Received() + r.s.Drops()
+		}
+		if got+pub.Dropped() == pub.Published()*uint64(subs) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+
+	var delivered, recvDropped uint64
+	var lat []float64
+	for _, r := range runs {
+		delivered += r.s.Received()
+		recvDropped += r.s.Drops()
+		lat = append(lat, r.lat...)
+	}
+	if delivered+recvDropped+pub.Dropped() != pub.Published()*uint64(subs) {
+		return pubsubResult{}, fmt.Errorf("conservation violated: %d delivered + %d recv-dropped + %d pub-dropped != %d published x %d",
+			delivered, recvDropped, pub.Dropped(), pub.Published(), subs)
+	}
+	res := pubsubResult{
+		Subscribers:   subs,
+		Publishes:     pub.Published(),
+		FanoutSent:    pub.Sent(),
+		FanoutDropped: pub.Dropped(),
+		Delivered:     delivered,
+		RecvDropped:   recvDropped,
+		PublishPerSec: float64(pub.Published()) / elapsed.Seconds(),
+		FramesPerSec:  float64(pub.Sent()) / elapsed.Seconds(),
+		Samples:       len(lat),
+	}
+	if len(lat) > 0 {
+		p50, err := stats.Percentile(lat, 50)
+		if err != nil {
+			return pubsubResult{}, err
+		}
+		p99, err := stats.Percentile(lat, 99)
+		if err != nil {
+			return pubsubResult{}, err
+		}
+		res.LatencyP50Us, res.LatencyP99Us = p50, p99
+	}
+	return res, nil
+}

@@ -42,6 +42,9 @@ func main() {
 		prio    = flag.Int("prio", 0, "send endpoint transport priority (0-255)")
 		payload = flag.Int("payload", 32, "payload bytes per message")
 
+		topics  = flag.Bool("topics", false, "run the prioritized pub/sub scenario instead of the ping stream")
+		bulkGap = flag.Duration("bulkgap", time.Microsecond, "bulk publish period during -topics saturation phase")
+
 		chaos        = flag.Float64("chaos", 0, "enable every fault mode at this rate (0..1)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "fault injection seed (node n uses seed+n)")
 		chaosDrop    = flag.Float64("chaos-drop", -1, "frame drop rate (overrides -chaos)")
@@ -53,6 +56,25 @@ func main() {
 		checks       = flag.Bool("checks", false, "enable engine validity checks")
 	)
 	flag.Parse()
+
+	if *topics {
+		n := *nodes
+		if n == 2 {
+			n = 3 // default ping pair is too small for a fanout demo
+		}
+		if err := runTopics(topicsOpts{
+			nodes:   n,
+			msgSize: *msgSize,
+			msgs:    *msgs,
+			gap:     *gap,
+			bulkGap: *bulkGap,
+			poll:    *poll,
+			window:  *window * 4,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	pick := func(override float64) float64 {
 		if override >= 0 {

@@ -704,6 +704,89 @@ func TestGroupDropsAggregate(t *testing.T) {
 	}
 }
 
+func TestGroupFairnessUnderSaturation(t *testing.T) {
+	// One member with a *continuously refilled* backlog must not starve
+	// the others: the round-robin scan resumes after the last successful
+	// member, so a quiet member's message is always served within one
+	// full rotation even while the busy member never drains. (The
+	// one-shot variant lives in soak_test.go; this is the sustained
+	// saturation scenario.)
+	doms := newCluster(t, 2, Config{NumBuffers: 64})
+	a, b := doms[0], doms[1]
+	sep, _ := a.NewSendEndpoint(32)
+	busy, _ := b.NewRecvEndpoint(16)
+	quiet1, _ := b.NewRecvEndpoint(4)
+	quiet2, _ := b.NewRecvEndpoint(4)
+	g, err := b.NewGroup(busy, quiet1, quiet2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill := func(rep *Endpoint, n int) {
+		for i := 0; i < n; i++ {
+			rb, err := b.AllocBuffer()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep.Post(rb)
+			sb, err := a.AllocBuffer()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sep.Send(sb, rep.Addr(), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Saturate the busy member, trickle two messages into each quiet one.
+	fill(busy, 12)
+	fill(quiet1, 2)
+	fill(quiet2, 2)
+	pump(a, b)
+
+	counts := map[*Endpoint]int{}
+	var order []*Endpoint
+	for {
+		_, e, ok := g.Receive()
+		if !ok {
+			break
+		}
+		counts[e]++
+		order = append(order, e)
+		// Keep the busy member saturated while the quiet ones still
+		// have pending messages — the starvation scenario proper.
+		if counts[quiet1]+counts[quiet2] < 4 {
+			fill(busy, 1)
+			pump(a, b)
+		}
+	}
+	if counts[quiet1] != 2 || counts[quiet2] != 2 {
+		t.Fatalf("quiet members got %d/%d messages, want 2/2", counts[quiet1], counts[quiet2])
+	}
+	// Fairness bound: with three members, each quiet message must land
+	// within one rotation — i.e. no member is served more than once
+	// between two consecutive successful scans of another non-empty
+	// member. Equivalently, both quiet members finish within the first
+	// 2*len(members) receives despite the busy member never draining.
+	window := 2 * len(g.Members())
+	if len(order) < window {
+		t.Fatalf("only %d receives recorded", len(order))
+	}
+	got := map[*Endpoint]int{}
+	for _, e := range order[:window] {
+		got[e]++
+	}
+	if got[quiet1] != 2 || got[quiet2] != 2 {
+		t.Fatalf("quiet members served %d/%d times in first %d receives, want 2/2 (order shows starvation)",
+			got[quiet1], got[quiet2], window)
+	}
+	// And no runs of the busy member longer than one while others waited.
+	for i := 1; i < window; i++ {
+		if order[i] == busy && order[i-1] == busy {
+			t.Fatalf("busy member served twice in a row at position %d while quiet members had backlog", i)
+		}
+	}
+}
+
 func TestReceiveBlockFastPath(t *testing.T) {
 	// A message already waiting must return without touching the
 	// kernel registration machinery.

@@ -67,6 +67,18 @@ type Config struct {
 	// endpoints at priority 0 while higher priorities are unlimited —
 	// a minimal form of the future-work capacity control extension.
 	RateLimit int
+	// ReservedQuantum, when positive, reserves that much of SendQuantum
+	// for endpoints at priority >= ReservePriority: endpoints below the
+	// threshold may together consume at most SendQuantum-ReservedQuantum
+	// per pass. With the topic subsystem's class priorities this is what
+	// keeps a saturating bulk topic from eating the whole send quantum —
+	// control-class sends never wait behind more than the unreserved
+	// share in any pass. Clamped to SendQuantum.
+	ReservedQuantum int
+	// ReservePriority is the priority threshold for ReservedQuantum
+	// (endpoints at or above it are "high class"). Zero with a positive
+	// ReservedQuantum reserves for every endpoint above priority 0.
+	ReservePriority uint8
 	// Trace, when non-nil, records engine events (sends, deliveries,
 	// drops, refusals) for post-mortem inspection. Events use the
 	// ring's typed fast path — allocation-free, a few atomic stores per
@@ -96,6 +108,15 @@ func (c *Config) applyDefaults() {
 	}
 	if c.RecvQuantum == 0 {
 		c.RecvQuantum = 8
+	}
+	if c.ReservedQuantum < 0 {
+		c.ReservedQuantum = 0
+	}
+	if c.ReservedQuantum > c.SendQuantum {
+		c.ReservedQuantum = c.SendQuantum
+	}
+	if c.ReservedQuantum > 0 && c.ReservePriority == 0 {
+		c.ReservePriority = 1
 	}
 }
 
@@ -137,11 +158,12 @@ func (s *Stats) Faults() uint64 {
 
 // Engine is one node's messaging engine instance.
 type Engine struct {
-	buf    *commbuf.Buffer
-	tr     interconnect.Transport
-	health interconnect.PeerStatusReporter // nil when tr doesn't track peers
-	view   mem.View
-	cfg    Config
+	buf     *commbuf.Buffer
+	tr      interconnect.Transport
+	health  interconnect.PeerStatusReporter // nil when tr doesn't track peers
+	flusher interconnect.BatchFlusher       // nil when tr doesn't batch writes
+	view    mem.View
+	cfg     Config
 
 	eps        []epCache
 	scan       int   // round-robin cursor
@@ -312,6 +334,9 @@ func New(buf *commbuf.Buffer, tr interconnect.Transport, cfg Config) (*Engine, e
 	}
 	if h, ok := tr.(interconnect.PeerStatusReporter); ok {
 		e.health = h
+	}
+	if f, ok := tr.(interconnect.BatchFlusher); ok {
+		e.flusher = f
 	}
 	if cfg.Trace != nil {
 		e.lab = newTraceLabels(cfg.Trace)
@@ -630,6 +655,12 @@ func (e *Engine) sendOrder() []int {
 func (e *Engine) pollSend() bool {
 	work := false
 	budget := e.cfg.SendQuantum
+	// Class reservation: endpoints below ReservePriority may together
+	// spend at most lowLimit of the quantum this pass, so bulk-class
+	// fanout cannot starve control-class sends of engine bandwidth.
+	lowLimit := e.cfg.SendQuantum - e.cfg.ReservedQuantum
+	lowSpent := 0
+	sent0 := e.stats.Sent
 	for _, i := range e.sendOrder() {
 		if budget <= 0 {
 			break
@@ -637,6 +668,10 @@ func (e *Engine) pollSend() bool {
 		info := e.endpoint(i)
 		if info == nil || info.Type != commbuf.EndpointSend || e.faulted(i) {
 			continue
+		}
+		low := e.cfg.ReservedQuantum > 0 && info.Priority < e.cfg.ReservePriority
+		if low && lowSpent >= lowLimit {
+			continue // unreserved share exhausted this pass
 		}
 		if e.m != nil {
 			// Backlog sample: how deep the send queue stood when the
@@ -649,6 +684,9 @@ func (e *Engine) pollSend() bool {
 		for budget > 0 {
 			if e.cfg.RateLimit > 0 && info.Priority == 0 && sent >= e.cfg.RateLimit {
 				break // capacity control extension: low-priority cap
+			}
+			if low && lowSpent >= lowLimit {
+				break
 			}
 			id, ok, err := e.peek(info)
 			if err != nil {
@@ -682,7 +720,15 @@ func (e *Engine) pollSend() bool {
 			}
 			budget--
 			sent++
+			if low {
+				lowSpent++
+			}
 		}
+	}
+	if e.flusher != nil && e.stats.Sent != sent0 {
+		// Push every frame this pass buffered onto the wire — one write
+		// per peer (see interconnect.BatchFlusher).
+		e.flusher.FlushSends()
 	}
 	return work
 }

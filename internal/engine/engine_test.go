@@ -489,6 +489,39 @@ func TestRateLimitCapsLowPriority(t *testing.T) {
 	}
 }
 
+func TestReservedQuantumCapsLowPriority(t *testing.T) {
+	// SendQuantum 4 with 2 reserved for priority >= 1: a saturated
+	// priority-0 endpoint may use at most 2 slots per pass; the
+	// reserved slots stay available to the control-class endpoint even
+	// though round-robin order visits the bulk endpoint first.
+	fabric := interconnect.NewFabric(64)
+	buf, _ := commbuf.New(commbuf.Config{Node: 0, MessageSize: 64, NumBuffers: 32})
+	tr, _ := fabric.Attach(0)
+	fabric.Attach(1)
+	eng, _ := New(buf, tr, Config{SendQuantum: 4, ReservedQuantum: 2, ReservePriority: 1})
+	app := buf.View(mem.ActorApp)
+	bulk, _ := buf.AllocEndpointPrio(commbuf.EndpointSend, 16, 0)
+	ctl, _ := buf.AllocEndpointPrio(commbuf.EndpointSend, 16, 5)
+	dst, _ := wire.MakeAddr(1, 0, 1)
+	queue := func(ep *commbuf.Endpoint, n int) {
+		for i := 0; i < n; i++ {
+			m, _ := buf.AllocMsg()
+			m.StageSend(app, dst, 1, 0)
+			ep.Queue().Release(app, uint64(m.ID()))
+		}
+	}
+	queue(bulk, 10)
+	eng.Poll()
+	if st := eng.Stats(); st.Sent != 2 {
+		t.Fatalf("bulk-only pass sent %d, want 2 (reserved slots must go unused, not to bulk)", st.Sent)
+	}
+	queue(ctl, 10)
+	eng.Poll()
+	if st := eng.Stats(); st.Sent != 2+4 {
+		t.Fatalf("mixed pass total sent %d, want 6 (2 bulk + full quantum when control present)", st.Sent)
+	}
+}
+
 func TestQuantumBoundsWorkPerPoll(t *testing.T) {
 	a, b := newPair(t, Config{SendQuantum: 2})
 	sep, _ := a.buf.AllocEndpoint(commbuf.EndpointSend, 8)

@@ -171,7 +171,15 @@ func (r *Receiver) feed(p []byte) (bool, []byte, error) {
 	body := p[headerBytes:]
 	if flags&flagFirst != 0 {
 		total := int(binary.BigEndian.Uint32(p[4:8]))
-		r.cur = make([]byte, 0, total)
+		// The claimed total is attacker-controlled (it came off the
+		// wire): use it as an allocation hint only up to a sane bound
+		// and let append grow honest transfers, so a corrupt first
+		// fragment cannot demand a 4 GiB allocation up front.
+		capHint := total
+		if capHint > 1<<20 {
+			capHint = 1 << 20
+		}
+		r.cur = make([]byte, 0, capHint)
 		r.want = total
 		r.stream = stream
 		r.active = true

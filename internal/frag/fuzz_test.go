@@ -1,0 +1,173 @@
+package frag
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// mkFrag builds one fragment frame for the fuzz corpus.
+func mkFrag(flags byte, stream uint16, word uint32, body []byte) []byte {
+	p := make([]byte, headerBytes+len(body))
+	p[0] = magic
+	p[1] = flags
+	binary.BigEndian.PutUint16(p[2:4], stream)
+	binary.BigEndian.PutUint32(p[4:8], word)
+	copy(p[headerBytes:], body)
+	return p
+}
+
+// FuzzReceiverFeed drives the fragment-header parser with arbitrary
+// byte streams. The fuzz input is interpreted as a sequence of frames:
+// a leading length byte (mod 64, plus header room) followed by that
+// many bytes of frame, repeated. Invariants checked on every feed:
+//
+//   - feed never panics, whatever the bytes;
+//   - every error wraps ErrCorrupt (the only error class the parser
+//     is allowed to produce);
+//   - a completed transfer's payload length equals the total claimed
+//     by its first fragment — never more, never less;
+//   - done and err are mutually exclusive.
+func FuzzReceiverFeed(f *testing.F) {
+	// Well-formed single fragment: first|last, total == body length.
+	f.Add(frame(mkFrag(flagFirst|flagLast, 1, 4, []byte("abcd"))))
+	// Well-formed multi-fragment transfer: first, middle, last.
+	f.Add(concat(
+		frame(mkFrag(flagFirst, 2, 9, []byte("abc"))),
+		frame(mkFrag(0, 2, 1, []byte("def"))),
+		frame(mkFrag(flagLast, 2, 2, []byte("ghi"))),
+	))
+	// Empty transfer (zero-length payload is legal).
+	f.Add(frame(mkFrag(flagFirst|flagLast, 3, 0, nil)))
+	// Truncated header.
+	f.Add(frame([]byte{magic, flagFirst, 0}))
+	// Wrong magic.
+	f.Add(frame(mkFrag(flagFirst|flagLast, 4, 1, []byte("x"))[1:]))
+	// Continuation with no active stream.
+	f.Add(frame(mkFrag(0, 5, 1, []byte("orphan"))))
+	// Stream ID mismatch mid-transfer.
+	f.Add(concat(
+		frame(mkFrag(flagFirst, 6, 8, []byte("abcd"))),
+		frame(mkFrag(flagLast, 7, 1, []byte("efgh"))),
+	))
+	// Overrun: body exceeds the claimed total.
+	f.Add(concat(
+		frame(mkFrag(flagFirst, 8, 2, []byte("abc"))),
+	))
+	// Short transfer: last arrives before the total is met.
+	f.Add(concat(
+		frame(mkFrag(flagFirst, 9, 100, []byte("abc"))),
+		frame(mkFrag(flagLast, 9, 1, []byte("def"))),
+	))
+	// Hostile total: first fragment claims ~4 GiB. Must not allocate it.
+	f.Add(frame(mkFrag(flagFirst, 10, 0xFFFFFFF0, []byte("tiny"))))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &Receiver{}
+		for len(data) > 0 {
+			n := int(data[0])%64 + 1
+			data = data[1:]
+			if n > len(data) {
+				n = len(data)
+			}
+			p := data[:n]
+			data = data[n:]
+
+			want := -1
+			if len(p) >= headerBytes && p[0] == magic && p[1]&flagFirst != 0 {
+				want = int(binary.BigEndian.Uint32(p[4:8]))
+			}
+			done, payload, err := r.feed(p)
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("feed returned non-ErrCorrupt error: %v", err)
+				}
+				if done {
+					t.Fatalf("feed returned done=true with error %v", err)
+				}
+				continue
+			}
+			if done {
+				if want >= 0 && len(payload) != want {
+					// Single-frame transfer: completion length must
+					// match the total this very frame claimed.
+					t.Fatalf("completed payload %d bytes, first fragment claimed %d", len(payload), want)
+				}
+				if len(payload) != r.want && r.want != 0 {
+					t.Fatalf("completed payload %d bytes, receiver wanted %d", len(payload), r.want)
+				}
+			}
+		}
+	})
+}
+
+// frame prepends the fuzz harness's length byte so a seed decodes back
+// into exactly the frames it was built from.
+func frame(p []byte) []byte {
+	n := len(p)
+	if n == 0 {
+		n = 64 // length byte 63 -> %64+1 == 64, consumes the rest
+	}
+	return append([]byte{byte(n - 1)}, p...)
+}
+
+func concat(frames ...[]byte) []byte {
+	var out []byte
+	for _, f := range frames {
+		out = append(out, f...)
+	}
+	return out
+}
+
+// TestFeedReassembly pins the deterministic behavior the fuzz target
+// relies on, one fresh Receiver per case.
+func TestFeedReassembly(t *testing.T) {
+	t.Run("single", func(t *testing.T) {
+		r := &Receiver{}
+		done, payload, err := r.feed(mkFrag(flagFirst|flagLast, 1, 5, []byte("hello")))
+		if err != nil || !done || string(payload) != "hello" {
+			t.Fatalf("got done=%v payload=%q err=%v", done, payload, err)
+		}
+	})
+	t.Run("multi", func(t *testing.T) {
+		r := &Receiver{}
+		if done, _, err := r.feed(mkFrag(flagFirst, 2, 6, []byte("abc"))); done || err != nil {
+			t.Fatalf("first: done=%v err=%v", done, err)
+		}
+		done, payload, err := r.feed(mkFrag(flagLast, 2, 1, []byte("def")))
+		if err != nil || !done || string(payload) != "abcdef" {
+			t.Fatalf("got done=%v payload=%q err=%v", done, payload, err)
+		}
+	})
+	t.Run("overrun", func(t *testing.T) {
+		r := &Receiver{}
+		if _, _, err := r.feed(mkFrag(flagFirst, 3, 2, []byte("abc"))); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("overrun: err=%v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("short", func(t *testing.T) {
+		r := &Receiver{}
+		if _, _, err := r.feed(mkFrag(flagFirst, 4, 10, []byte("abc"))); err != nil {
+			t.Fatalf("first: %v", err)
+		}
+		if _, _, err := r.feed(mkFrag(flagLast, 4, 1, []byte("de"))); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("short transfer: err=%v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("orphan", func(t *testing.T) {
+		r := &Receiver{}
+		if _, _, err := r.feed(mkFrag(0, 5, 1, []byte("x"))); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("orphan continuation: err=%v, want ErrCorrupt", err)
+		}
+	})
+	t.Run("hostile total does not preallocate", func(t *testing.T) {
+		r := &Receiver{}
+		done, _, err := r.feed(mkFrag(flagFirst, 6, 0xFFFFFFF0, []byte("tiny")))
+		if done || err != nil {
+			t.Fatalf("got done=%v err=%v", done, err)
+		}
+		if cap(r.cur) > 1<<20 {
+			t.Fatalf("hostile total preallocated %d bytes", cap(r.cur))
+		}
+	})
+}

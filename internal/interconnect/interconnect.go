@@ -50,6 +50,19 @@ type PeerStatusReporter interface {
 	PeerUp(dst wire.NodeID) bool
 }
 
+// BatchFlusher is an optional transport capability for fanout-heavy
+// workloads: TrySend may buffer accepted frames per destination peer,
+// and FlushSends pushes everything buffered to the wire in one write
+// per peer, amortizing per-frame syscall and wire-header work across a
+// burst of frames to the same node (a topic publisher's fanout run).
+// The engine type-asserts for it and calls FlushSends at the end of
+// every send pass that put frames on the transport, so buffered frames
+// are never held across passes. The in-process transports deliver
+// synchronously and do not implement it.
+type BatchFlusher interface {
+	FlushSends()
+}
+
 // Stats counts transport activity at one port.
 type Stats struct {
 	Sent      uint64 // frames accepted by TrySend

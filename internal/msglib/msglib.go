@@ -54,10 +54,18 @@ func (o *Outbox) Instrument(reg *metrics.Registry) {
 // NewOutbox creates an outbox with its own send endpoint (depth 0 =
 // domain default) and a private pool of bufs message buffers.
 func NewOutbox(d *core.Domain, depth, bufs int) (*Outbox, error) {
+	return NewOutboxPrio(d, depth, bufs, 0)
+}
+
+// NewOutboxPrio is NewOutbox with a transport priority for the send
+// endpoint — the engine's PolicyPriority ordering and quantum
+// reservation key off it (topic publishers derive it from the topic's
+// class).
+func NewOutboxPrio(d *core.Domain, depth, bufs int, prio uint8) (*Outbox, error) {
 	if bufs < 1 {
 		return nil, fmt.Errorf("msglib: outbox needs at least one buffer, got %d", bufs)
 	}
-	ep, err := d.NewSendEndpoint(depth)
+	ep, err := d.NewSendEndpointPrio(depth, prio)
 	if err != nil {
 		return nil, err
 	}
@@ -134,6 +142,9 @@ func (o *Outbox) Flush() bool {
 
 // Sent returns the number of messages sent.
 func (o *Outbox) Sent() uint64 { return o.sent }
+
+// MaxPayload returns the domain's per-message payload capacity.
+func (o *Outbox) MaxPayload() int { return o.d.MaxPayload() }
 
 // Endpoint exposes the wrapped endpoint (address, drops).
 func (o *Outbox) Endpoint() *core.Endpoint { return o.ep }

@@ -35,11 +35,28 @@ import (
 // Requests carry a client-chosen tag (bytes [5:9] reused on lookup
 // responses) so one inbox can serve pipelined calls.
 
-// Ops and statuses.
+// Ops and statuses. Ops 4–6 are the topic records (pub-sub membership,
+// see topics.go):
+//
+//	subscribe (4):   register-shaped; [5:9] is the subscriber's data
+//	                 address and one trailing byte after the name
+//	                 carries the topic's priority class
+//	unsubscribe (5): register-shaped; [5:9] is the subscriber's address
+//	snapshot (6):    lookup-shaped plus two trailing offset bytes after
+//	                 the name; the response is the paged layout
+//	                 [0] status | [1:5] membership generation |
+//	                 [5:9] tag echo | [9] class | [10] count |
+//	                 [11:11+4·count] subscriber addresses
+//
+// Snapshot responses page: the client re-requests with a growing
+// offset until a page comes back short.
 const (
-	opRegister   = 1
-	opLookup     = 2
-	opUnregister = 3
+	opRegister    = 1
+	opLookup      = 2
+	opUnregister  = 3
+	opSubscribe   = 4
+	opUnsubscribe = 5
+	opTopicSnap   = 6
 
 	statusOK        = 0
 	statusNotFound  = 1
@@ -47,18 +64,22 @@ const (
 	statusBad       = 3
 )
 
+// snapHeaderBytes is the fixed prefix of a topic-snapshot response.
+const snapHeaderBytes = 11
+
 // Remote errors.
 var (
 	ErrRemoteTimeout = errors.New("nameservice: remote call timed out")
 	ErrBadReply      = errors.New("nameservice: malformed reply")
 )
 
-// Server serves a Directory over FLIPC. Run its Serve loop on a
-// goroutine (or call ServeOne from a poll loop).
+// Server serves a Directory (and a TopicRegistry) over FLIPC. Run its
+// Serve loop on a goroutine (or call ServeOne from a poll loop).
 type Server struct {
-	dir *Directory
-	in  *msglib.Inbox
-	out *msglib.Outbox
+	dir    *Directory
+	topics *TopicRegistry
+	in     *msglib.Inbox
+	out    *msglib.Outbox
 }
 
 // NewServer creates a server on domain d backed by dir. window sizes
@@ -77,11 +98,15 @@ func NewServer(d *core.Domain, dir *Directory, window int) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{dir: dir, in: in, out: out}, nil
+	return &Server{dir: dir, topics: NewTopicRegistry(), in: in, out: out}, nil
 }
 
 // Addr is the server's well-known endpoint address.
 func (s *Server) Addr() wire.Addr { return s.in.Addr() }
+
+// Topics exposes the server's topic registry (housekeeping: the daemon
+// calls Advance on the lease cadence; diagnostics read snapshots).
+func (s *Server) Topics() *TopicRegistry { return s.topics }
 
 // ServeOne handles at most one pending request, reporting whether it
 // did any work. Never blocks.
@@ -125,6 +150,7 @@ func (s *Server) handle(req []byte) {
 		return
 	}
 	name := string(req[10 : 10+n])
+	tail := req[10+n:] // op-specific trailing bytes
 	switch op {
 	case opRegister:
 		addr := wire.Addr(binary.BigEndian.Uint32(req[5:9]))
@@ -144,10 +170,57 @@ func (s *Server) handle(req []byte) {
 		}
 	case opUnregister:
 		s.dir.Unregister(name)
+	case opSubscribe:
+		addr := wire.Addr(binary.BigEndian.Uint32(req[5:9]))
+		var class uint8
+		if len(tail) >= 1 {
+			class = tail[0]
+		}
+		if err := s.topics.Declare(name, class); err != nil {
+			resp[0] = statusBad
+		} else if err := s.topics.Subscribe(name, addr); err != nil {
+			resp[0] = statusBad
+		}
+	case opUnsubscribe:
+		s.topics.Unsubscribe(name, wire.Addr(binary.BigEndian.Uint32(req[5:9])))
+	case opTopicSnap:
+		var offset int
+		if len(tail) >= 2 {
+			offset = int(binary.BigEndian.Uint16(tail[0:2]))
+		}
+		s.reply(replyTo, s.snapResponse(name, offset, req[5:9]))
+		return
 	default:
 		resp[0] = statusBad
 	}
 	s.reply(replyTo, resp)
+}
+
+// snapResponse builds one page of a topic-snapshot response.
+func (s *Server) snapResponse(name string, offset int, tag []byte) []byte {
+	maxPayload := s.out.MaxPayload()
+	resp := make([]byte, snapHeaderBytes, maxPayload)
+	copy(resp[5:9], tag)
+	snap, ok := s.topics.Snapshot(name)
+	if !ok {
+		resp[0] = statusNotFound
+		return resp
+	}
+	binary.BigEndian.PutUint32(resp[1:5], snap.Gen)
+	resp[9] = snap.Class
+	perPage := (maxPayload - snapHeaderBytes) / 4
+	if perPage > 255 {
+		perPage = 255
+	}
+	count := 0
+	var addrs [4]byte
+	for i := offset; i < len(snap.Subs) && count < perPage; i++ {
+		binary.BigEndian.PutUint32(addrs[:], uint32(snap.Subs[i].Addr))
+		resp = append(resp, addrs[:]...)
+		count++
+	}
+	resp[10] = byte(count)
+	return resp
 }
 
 func (s *Server) reply(to wire.Addr, resp []byte) {
@@ -189,30 +262,32 @@ func NewClient(d *core.Domain, server wire.Addr) (*Client, error) {
 	return &Client{d: d, server: server, in: in, out: out}, nil
 }
 
-// call performs one request/response with a deadline.
-func (c *Client) call(op byte, name string, payload wire.Addr, timeout time.Duration) (status byte, addr wire.Addr, err error) {
-	if len(name) > 200 || 10+len(name) > c.d.MaxPayload() {
-		return 0, wire.NilAddr, fmt.Errorf("nameservice: name %q too long for message size", name)
+// buildReq assembles the common request layout: op, reply address, a
+// 4-byte payload/tag field, the name, and op-specific trailing bytes.
+func (c *Client) buildReq(op byte, name string, field uint32, tail []byte) ([]byte, error) {
+	if len(name) > 200 || 10+len(name)+len(tail) > c.d.MaxPayload() {
+		return nil, fmt.Errorf("nameservice: name %q too long for message size", name)
 	}
-	c.tag++
-	req := make([]byte, 10+len(name))
+	req := make([]byte, 10+len(name)+len(tail))
 	req[0] = op
 	binary.BigEndian.PutUint32(req[1:5], uint32(c.in.Addr()))
-	if op == opLookup {
-		binary.BigEndian.PutUint32(req[5:9], c.tag)
-	} else {
-		binary.BigEndian.PutUint32(req[5:9], uint32(payload))
-	}
+	binary.BigEndian.PutUint32(req[5:9], field)
 	req[9] = byte(len(name))
 	copy(req[10:], name)
+	copy(req[10+len(name):], tail)
+	return req, nil
+}
 
+// roundtrip sends req and waits for a response accepted by match
+// (match skips stale responses from earlier timed-out calls).
+func (c *Client) roundtrip(req []byte, timeout time.Duration, match func([]byte) bool) ([]byte, error) {
 	deadline := time.Now().Add(timeout)
 	for {
 		if err := c.out.Send(c.server, req); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
-			return 0, wire.NilAddr, ErrRemoteTimeout
+			return nil, ErrRemoteTimeout
 		}
 		time.Sleep(50 * time.Microsecond)
 	}
@@ -223,14 +298,35 @@ func (c *Client) call(op byte, name string, payload wire.Addr, timeout time.Dura
 			continue
 		}
 		if len(resp) < 9 {
-			return 0, wire.NilAddr, ErrBadReply
+			return nil, ErrBadReply
 		}
-		if op == opLookup && binary.BigEndian.Uint32(resp[5:9]) != c.tag {
-			continue // stale response from an earlier timed-out call
+		if match != nil && !match(resp) {
+			continue
 		}
-		return resp[0], wire.Addr(binary.BigEndian.Uint32(resp[1:5])), nil
+		return resp, nil
 	}
-	return 0, wire.NilAddr, ErrRemoteTimeout
+	return nil, ErrRemoteTimeout
+}
+
+// call performs one request/response with a deadline.
+func (c *Client) call(op byte, name string, payload wire.Addr, timeout time.Duration) (status byte, addr wire.Addr, err error) {
+	c.tag++
+	field := uint32(payload)
+	var match func([]byte) bool
+	if op == opLookup {
+		field = c.tag
+		want := c.tag
+		match = func(resp []byte) bool { return binary.BigEndian.Uint32(resp[5:9]) == want }
+	}
+	req, err := c.buildReq(op, name, field, nil)
+	if err != nil {
+		return 0, wire.NilAddr, err
+	}
+	resp, err := c.roundtrip(req, timeout, match)
+	if err != nil {
+		return 0, wire.NilAddr, err
+	}
+	return resp[0], wire.Addr(binary.BigEndian.Uint32(resp[1:5])), nil
 }
 
 // Register publishes name → addr at the server.
@@ -262,6 +358,101 @@ func (c *Client) Lookup(name string, timeout time.Duration) (wire.Addr, error) {
 		return wire.NilAddr, fmt.Errorf("%w: %q", ErrNotFound, name)
 	default:
 		return wire.NilAddr, fmt.Errorf("nameservice: lookup %q failed (status %d)", name, st)
+	}
+}
+
+// Subscribe adds (or renews) addr's subscription to topic at the
+// server, declaring the topic's priority class. Renewals are the
+// client's responsibility: re-call on the lease cadence (the server
+// ages out subscriptions not renewed within the registry TTL).
+func (c *Client) Subscribe(topic string, addr wire.Addr, class uint8, timeout time.Duration) error {
+	req, err := c.buildReq(opSubscribe, topic, uint32(addr), []byte{class})
+	if err != nil {
+		return err
+	}
+	resp, err := c.roundtrip(req, timeout, nil)
+	if err != nil {
+		return err
+	}
+	if resp[0] != statusOK {
+		return fmt.Errorf("nameservice: subscribe %q failed (status %d)", topic, resp[0])
+	}
+	return nil
+}
+
+// Unsubscribe removes addr's subscription to topic at the server.
+func (c *Client) Unsubscribe(topic string, addr wire.Addr, timeout time.Duration) error {
+	req, err := c.buildReq(opUnsubscribe, topic, uint32(addr), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.roundtrip(req, timeout, nil)
+	if err != nil {
+		return err
+	}
+	if resp[0] != statusOK {
+		return fmt.Errorf("nameservice: unsubscribe %q failed (status %d)", topic, resp[0])
+	}
+	return nil
+}
+
+// TopicSnapshot fetches topic's full membership from the server,
+// paging through snapshot responses until a page comes back short.
+func (c *Client) TopicSnapshot(topic string, timeout time.Duration) (TopicSnapshot, error) {
+	snap := TopicSnapshot{Name: topic}
+	deadline := time.Now().Add(timeout)
+	for offset := 0; ; {
+		c.tag++
+		want := c.tag
+		var tail [2]byte
+		binary.BigEndian.PutUint16(tail[:], uint16(offset))
+		req, err := c.buildReq(opTopicSnap, topic, want, tail[:])
+		if err != nil {
+			return snap, err
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return snap, ErrRemoteTimeout
+		}
+		resp, err := c.roundtrip(req, remain, func(resp []byte) bool {
+			return binary.BigEndian.Uint32(resp[5:9]) == want
+		})
+		if err != nil {
+			return snap, err
+		}
+		if resp[0] == statusNotFound {
+			return snap, fmt.Errorf("%w: topic %q", ErrNotFound, topic)
+		}
+		if resp[0] != statusOK || len(resp) < snapHeaderBytes {
+			return snap, fmt.Errorf("%w: topic snapshot status %d", ErrBadReply, resp[0])
+		}
+		gen := binary.BigEndian.Uint32(resp[1:5])
+		if offset > 0 && gen != snap.Gen {
+			// Membership moved between pages: restart for a consistent view.
+			snap.Subs = snap.Subs[:0]
+			offset = 0
+			snap.Gen = gen
+			snap.Class = resp[9]
+			continue
+		}
+		snap.Gen = gen
+		snap.Class = resp[9]
+		count := int(resp[10])
+		if len(resp) < snapHeaderBytes+4*count {
+			return snap, fmt.Errorf("%w: truncated snapshot page", ErrBadReply)
+		}
+		for i := 0; i < count; i++ {
+			a := wire.Addr(binary.BigEndian.Uint32(resp[snapHeaderBytes+4*i:]))
+			snap.Subs = append(snap.Subs, Subscription{Addr: a})
+		}
+		perPage := (c.d.MaxPayload() - snapHeaderBytes) / 4
+		if perPage > 255 {
+			perPage = 255
+		}
+		if count < perPage {
+			return snap, nil
+		}
+		offset += count
 	}
 }
 

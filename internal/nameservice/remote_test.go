@@ -68,6 +68,93 @@ func TestRemoteLookupNotFound(t *testing.T) {
 	}
 }
 
+func TestRemoteTopicOps(t *testing.T) {
+	srv, cli, _, cd := newRemoteRig(t)
+
+	// Two subscriber endpoints on the client domain join one topic.
+	ep1, err := cd.NewRecvEndpoint(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := cd.NewRecvEndpoint(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Subscribe("radar.tracks", ep1.Addr(), 2, callTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Subscribe("radar.tracks", ep2.Addr(), 2, callTimeout); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := cli.TopicSnapshot("radar.tracks", callTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Subs) != 2 || snap.Class != 2 {
+		t.Fatalf("snapshot = %+v, want 2 subs class 2", snap)
+	}
+	want := map[wire.Addr]bool{ep1.Addr(): true, ep2.Addr(): true}
+	for _, s := range snap.Subs {
+		if !want[s.Addr] {
+			t.Fatalf("unexpected subscriber %v", s.Addr)
+		}
+	}
+
+	// Leave bumps the generation and shrinks the set.
+	if err := cli.Unsubscribe("radar.tracks", ep2.Addr(), callTimeout); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := cli.TopicSnapshot("radar.tracks", callTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap2.Subs) != 1 || snap2.Subs[0].Addr != ep1.Addr() {
+		t.Fatalf("after leave: %+v", snap2.Subs)
+	}
+	if snap2.Gen == snap.Gen {
+		t.Fatal("leave did not bump membership generation")
+	}
+
+	// The server-side registry sees the same state (daemon housekeeping
+	// path).
+	if got := srv.Topics().Gen("radar.tracks"); got != snap2.Gen {
+		t.Fatalf("server gen %d != client view %d", got, snap2.Gen)
+	}
+
+	if _, err := cli.TopicSnapshot("no.such.topic", callTimeout); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown topic: %v", err)
+	}
+}
+
+func TestRemoteTopicSnapshotPaging(t *testing.T) {
+	// 128-byte messages give 120 payload bytes: (120-11)/4 = 27
+	// addresses per page. 40 subscribers forces two pages.
+	_, cli, _, _ := newRemoteRig(t)
+	for i := 0; i < 40; i++ {
+		a, err := wire.MakeAddr(wire.NodeID(i%4), uint16(i), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Subscribe("big", a, 0, callTimeout); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := cli.TopicSnapshot("big", callTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Subs) != 40 {
+		t.Fatalf("paged snapshot returned %d subs, want 40", len(snap.Subs))
+	}
+	seen := map[wire.Addr]bool{}
+	for _, s := range snap.Subs {
+		if seen[s.Addr] {
+			t.Fatalf("duplicate subscriber %v across pages", s.Addr)
+		}
+		seen[s.Addr] = true
+	}
+}
+
 func TestRemoteDuplicateRegister(t *testing.T) {
 	_, cli, _, cd := newRemoteRig(t)
 	ep, _ := cd.NewRecvEndpoint(4)

@@ -1,0 +1,212 @@
+package nameservice
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"flipc/internal/wire"
+)
+
+// Topic records: the pub-sub companion to the endpoint Directory. A
+// topic maps a well-known name to the set of subscriber endpoint
+// addresses, so a publisher can fan one send out to every subscriber
+// with FLIPC's optimistic semantics (slow subscribers lose messages,
+// counted at their endpoints — the paper's unposted-receiver discard
+// rule applied one-to-many).
+//
+// Membership is generation-stamped and lease-based:
+//
+//   - every join/leave bumps the topic's membership generation, so
+//     publishers can cache their fanout plan and rebuild it only when
+//     the generation moves;
+//   - each subscription is renewed by re-subscribing (idempotent); a
+//     sweep epoch (Advance) ages out subscribers that have not renewed
+//     within TTL epochs, so a crashed subscriber stops costing fanout
+//     work and its address — which a later domain may reuse at a new
+//     endpoint generation — cannot go stale silently.
+
+// DefaultTopicTTL is the number of sweep epochs a subscription survives
+// without renewal.
+const DefaultTopicTTL = 3
+
+// Subscription is one subscriber's record in a topic.
+type Subscription struct {
+	Addr wire.Addr
+	// Epoch is the sweep epoch of the last subscribe/renew.
+	Epoch uint64
+}
+
+// TopicSnapshot is an immutable view of one topic's membership.
+type TopicSnapshot struct {
+	Name  string
+	Class uint8 // priority class attribute (see internal/topic)
+	// Gen counts membership changes; publishers rebuild their fanout
+	// plan only when it moves.
+	Gen  uint32
+	Subs []Subscription // ordered by address for deterministic fanout
+}
+
+// Addrs returns the subscriber addresses in snapshot order.
+func (s TopicSnapshot) Addrs() []wire.Addr {
+	out := make([]wire.Addr, len(s.Subs))
+	for i, sub := range s.Subs {
+		out[i] = sub.Addr
+	}
+	return out
+}
+
+type topicRecord struct {
+	class uint8
+	gen   uint32
+	subs  map[wire.Addr]uint64 // addr -> epoch of last renewal
+}
+
+// TopicRegistry is an in-process topic → subscriber-set registry, safe
+// for concurrent use. It is served remotely by Server (ops 4–6 of the
+// remote protocol) so one cluster needs a single registry node.
+type TopicRegistry struct {
+	mu     sync.Mutex
+	topics map[string]*topicRecord
+	epoch  uint64
+	ttl    uint64
+}
+
+// NewTopicRegistry creates an empty registry with DefaultTopicTTL.
+func NewTopicRegistry() *TopicRegistry {
+	return &TopicRegistry{topics: make(map[string]*topicRecord), ttl: DefaultTopicTTL}
+}
+
+// SetTTL overrides the subscription lease, in sweep epochs (minimum 1).
+func (r *TopicRegistry) SetTTL(epochs int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if epochs < 1 {
+		epochs = 1
+	}
+	r.ttl = uint64(epochs)
+}
+
+// record returns the topic's record, creating it if needed. Caller
+// holds r.mu.
+func (r *TopicRegistry) record(topic string) *topicRecord {
+	t := r.topics[topic]
+	if t == nil {
+		t = &topicRecord{subs: make(map[wire.Addr]uint64)}
+		r.topics[topic] = t
+	}
+	return t
+}
+
+// Declare sets a topic's priority class, creating the topic if needed.
+// Class changes bump the generation so cached fanout plans refresh.
+func (r *TopicRegistry) Declare(topic string, class uint8) error {
+	if topic == "" {
+		return fmt.Errorf("nameservice: empty topic name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.record(topic)
+	if t.class != class {
+		t.class = class
+		t.gen++
+	}
+	return nil
+}
+
+// Subscribe adds (or renews) addr's subscription to topic. A renewal
+// refreshes the lease without bumping the membership generation, so
+// steady-state renewals never invalidate publisher fanout plans.
+func (r *TopicRegistry) Subscribe(topic string, addr wire.Addr) error {
+	if topic == "" {
+		return fmt.Errorf("nameservice: empty topic name")
+	}
+	if !addr.Valid() {
+		return fmt.Errorf("nameservice: subscribe %q with invalid address", topic)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.record(topic)
+	if _, joined := t.subs[addr]; !joined {
+		t.gen++
+	}
+	t.subs[addr] = r.epoch
+	return nil
+}
+
+// Unsubscribe removes addr from topic (idempotent).
+func (r *TopicRegistry) Unsubscribe(topic string, addr wire.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.topics[topic]
+	if t == nil {
+		return
+	}
+	if _, joined := t.subs[addr]; joined {
+		delete(t.subs, addr)
+		t.gen++
+	}
+}
+
+// Snapshot returns topic's membership, ordered by address. The ok
+// result reports whether the topic exists (an existing topic may have
+// zero subscribers).
+func (r *TopicRegistry) Snapshot(topic string) (TopicSnapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.topics[topic]
+	if t == nil {
+		return TopicSnapshot{Name: topic}, false
+	}
+	snap := TopicSnapshot{Name: topic, Class: t.class, Gen: t.gen,
+		Subs: make([]Subscription, 0, len(t.subs))}
+	for a, e := range t.subs {
+		snap.Subs = append(snap.Subs, Subscription{Addr: a, Epoch: e})
+	}
+	sort.Slice(snap.Subs, func(i, j int) bool { return snap.Subs[i].Addr < snap.Subs[j].Addr })
+	return snap, true
+}
+
+// Gen returns topic's membership generation without building a
+// snapshot — the publisher's cheap staleness probe.
+func (r *TopicRegistry) Gen(topic string) uint32 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t := r.topics[topic]; t != nil {
+		return t.gen
+	}
+	return 0
+}
+
+// Advance starts a new sweep epoch and ages out every subscription not
+// renewed within TTL epochs, returning how many were expired. Call it
+// on the lease cadence (e.g. once per renewal interval from the
+// registry daemon's housekeeping loop).
+func (r *TopicRegistry) Advance() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.epoch++
+	expired := 0
+	for _, t := range r.topics {
+		for a, e := range t.subs {
+			if r.epoch-e > r.ttl {
+				delete(t.subs, a)
+				t.gen++
+				expired++
+			}
+		}
+	}
+	return expired
+}
+
+// Topics returns the known topic names, sorted.
+func (r *TopicRegistry) Topics() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.topics))
+	for n := range r.topics {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,135 @@
+package nameservice
+
+import (
+	"testing"
+
+	"flipc/internal/wire"
+)
+
+func topicAddr(t *testing.T, node wire.NodeID, idx, gen uint16) wire.Addr {
+	t.Helper()
+	a, err := wire.MakeAddr(node, idx, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestTopicRegistryMembership(t *testing.T) {
+	r := NewTopicRegistry()
+	a1 := topicAddr(t, 1, 3, 1)
+	a2 := topicAddr(t, 2, 7, 1)
+
+	if _, ok := r.Snapshot("ctl"); ok {
+		t.Fatal("snapshot of unknown topic reported ok")
+	}
+	if err := r.Declare("ctl", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Subscribe("ctl", a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Subscribe("ctl", a2); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := r.Snapshot("ctl")
+	if !ok || len(snap.Subs) != 2 {
+		t.Fatalf("snapshot = %+v ok=%v, want 2 subs", snap, ok)
+	}
+	if snap.Class != 2 {
+		t.Fatalf("class = %d, want 2", snap.Class)
+	}
+	gen := snap.Gen
+
+	// Renewal must not bump the generation (fanout plans stay cached).
+	if err := r.Subscribe("ctl", a1); err != nil {
+		t.Fatal(err)
+	}
+	if g := r.Gen("ctl"); g != gen {
+		t.Fatalf("renewal bumped gen %d -> %d", gen, g)
+	}
+
+	// Leave bumps it.
+	r.Unsubscribe("ctl", a2)
+	if g := r.Gen("ctl"); g == gen {
+		t.Fatal("unsubscribe did not bump gen")
+	}
+	snap, _ = r.Snapshot("ctl")
+	if len(snap.Subs) != 1 || snap.Subs[0].Addr != a1 {
+		t.Fatalf("after leave: %+v", snap.Subs)
+	}
+
+	// Idempotent unsubscribe.
+	g := r.Gen("ctl")
+	r.Unsubscribe("ctl", a2)
+	if r.Gen("ctl") != g {
+		t.Fatal("idempotent unsubscribe bumped gen")
+	}
+}
+
+func TestTopicRegistryValidation(t *testing.T) {
+	r := NewTopicRegistry()
+	if err := r.Subscribe("", topicAddr(t, 0, 0, 1)); err == nil {
+		t.Fatal("empty topic accepted")
+	}
+	if err := r.Subscribe("x", wire.NilAddr); err == nil {
+		t.Fatal("nil address accepted")
+	}
+	if err := r.Declare("", 0); err == nil {
+		t.Fatal("empty topic declared")
+	}
+}
+
+func TestTopicRegistryLeaseExpiry(t *testing.T) {
+	r := NewTopicRegistry()
+	r.SetTTL(2)
+	a1 := topicAddr(t, 1, 3, 1)
+	a2 := topicAddr(t, 2, 7, 1)
+	if err := r.Subscribe("t", a1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Subscribe("t", a2); err != nil {
+		t.Fatal(err)
+	}
+
+	// a1 renews every epoch; a2 goes silent and must age out once more
+	// than TTL epochs have passed since its last renewal.
+	for i := 0; i < 2; i++ {
+		if n := r.Advance(); n != 0 {
+			t.Fatalf("epoch %d: expired %d early", i, n)
+		}
+		if err := r.Subscribe("t", a1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := r.Advance(); n != 1 {
+		t.Fatalf("expired %d, want 1", n)
+	}
+	snap, _ := r.Snapshot("t")
+	if len(snap.Subs) != 1 || snap.Subs[0].Addr != a1 {
+		t.Fatalf("survivors = %+v, want only renewing subscriber", snap.Subs)
+	}
+}
+
+func TestTopicRegistryClassChangeBumpsGen(t *testing.T) {
+	r := NewTopicRegistry()
+	if err := r.Declare("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	g := r.Gen("t")
+	if err := r.Declare("t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if r.Gen("t") != g {
+		t.Fatal("no-op declare bumped gen")
+	}
+	if err := r.Declare("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if r.Gen("t") == g {
+		t.Fatal("class change did not bump gen")
+	}
+	if got := r.Topics(); len(got) != 1 || got[0] != "t" {
+		t.Fatalf("topics = %v", got)
+	}
+}

@@ -152,6 +152,18 @@ type Config struct {
 	Resolver func(wire.NodeID) (string, bool)
 	// Reconnect tunes the redial state machine.
 	Reconnect ReconnectConfig
+	// BatchWrites enables per-peer write coalescing (the
+	// interconnect.BatchFlusher capability): TrySend buffers accepted
+	// frames per peer and FlushSends pushes each peer's buffer in one
+	// conn.Write. The messaging engine flushes at the end of every send
+	// pass, so with an engine driving the transport a frame is never
+	// held beyond its pass; callers driving TrySend directly must call
+	// FlushSends themselves. Off by default (TrySend then writes
+	// synchronously, as before).
+	BatchWrites bool
+	// MaxBatchFrames bounds the per-peer coalescing buffer; a TrySend
+	// that fills it flushes inline (default 64).
+	MaxBatchFrames int
 	// Trace, when non-nil, records peer lifecycle events (peer.up,
 	// peer.down, peer.redial, peer.dead, rx.drop).
 	Trace *trace.Ring
@@ -175,6 +187,7 @@ type peer struct {
 	redialing bool       // a redial goroutine is live
 	downAt    time.Time  // when the current outage began
 	wbuf      []byte     // preamble+frame send scratch, guarded by mu
+	pending   []byte     // coalesced frames awaiting FlushSends (BatchWrites)
 	reconnect stats.Ewma // smoothed outage duration, milliseconds
 
 	sent       atomic.Uint64
@@ -198,11 +211,16 @@ type PeerHealth struct {
 // refuses or discards lands in PeerDowns or RxDrops — loss is never
 // silent.
 type Stats struct {
-	Sent       uint64 // frames written to peers
+	Sent       uint64 // frames accepted for a peer (written, or buffered under BatchWrites)
 	Delivered  uint64 // frames handed to the inbox
 	PeerDowns  uint64 // sends refused: peer disconnected/unknown/dead
 	RxDrops    uint64 // received frames dropped: inbox full
 	Reconnects uint64 // peer links re-established
+	// FlushLost counts frames accepted into a peer's coalescing buffer
+	// (BatchWrites) and then lost because the connection died before
+	// the flush completed — the batched-write analogue of frames lost
+	// in a dead TCP buffer, and like them a counted, never silent loss.
+	FlushLost uint64
 }
 
 // Transport is a TCP-backed interconnect.Transport. Create one per
@@ -236,6 +254,7 @@ type Transport struct {
 	peerDowns  atomic.Uint64
 	rxDrops    atomic.Uint64
 	reconnects atomic.Uint64
+	flushLost  atomic.Uint64
 }
 
 // Listen creates a transport for node accepting peer connections on
@@ -252,6 +271,9 @@ func ListenConfig(cfg Config) (*Transport, error) {
 	}
 	if cfg.InboxDepth <= 0 {
 		cfg.InboxDepth = 1024
+	}
+	if cfg.MaxBatchFrames <= 0 {
+		cfg.MaxBatchFrames = 64
 	}
 	cfg.Reconnect.applyDefaults()
 	ln, err := net.Listen("tcp", cfg.Addr)
@@ -285,6 +307,7 @@ func (t *Transport) registerMetrics(reg *metrics.Registry) {
 	reg.Func("flipc_transport_peer_downs_total", func() float64 { return float64(t.peerDowns.Load()) })
 	reg.Func("flipc_transport_rx_drops_total", func() float64 { return float64(t.rxDrops.Load()) })
 	reg.Func("flipc_transport_reconnects_total", func() float64 { return float64(t.reconnects.Load()) })
+	reg.Func("flipc_transport_flush_lost_total", func() float64 { return float64(t.flushLost.Load()) })
 	reg.Func("flipc_transport_inbox_depth", func() float64 { return float64(len(t.inbox)) })
 }
 
@@ -417,6 +440,7 @@ func (t *Transport) connFailedLocked(p *peer, conn net.Conn, err error) {
 		return
 	}
 	p.conn = nil
+	t.dropPendingLocked(p)
 	p.downAt = time.Now()
 	p.state = PeerReconnecting
 	t.traceEvent("peer.down", p.node, err)
@@ -655,11 +679,12 @@ func (t *Transport) readLoop(p *peer, conn net.Conn) {
 }
 
 // TrySend implements interconnect.Transport. The frame is written
-// synchronously; TCP's buffers make this effectively non-blocking at
-// FLIPC message sizes unless the peer has stopped reading. A failed
-// write marks the peer down and starts recovery; the refusal is
-// counted, and the engine keeps the message queued, so nothing is
-// silently lost on this side of the wire.
+// synchronously (or coalesced until FlushSends under BatchWrites);
+// TCP's buffers make the write effectively non-blocking at FLIPC
+// message sizes unless the peer has stopped reading. A failed write
+// marks the peer down and starts recovery; the refusal is counted, and
+// the engine keeps the message queued, so nothing is silently lost on
+// this side of the wire.
 func (t *Transport) TrySend(dst wire.NodeID, frame []byte) bool {
 	if len(frame) != t.cfg.MessageSize {
 		return false
@@ -679,6 +704,30 @@ func (t *Transport) TrySend(dst wire.NodeID, frame []byte) bool {
 		t.peerDowns.Add(1)
 		return false
 	}
+	if t.cfg.BatchWrites {
+		// Coalesce: append preamble+frame to the peer's pending buffer;
+		// the engine's end-of-pass FlushSends (or filling the buffer)
+		// writes the whole run in one syscall.
+		var pre [preambleBytes]byte
+		binary.BigEndian.PutUint16(pre[0:2], preambleMagic)
+		binary.BigEndian.PutUint16(pre[2:4], uint16(t.cfg.MessageSize))
+		p.pending = append(p.pending, pre[:]...)
+		p.pending = append(p.pending, frame...)
+		full := len(p.pending) >= t.cfg.MaxBatchFrames*(preambleBytes+t.cfg.MessageSize)
+		if full && !t.flushPeerLocked(p) {
+			// The inline flush failed; this frame went down with the
+			// batch (already counted as FlushLost). Report refusal so
+			// the engine keeps its message queued.
+			p.mu.Unlock()
+			p.sendFails.Add(1)
+			t.peerDowns.Add(1)
+			return false
+		}
+		p.mu.Unlock()
+		p.sent.Add(1)
+		t.sent.Add(1)
+		return true
+	}
 	if p.wbuf == nil {
 		p.wbuf = make([]byte, preambleBytes+t.cfg.MessageSize)
 		binary.BigEndian.PutUint16(p.wbuf[0:2], preambleMagic)
@@ -697,6 +746,57 @@ func (t *Transport) TrySend(dst wire.NodeID, frame []byte) bool {
 	p.sent.Add(1)
 	t.sent.Add(1)
 	return true
+}
+
+// dropPendingLocked discards p's coalescing buffer, counting every
+// buffered frame as FlushLost. Caller holds p.mu.
+func (t *Transport) dropPendingLocked(p *peer) {
+	if len(p.pending) == 0 {
+		return
+	}
+	t.flushLost.Add(uint64(len(p.pending) / (preambleBytes + t.cfg.MessageSize)))
+	p.pending = p.pending[:0]
+}
+
+// flushPeerLocked writes p's pending buffer in one conn.Write,
+// reporting whether the peer's link survived. Caller holds p.mu.
+func (t *Transport) flushPeerLocked(p *peer) bool {
+	if len(p.pending) == 0 {
+		return true
+	}
+	conn := p.conn
+	if conn == nil {
+		t.dropPendingLocked(p)
+		return false
+	}
+	_, err := conn.Write(p.pending)
+	if err != nil {
+		// connFailedLocked counts the buffered frames via dropPendingLocked.
+		t.connFailedLocked(p, conn, err)
+		return false
+	}
+	p.pending = p.pending[:0]
+	return true
+}
+
+// FlushSends implements interconnect.BatchFlusher: it pushes every
+// peer's coalesced frames to the wire, one write per peer. A no-op for
+// peers with nothing pending (and for transports without BatchWrites).
+func (t *Transport) FlushSends() {
+	if !t.cfg.BatchWrites {
+		return
+	}
+	t.mu.Lock()
+	ps := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		ps = append(ps, p)
+	}
+	t.mu.Unlock()
+	for _, p := range ps {
+		p.mu.Lock()
+		t.flushPeerLocked(p)
+		p.mu.Unlock()
+	}
 }
 
 // Poll implements interconnect.Transport.
@@ -805,6 +905,7 @@ func (t *Transport) Stats() Stats {
 		PeerDowns:  t.peerDowns.Load(),
 		RxDrops:    t.rxDrops.Load(),
 		Reconnects: t.reconnects.Load(),
+		FlushLost:  t.flushLost.Load(),
 	}
 }
 
@@ -839,6 +940,7 @@ func (t *Transport) Close() {
 			p.mu.Lock()
 			p.conn = nil
 			p.state = PeerDead
+			t.dropPendingLocked(p)
 			p.mu.Unlock()
 		}
 	})

@@ -206,6 +206,97 @@ func TestFullFLIPCOverTCP(t *testing.T) {
 	t.Fatal("message never delivered over TCP")
 }
 
+func TestBatchWritesFlushDelivers(t *testing.T) {
+	a, err := ListenConfig(Config{Node: 0, Addr: "127.0.0.1:0", MessageSize: 64, BatchWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen(1, "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.Dial(1, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		f := make([]byte, 64)
+		f[0] = byte(i)
+		if !a.TrySend(1, f) {
+			t.Fatalf("batched TrySend %d refused", i)
+		}
+	}
+	// Nothing hits the wire until the flush.
+	time.Sleep(20 * time.Millisecond)
+	if _, ok := b.Poll(); ok {
+		t.Fatal("frame arrived before FlushSends")
+	}
+	a.FlushSends()
+	for i := 0; i < n; i++ {
+		f := pollUntil(t, b, 2*time.Second)
+		if f[0] != byte(i) {
+			t.Fatalf("frame %d out of order (got %d)", i, f[0])
+		}
+	}
+	if st := a.Stats(); st.Sent != n || st.FlushLost != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestBatchWritesInlineFlushWhenFull(t *testing.T) {
+	a, err := ListenConfig(Config{Node: 0, Addr: "127.0.0.1:0", MessageSize: 64,
+		BatchWrites: true, MaxBatchFrames: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen(1, "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.Dial(1, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	// The 4th frame fills the batch and triggers an inline flush — no
+	// explicit FlushSends needed.
+	for i := 0; i < 4; i++ {
+		if !a.TrySend(1, make([]byte, 64)) {
+			t.Fatalf("TrySend %d refused", i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		pollUntil(t, b, 2*time.Second)
+	}
+}
+
+func TestBatchWritesCloseCountsPendingAsLost(t *testing.T) {
+	a, err := ListenConfig(Config{Node: 0, Addr: "127.0.0.1:0", MessageSize: 64, BatchWrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen(1, "127.0.0.1:0", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := a.Dial(1, b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !a.TrySend(1, make([]byte, 64)) {
+			t.Fatalf("TrySend %d refused", i)
+		}
+	}
+	a.Close()
+	if st := a.Stats(); st.FlushLost != 3 {
+		t.Fatalf("FlushLost = %d, want 3 (accepted-then-unflushed frames must be counted)", st.FlushLost)
+	}
+}
+
 func TestCloseIdempotent(t *testing.T) {
 	a, _ := Listen(0, "127.0.0.1:0", 64)
 	a.Close()

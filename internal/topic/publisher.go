@@ -1,0 +1,218 @@
+package topic
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"flipc/internal/core"
+	"flipc/internal/metrics"
+	"flipc/internal/msglib"
+)
+
+// PublisherConfig tunes a Publisher.
+type PublisherConfig struct {
+	// Topic is the topic name (required).
+	Topic string
+	// Class is the topic's priority class; the publisher's send
+	// endpoint and the wire flags derive their priority from it. The
+	// directory attribute is declared by subscribers when they join.
+	Class Class
+	// Depth is the send endpoint queue depth (0 = domain default).
+	Depth int
+	// Window bounds outstanding fanout frames — the topic's send-side
+	// credit, drawn down by sends and replenished as the engine
+	// completes them. Size it with PublisherWindow. Default 64.
+	Window int
+	// RefreshEvery is how many publishes may reuse the cached fanout
+	// plan before the directory is probed for a membership change
+	// (default 64; 1 probes every publish). Refresh can force it.
+	RefreshEvery int
+}
+
+// PublishResult accounts one fanout.
+type PublishResult struct {
+	// Sent counts subscribers whose frame was queued to the engine.
+	Sent int
+	// Dropped counts subscribers that missed this message to publisher
+	// backpressure (window exhausted); each is charged to that
+	// subscriber's drop account. Receiver-side discards are counted
+	// separately at the subscriber's endpoint.
+	Dropped int
+}
+
+// Publisher fans messages out to a topic's subscribers. It is
+// single-threaded, like the outbox it wraps.
+type Publisher struct {
+	d   *core.Domain
+	dir Directory
+	cfg PublisherConfig
+	out *msglib.Outbox
+
+	plan         []core.Addr // fanout order: address-sorted = grouped by node
+	planGen      uint32
+	sinceRefresh int
+
+	published uint64 // Publish calls that fanned out (plan non-empty)
+	sent      uint64 // per-subscriber frames queued
+	dropped   uint64 // per-subscriber frames lost to backpressure
+	drops     map[core.Addr]uint64
+
+	// nowNanos is the fanout-latency clock (replaceable in tests).
+	nowNanos func() int64
+
+	mPublished, mSent, mDropped *metrics.Counter
+	mSubs                       *metrics.Gauge
+	mFanoutNs                   *metrics.Histogram
+}
+
+// NewPublisher creates a publisher for cfg.Topic, declares the topic's
+// class in the directory, and builds the initial fanout plan.
+func NewPublisher(d *core.Domain, dir Directory, cfg PublisherConfig) (*Publisher, error) {
+	if cfg.Topic == "" {
+		return nil, fmt.Errorf("topic: publisher needs a topic name")
+	}
+	if !cfg.Class.Valid() {
+		return nil, fmt.Errorf("topic: invalid class %d", cfg.Class)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 64
+	}
+	if cfg.RefreshEvery <= 0 {
+		cfg.RefreshEvery = 64
+	}
+	out, err := msglib.NewOutboxPrio(d, cfg.Depth, cfg.Window, cfg.Class.EndpointPriority())
+	if err != nil {
+		return nil, err
+	}
+	p := &Publisher{
+		d: d, dir: dir, cfg: cfg, out: out,
+		drops:    make(map[core.Addr]uint64),
+		nowNanos: func() int64 { return time.Now().UnixNano() },
+	}
+	if err := p.Refresh(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Instrument registers the publisher's per-topic instruments with reg.
+// The publisher is their single writer, so updates stay wait-free.
+func (p *Publisher) Instrument(reg *metrics.Registry) {
+	tp := p.cfg.Topic
+	p.mPublished = reg.Counter(metrics.Name("flipc_topic_published_total", "topic", tp))
+	p.mSent = reg.Counter(metrics.Name("flipc_topic_fanout_sent_total", "topic", tp))
+	p.mDropped = reg.Counter(metrics.Name("flipc_topic_fanout_dropped_total", "topic", tp))
+	p.mSubs = reg.Gauge(metrics.Name("flipc_topic_subscribers", "topic", tp))
+	p.mFanoutNs = reg.Histogram(metrics.Name("flipc_topic_fanout_ns", "topic", tp))
+	p.mSubs.Set(float64(len(p.plan)))
+}
+
+// Refresh rebuilds the fanout plan from the directory unconditionally.
+func (p *Publisher) Refresh() error {
+	snap, err := p.dir.Snapshot(p.cfg.Topic)
+	if err != nil {
+		return err
+	}
+	p.sinceRefresh = 0
+	if snap.Gen == p.planGen && p.plan != nil {
+		return nil
+	}
+	// Snapshot order is address-sorted, which groups subscribers by
+	// node: consecutive sends to one peer coalesce under a batching
+	// transport (one write per peer per engine pass).
+	p.plan = snap.Addrs()
+	p.planGen = snap.Gen
+	if p.mSubs != nil {
+		p.mSubs.Set(float64(len(p.plan)))
+	}
+	return nil
+}
+
+// refreshIfStale probes the directory every RefreshEvery publishes.
+func (p *Publisher) refreshIfStale() error {
+	p.sinceRefresh++
+	if p.sinceRefresh < p.cfg.RefreshEvery {
+		return nil
+	}
+	return p.Refresh()
+}
+
+// Publish fans payload out to every subscriber in the cached plan. It
+// never blocks: a subscriber whose frame cannot be queued (window
+// exhausted) loses this message, and the loss is counted against that
+// subscriber. Publishing to a topic with no subscribers succeeds with
+// an empty result.
+func (p *Publisher) Publish(payload []byte) (PublishResult, error) {
+	return p.PublishFlags(payload, 0)
+}
+
+// PublishFlags is Publish with application flag bits (the class's
+// priority bits are merged in; wire-internal bits are rejected by the
+// send path as usual).
+func (p *Publisher) PublishFlags(payload []byte, flags uint8) (PublishResult, error) {
+	if err := p.refreshIfStale(); err != nil {
+		return PublishResult{}, err
+	}
+	var res PublishResult
+	if len(p.plan) == 0 {
+		return res, nil
+	}
+	start := p.nowNanos()
+	flags |= p.cfg.Class.Flags()
+	for _, dst := range p.plan {
+		err := p.out.SendFlags(dst, payload, flags)
+		if err == nil {
+			res.Sent++
+			continue
+		}
+		if errors.Is(err, msglib.ErrBackpressure) {
+			// Optimistic drop: this subscriber misses the message;
+			// charge its account and keep fanning out.
+			p.drops[dst]++
+			res.Dropped++
+			continue
+		}
+		return res, err
+	}
+	p.published++
+	p.sent += uint64(res.Sent)
+	p.dropped += uint64(res.Dropped)
+	if p.mPublished != nil {
+		p.mPublished.Inc()
+		p.mSent.Add(uint64(res.Sent))
+		p.mDropped.Add(uint64(res.Dropped))
+		if d := p.nowNanos() - start; d >= 0 {
+			p.mFanoutNs.Observe(uint64(d))
+		}
+	}
+	return res, nil
+}
+
+// Subscribers returns the cached plan size.
+func (p *Publisher) Subscribers() int { return len(p.plan) }
+
+// PlanGen returns the membership generation the plan was built from.
+func (p *Publisher) PlanGen() uint32 { return p.planGen }
+
+// Published returns the number of fanouts performed.
+func (p *Publisher) Published() uint64 { return p.published }
+
+// Sent returns the total per-subscriber frames queued.
+func (p *Publisher) Sent() uint64 { return p.sent }
+
+// Dropped returns the total per-subscriber frames lost to publisher
+// backpressure.
+func (p *Publisher) Dropped() uint64 { return p.dropped }
+
+// Drops returns a copy of the per-subscriber drop accounts.
+func (p *Publisher) Drops() map[core.Addr]uint64 {
+	out := make(map[core.Addr]uint64, len(p.drops))
+	for a, n := range p.drops {
+		out[a] = n
+	}
+	return out
+}
+
+// Outbox exposes the wrapped outbox (flush, backpressure counters).
+func (p *Publisher) Outbox() *msglib.Outbox { return p.out }

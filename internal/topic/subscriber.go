@@ -1,0 +1,99 @@
+package topic
+
+import (
+	"fmt"
+
+	"flipc/internal/core"
+	"flipc/internal/metrics"
+	"flipc/internal/msglib"
+)
+
+// Subscriber is one endpoint's membership in a topic: a self-stocking
+// inbox (the topic's private receive-side credit pool) plus the
+// directory subscription that routes fanout to it.
+//
+// The subscription is a lease: call Renew on the registry's renewal
+// cadence (idempotent, never invalidates publisher plans) or the
+// registry sweep ages the subscription out — a crashed subscriber
+// stops costing fanout work without any explicit leave.
+type Subscriber struct {
+	dir   Directory
+	topic string
+	class Class
+	in    *msglib.Inbox
+}
+
+// NewSubscriber creates an inbox with bufs posted buffers (size with
+// SubscriberBuffers; endpoint depth 0 = domain default) and joins
+// topic at the given class.
+func NewSubscriber(d *core.Domain, dir Directory, topic string, class Class, depth, bufs int) (*Subscriber, error) {
+	if topic == "" {
+		return nil, fmt.Errorf("topic: subscriber needs a topic name")
+	}
+	if !class.Valid() {
+		return nil, fmt.Errorf("topic: invalid class %d", class)
+	}
+	in, err := msglib.NewInbox(d, depth, bufs)
+	if err != nil {
+		return nil, err
+	}
+	s := &Subscriber{dir: dir, topic: topic, class: class, in: in}
+	if err := dir.Subscribe(topic, in.Addr(), class); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Topic returns the subscribed topic name.
+func (s *Subscriber) Topic() string { return s.topic }
+
+// Class returns the subscription's priority class.
+func (s *Subscriber) Class() Class { return s.class }
+
+// Addr returns the subscriber's receive address (the fanout target).
+func (s *Subscriber) Addr() core.Addr { return s.in.Addr() }
+
+// Renew refreshes the subscription lease (idempotent re-subscribe).
+func (s *Subscriber) Renew() error {
+	return s.dir.Subscribe(s.topic, s.in.Addr(), s.class)
+}
+
+// Leave removes the subscription; in-flight fanout to this endpoint is
+// discarded and counted there, like any send to an unposted receiver.
+func (s *Subscriber) Leave() error {
+	return s.dir.Unsubscribe(s.topic, s.in.Addr())
+}
+
+// Receive returns the next message (copied payload) if one is waiting.
+func (s *Subscriber) Receive() (payload []byte, flags uint8, ok bool) {
+	return s.in.Receive()
+}
+
+// ReceiveBlock blocks for the next message at the class's scheduler
+// priority: a control-topic consumer preempts bulk consumers at the
+// real-time semaphore.
+func (s *Subscriber) ReceiveBlock() ([]byte, uint8, error) {
+	return s.in.ReceiveBlock(s.class.SchedPriority())
+}
+
+// Drops exposes the endpoint's discard counter — messages that arrived
+// while no buffer was posted, the receive-side half of the topic's
+// loss accounting.
+func (s *Subscriber) Drops() uint64 { return s.in.Drops() }
+
+// Received returns the number of messages consumed.
+func (s *Subscriber) Received() uint64 { return s.in.Received() }
+
+// Inbox exposes the wrapped inbox (zero-copy receive, instruments).
+func (s *Subscriber) Inbox() *msglib.Inbox { return s.in }
+
+// Instrument registers per-topic delivery instruments: deliveries and
+// endpoint discards, labeled by topic and endpoint index. Snapshot
+// funcs over the endpoint's own counters — no new hot-path stores.
+func (s *Subscriber) Instrument(reg *metrics.Registry) {
+	idx := fmt.Sprintf("%d", s.in.Addr().Index())
+	reg.Func(metrics.Name("flipc_topic_delivered_total", "topic", s.topic, "endpoint", idx),
+		func() float64 { return float64(s.in.Received()) })
+	reg.Func(metrics.Name("flipc_topic_recv_dropped_total", "topic", s.topic, "endpoint", idx),
+		func() float64 { return float64(s.in.Drops()) })
+}

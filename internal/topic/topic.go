@@ -1,0 +1,208 @@
+// Package topic provides cluster-wide publish/subscribe with
+// prioritized fanout on top of FLIPC's point-to-point message cycle.
+//
+// A topic is a well-known name mapped — through the nameservice topic
+// registry — to the set of subscriber endpoint addresses. A Publisher
+// fans one Publish out to every subscriber with the protocol's
+// optimistic semantics intact: sends never block, and every message a
+// slow subscriber misses is counted, either at the publisher (outbox
+// backpressure, accounted per subscriber) or at the subscriber's
+// endpoint (the unposted-receiver discard rule). Loss is never silent.
+//
+// Topics carry a priority class (Control > Normal > Bulk) that is
+// honored at every layer a message crosses:
+//
+//   - the publisher's send endpoint takes the class's transport
+//     priority, so the engine's PolicyPriority ordering and its
+//     ReservedQuantum low-priority cap apply per class;
+//   - the class rides the wire in the header's priority flag bits
+//     (wire.PriorityMask);
+//   - blocking receives wait at the class's rtsched priority, so a
+//     control-topic subscriber preempts bulk consumers at the
+//     real-time semaphore.
+//
+// Fanout is peer-batched: the cached fanout plan is ordered by
+// subscriber address, which groups subscribers by node, so a transport
+// with the interconnect.BatchFlusher capability (nettrans BatchWrites)
+// coalesces a fanout burst into one write per peer node.
+//
+// Flow control is per topic: each Subscriber owns a private posted
+// buffer pool (its Inbox), so a hot topic exhausts its own credit, not
+// its neighbors'; each Publisher's outbox pool bounds the topic's
+// outstanding fanout frames. Size both with SubscriberBuffers /
+// PublisherWindow, which apply internal/flowctl's static sizing rules.
+package topic
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"flipc/internal/core"
+	"flipc/internal/flowctl"
+	"flipc/internal/nameservice"
+	"flipc/internal/wire"
+)
+
+// Class is a topic's priority class. Higher classes are delivered
+// ahead of lower ones wherever the stack makes an ordering decision.
+type Class uint8
+
+const (
+	// Bulk is the background class: large fanouts, no latency bound.
+	Bulk Class = 0
+	// Normal is the default class.
+	Normal Class = 1
+	// Control is the expedited class for small, latency-critical
+	// messages (mode changes, alarms); its sends bypass bulk backlogs
+	// via the engine's priority policy and quantum reservation.
+	Control Class = 2
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Bulk:
+		return "bulk"
+	case Normal:
+		return "normal"
+	case Control:
+		return "control"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Valid reports whether c is a defined class.
+func (c Class) Valid() bool { return c <= Control }
+
+// EndpointPriority maps the class to the transport priority of the
+// publisher's send endpoint — the value engine.PolicyPriority orders by
+// and engine.Config.ReservePriority thresholds against (Bulk stays at
+// 0, so it is the class a quantum reservation caps).
+func (c Class) EndpointPriority() uint8 {
+	switch c {
+	case Control:
+		return 5
+	case Normal:
+		return 2
+	}
+	return 0
+}
+
+// SchedPriority maps the class to the rtsched priority a blocking
+// receive waits at (higher runs first).
+func (c Class) SchedPriority() core.Priority {
+	switch c {
+	case Control:
+		return 16
+	case Normal:
+		return 8
+	}
+	return 1
+}
+
+// Flags returns the class's wire-header priority bits (the paper's
+// prioritized-transport extension): receivers and taps can classify a
+// frame without consulting the directory.
+func (c Class) Flags() uint8 { return c.EndpointPriority() & wire.PriorityMask }
+
+// ClassFromFlags recovers the class from a received message's flags.
+func ClassFromFlags(flags uint8) Class {
+	switch uint8(wire.Priority(flags)) {
+	case Control.EndpointPriority():
+		return Control
+	case Normal.EndpointPriority():
+		return Normal
+	}
+	return Bulk
+}
+
+// Directory is the membership view publishers read and subscribers
+// register through. Implementations: LocalDirectory over an in-process
+// nameservice.TopicRegistry, RemoteDirectory over the in-band
+// nameservice client. Snapshot of a topic nobody has declared returns
+// an empty membership, not an error — publishing into the void is a
+// cheap no-op, matching the optimistic protocol.
+type Directory interface {
+	Subscribe(topic string, addr core.Addr, class Class) error
+	Unsubscribe(topic string, addr core.Addr) error
+	Snapshot(topic string) (nameservice.TopicSnapshot, error)
+}
+
+// LocalDirectory adapts an in-process TopicRegistry (single-node
+// deployments, tests, and the registry daemon itself).
+type LocalDirectory struct {
+	R *nameservice.TopicRegistry
+}
+
+// Subscribe implements Directory.
+func (l LocalDirectory) Subscribe(topic string, addr core.Addr, class Class) error {
+	if err := l.R.Declare(topic, uint8(class)); err != nil {
+		return err
+	}
+	return l.R.Subscribe(topic, addr)
+}
+
+// Unsubscribe implements Directory.
+func (l LocalDirectory) Unsubscribe(topic string, addr core.Addr) error {
+	l.R.Unsubscribe(topic, addr)
+	return nil
+}
+
+// Snapshot implements Directory.
+func (l LocalDirectory) Snapshot(topic string) (nameservice.TopicSnapshot, error) {
+	snap, _ := l.R.Snapshot(topic)
+	return snap, nil
+}
+
+// RemoteDirectory adapts the nameservice client: membership ops travel
+// in-band as FLIPC messages to the cluster's registry node.
+type RemoteDirectory struct {
+	C *nameservice.Client
+	// Timeout bounds each directory round trip (default 2s).
+	Timeout time.Duration
+}
+
+func (r RemoteDirectory) timeout() time.Duration {
+	if r.Timeout > 0 {
+		return r.Timeout
+	}
+	return 2 * time.Second
+}
+
+// Subscribe implements Directory.
+func (r RemoteDirectory) Subscribe(topic string, addr core.Addr, class Class) error {
+	return r.C.Subscribe(topic, addr, uint8(class), r.timeout())
+}
+
+// Unsubscribe implements Directory.
+func (r RemoteDirectory) Unsubscribe(topic string, addr core.Addr) error {
+	return r.C.Unsubscribe(topic, addr, r.timeout())
+}
+
+// Snapshot implements Directory. An undeclared topic reads as empty.
+func (r RemoteDirectory) Snapshot(topic string) (nameservice.TopicSnapshot, error) {
+	snap, err := r.C.TopicSnapshot(topic, r.timeout())
+	if errors.Is(err, nameservice.ErrNotFound) {
+		return nameservice.TopicSnapshot{Name: topic}, nil
+	}
+	return snap, err
+}
+
+// SubscriberBuffers sizes a subscriber's posted-buffer pool for a
+// periodic publisher: enough credit to absorb rate messages per drain
+// period across two periods of consumer jitter (flowctl's periodic
+// sizing rule). This pool is the topic's receive-side credit — private
+// per subscription, so one saturated topic cannot starve another's
+// buffers.
+func SubscriberBuffers(rate int) int {
+	return flowctl.PeriodicBuffers(rate, 2)
+}
+
+// PublisherWindow sizes a publisher's outbox pool — the topic's bound
+// on outstanding fanout frames — as one fanout burst to subs
+// subscribers with outstanding full bursts in flight (flowctl's RPC
+// sizing rule with the roles transposed).
+func PublisherWindow(subs, outstanding int) int {
+	return flowctl.RPCBuffers(subs, outstanding)
+}

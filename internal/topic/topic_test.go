@@ -1,0 +1,294 @@
+package topic
+
+import (
+	"testing"
+	"time"
+
+	"flipc/internal/core"
+	"flipc/internal/interconnect"
+	"flipc/internal/metrics"
+	"flipc/internal/nameservice"
+	"flipc/internal/wire"
+)
+
+func newDomain(t *testing.T, fabric *interconnect.Fabric, node wire.NodeID) *core.Domain {
+	t.Helper()
+	tr, err := fabric.Attach(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewDomain(core.Config{Node: node, MessageSize: 128, NumBuffers: 256}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	d.Start()
+	return d
+}
+
+func TestClassMappings(t *testing.T) {
+	if !(Control.EndpointPriority() > Normal.EndpointPriority() &&
+		Normal.EndpointPriority() > Bulk.EndpointPriority()) {
+		t.Fatal("endpoint priorities not ordered")
+	}
+	if !(Control.SchedPriority() > Normal.SchedPriority() &&
+		Normal.SchedPriority() > Bulk.SchedPriority()) {
+		t.Fatal("sched priorities not ordered")
+	}
+	for _, c := range []Class{Bulk, Normal, Control} {
+		if got := ClassFromFlags(c.Flags()); got != c {
+			t.Fatalf("class %v round-trips to %v", c, got)
+		}
+		if !c.Valid() {
+			t.Fatalf("class %v invalid", c)
+		}
+	}
+	if Class(7).Valid() {
+		t.Fatal("class 7 valid")
+	}
+	if Control.String() != "control" {
+		t.Fatalf("String = %q", Control.String())
+	}
+}
+
+func TestPublishFanoutAndAccounting(t *testing.T) {
+	fabric := interconnect.NewFabric(1024)
+	pubD := newDomain(t, fabric, 0)
+	subD := newDomain(t, fabric, 1)
+	dir := LocalDirectory{R: nameservice.NewTopicRegistry()}
+
+	var subs []*Subscriber
+	for i := 0; i < 3; i++ {
+		s, err := NewSubscriber(subD, dir, "tracks", Normal, 32, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, s)
+	}
+	pub, err := NewPublisher(pubD, dir, PublisherConfig{Topic: "tracks", Class: Normal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	pub.Instrument(reg)
+	if pub.Subscribers() != 3 {
+		t.Fatalf("plan size = %d, want 3", pub.Subscribers())
+	}
+
+	const rounds = 20
+	for i := 0; i < rounds; i++ {
+		res, err := pub.Publish([]byte("m"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sent+res.Dropped != 3 {
+			t.Fatalf("fanout accounted %d+%d, want 3", res.Sent, res.Dropped)
+		}
+	}
+
+	// Conservation: every per-subscriber frame is delivered or counted
+	// as a drop at exactly one ledger.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var delivered, recvDrops uint64
+		for _, s := range subs {
+			for {
+				if _, _, ok := s.Receive(); !ok {
+					break
+				}
+			}
+			delivered += s.Received()
+			recvDrops += s.Drops()
+		}
+		total := delivered + recvDrops + pub.Dropped()
+		if total == rounds*3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("conservation: delivered %d + recvDrops %d + pubDrops %d != %d",
+				delivered, recvDrops, pub.Dropped(), rounds*3)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if pub.Published() != rounds {
+		t.Fatalf("published = %d", pub.Published())
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[metrics.Name("flipc_topic_published_total", "topic", "tracks")]; got != rounds {
+		t.Fatalf("published counter = %d", got)
+	}
+	if snap.Histograms[metrics.Name("flipc_topic_fanout_ns", "topic", "tracks")].Count != rounds {
+		t.Fatal("fanout histogram not recorded")
+	}
+}
+
+func TestPublishNoSubscribersIsNoop(t *testing.T) {
+	fabric := interconnect.NewFabric(64)
+	d := newDomain(t, fabric, 0)
+	dir := LocalDirectory{R: nameservice.NewTopicRegistry()}
+	pub, err := NewPublisher(d, dir, PublisherConfig{Topic: "empty", Class: Bulk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pub.Publish([]byte("x"))
+	if err != nil || res.Sent != 0 || res.Dropped != 0 {
+		t.Fatalf("publish to empty topic: %+v, %v", res, err)
+	}
+}
+
+func TestPlanRefreshOnMembershipChange(t *testing.T) {
+	fabric := interconnect.NewFabric(256)
+	pubD := newDomain(t, fabric, 0)
+	subD := newDomain(t, fabric, 1)
+	reg := nameservice.NewTopicRegistry()
+	dir := LocalDirectory{R: reg}
+
+	s1, err := NewSubscriber(subD, dir, "t", Bulk, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RefreshEvery 1: every publish probes the directory.
+	pub, err := NewPublisher(pubD, dir, PublisherConfig{Topic: "t", Class: Bulk, RefreshEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.Subscribers() != 1 {
+		t.Fatalf("plan = %d", pub.Subscribers())
+	}
+	gen := pub.PlanGen()
+
+	s2, err := NewSubscriber(subD, dir, "t", Bulk, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if pub.Subscribers() != 2 || pub.PlanGen() == gen {
+		t.Fatalf("plan did not follow join: %d subs, gen %d", pub.Subscribers(), pub.PlanGen())
+	}
+
+	if err := s2.Leave(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pub.Publish([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if pub.Subscribers() != 1 {
+		t.Fatalf("plan did not follow leave: %d", pub.Subscribers())
+	}
+
+	// Lease expiry removes a silent subscriber the same way.
+	for i := 0; i < nameservice.DefaultTopicTTL+1; i++ {
+		reg.Advance()
+	}
+	if _, err := pub.Publish([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if pub.Subscribers() != 0 {
+		t.Fatalf("expired subscriber still in plan (%d)", pub.Subscribers())
+	}
+
+	// A renewal would have kept it alive.
+	_ = s1
+}
+
+func TestSubscriberRenewKeepsLease(t *testing.T) {
+	fabric := interconnect.NewFabric(256)
+	d := newDomain(t, fabric, 0)
+	reg := nameservice.NewTopicRegistry()
+	dir := LocalDirectory{R: reg}
+	s, err := NewSubscriber(d, dir, "t", Control, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := reg.Gen("t")
+	for i := 0; i < 2*nameservice.DefaultTopicTTL; i++ {
+		reg.Advance()
+		if err := s.Renew(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, _ := reg.Snapshot("t")
+	if len(snap.Subs) != 1 {
+		t.Fatal("renewing subscriber expired")
+	}
+	if snap.Gen != gen {
+		t.Fatalf("renewals bumped gen %d -> %d (plans would thrash)", gen, snap.Gen)
+	}
+}
+
+// Remote directory: membership ops travel in-band through the
+// nameservice server; publisher and subscribers live on other nodes.
+func TestPubSubViaRemoteDirectory(t *testing.T) {
+	fabric := interconnect.NewFabric(1024)
+	dirD := newDomain(t, fabric, 0)
+	pubD := newDomain(t, fabric, 1)
+	subD := newDomain(t, fabric, 2)
+	srv, err := nameservice.NewServer(dirD, nameservice.New(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(5)
+
+	subCli, err := nameservice.NewClient(subD, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubCli, err := nameservice.NewClient(pubD, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSubscriber(subD, RemoteDirectory{C: subCli}, "radar", Control, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := NewPublisher(pubD, RemoteDirectory{C: pubCli}, PublisherConfig{Topic: "radar", Class: Control})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub.Subscribers() != 1 {
+		t.Fatalf("remote plan = %d", pub.Subscribers())
+	}
+	if _, err := pub.Publish([]byte("contact")); err != nil {
+		t.Fatal(err)
+	}
+	payload, flags, err := s.ReceiveBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "contact" {
+		t.Fatalf("payload = %q", payload)
+	}
+	if ClassFromFlags(flags) != Control {
+		t.Fatalf("class bits lost: flags %x", flags)
+	}
+}
+
+func TestPublisherValidation(t *testing.T) {
+	fabric := interconnect.NewFabric(16)
+	d := newDomain(t, fabric, 0)
+	dir := LocalDirectory{R: nameservice.NewTopicRegistry()}
+	if _, err := NewPublisher(d, dir, PublisherConfig{Class: Normal}); err == nil {
+		t.Fatal("empty topic accepted")
+	}
+	if _, err := NewPublisher(d, dir, PublisherConfig{Topic: "t", Class: 9}); err == nil {
+		t.Fatal("bad class accepted")
+	}
+	if _, err := NewSubscriber(d, dir, "", Normal, 16, 16); err == nil {
+		t.Fatal("empty topic accepted")
+	}
+	if _, err := NewSubscriber(d, dir, "t", 9, 16, 16); err == nil {
+		t.Fatal("bad class accepted")
+	}
+}
+
+func TestSizingHelpers(t *testing.T) {
+	if SubscriberBuffers(10) != 20 {
+		t.Fatalf("SubscriberBuffers(10) = %d", SubscriberBuffers(10))
+	}
+	if PublisherWindow(8, 4) != 32 {
+		t.Fatalf("PublisherWindow(8,4) = %d", PublisherWindow(8, 4))
+	}
+}
