@@ -61,6 +61,19 @@ func main() {
 		traceBuf = flag.Int("tracebuf", 4096, "trace ring capacity when -http is set")
 		checksum = flag.Bool("checksum", false, "CRC32C-checksum outgoing frames and verify flagged arrivals")
 		checks   = flag.Bool("checks", true, "engine validity checks (quarantine on comm-buffer corruption)")
+
+		// Registry role: -registry serves the topic registry in-band.
+		// With -waldir the registry is durable (WAL + snapshots) and
+		// generation-fenced across restarts; -standby follows a primary's
+		// replication stream instead of promoting, and takes over on
+		// SIGUSR1 or after -failover-after of stream silence.
+		registryOn    = flag.Bool("registry", false, "serve the topic registry on this node")
+		walDir        = flag.String("waldir", "", "registry WAL/snapshot directory; empty runs the registry volatile")
+		standby       = flag.Bool("standby", false, "start the registry as a standby replica (requires -waldir and -registry-stream)")
+		streamAddr    = flag.String("registry-stream", "", "primary registry server endpoint address (hex) for the standby's replication stream")
+		leaseInt      = flag.Duration("lease-interval", 2*time.Second, "registry housekeeping cadence (lease sweeps, replication pump)")
+		compactEvery  = flag.Int("compact-every", 1024, "compact the registry WAL once it holds this many records")
+		failoverAfter = flag.Duration("failover-after", 0, "standby self-promotes after this much stream silence (0 = only on SIGUSR1)")
 	)
 	flag.Parse()
 
@@ -118,10 +131,16 @@ func main() {
 		fmt.Printf("flipcd: peer node %d at %s (connecting in background)\n", id, addr)
 	}
 
+	// A registry node needs headroom beyond the echo service: server
+	// window, replication feed or stream subscriber, resync client.
+	numBuffers := 64
+	if *registryOn {
+		numBuffers = 512
+	}
 	d, err := core.NewDomain(core.Config{
 		Node:        wire.NodeID(*node),
 		MessageSize: *msgSize,
-		NumBuffers:  64,
+		NumBuffers:  numBuffers,
 		Engine: engine.Config{
 			Trace:          ring,
 			Metrics:        reg,
@@ -138,6 +157,46 @@ func main() {
 		srv.Quarantined = d.Engine().Quarantined
 	}
 	d.Start()
+
+	// Registry role: an in-band nameservice server, durable when
+	// -waldir is set, replicating to (or following) a peer when
+	// configured. Housekeeping runs on its own goroutine; /healthz and
+	// /metrics surface the role, generation, and store state.
+	var rn *registryNode
+	if *registryOn {
+		rn, err = startRegistry(d, nameservice.New(), registryOpts{
+			WALDir:        *walDir,
+			Standby:       *standby,
+			StreamAddr:    *streamAddr,
+			LeaseInterval: *leaseInt,
+			CompactEvery:  *compactEvery,
+			FailoverAfter: *failoverAfter,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if srv != nil && rn.mgr != nil {
+			srv.RegistryHealth = rn.mgr.Health
+		}
+		role := "primary"
+		if rn.mgr != nil {
+			role = rn.mgr.Role().String()
+		}
+		fmt.Printf("flipcd: registry server address %#x (%v), role %s\n",
+			uint32(rn.srv.Addr()), rn.srv.Addr(), role)
+		hkStop := make(chan struct{})
+		defer close(hkStop)
+		go rn.housekeeping(hkStop)
+		// SIGUSR1 promotes a standby registry to primary (manual
+		// failover); harmless on a node that is already primary.
+		promote := make(chan os.Signal, 1)
+		signal.Notify(promote, syscall.SIGUSR1)
+		go func() {
+			for range promote {
+				rn.requestPromote()
+			}
+		}()
+	}
 
 	// Echo service: reply to each message's embedded reply address.
 	// FLIPC does not deliver sender identity, so pingers put their

@@ -1,0 +1,293 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"flipc/internal/core"
+	"flipc/internal/nameservice"
+	"flipc/internal/registrystore"
+	"flipc/internal/topic"
+	"flipc/internal/wire"
+)
+
+// registryOpts configures the daemon's registry role.
+type registryOpts struct {
+	// WALDir is the durable store directory; empty runs the registry
+	// volatile (pre-durability behavior).
+	WALDir string
+	// Standby starts the node as a standby replica instead of promoting
+	// it to primary. Requires WALDir and StreamAddr.
+	Standby bool
+	// StreamAddr is the primary registry server's endpoint address
+	// (hex, as printed by the primary at startup) the standby resolves
+	// the replication stream and resync fetches through.
+	StreamAddr string
+	// LeaseInterval is the housekeeping cadence: lease sweeps,
+	// replication pumping, compaction checks.
+	LeaseInterval time.Duration
+	// CompactEvery compacts the log once it accumulates this many
+	// records.
+	CompactEvery int
+	// FailoverAfter promotes a standby that has seen no stream progress
+	// for this long (0 = promote only on SIGUSR1).
+	FailoverAfter time.Duration
+}
+
+// registryNode bundles the registry pieces of one flipcd process: the
+// in-band server, optionally a durable store with role manager, and —
+// depending on role — the replication feed (primary) or the stream
+// apply loop (standby).
+type registryNode struct {
+	opts registryOpts
+	d    *core.Domain
+	reg  *nameservice.TopicRegistry
+	srv  *nameservice.Server
+	st   *registrystore.Store
+	mgr  *registrystore.Manager
+	feed *registrystore.Feed
+
+	apply  *registrystore.Apply
+	client *nameservice.Client // resync fetches from the primary
+
+	seen       map[int]uint64 // quarantine episodes already evicted
+	lastSeq    uint64         // stream progress marker
+	lastMoved  time.Time
+	promoteReq chan struct{}
+}
+
+// startRegistry brings up the registry role on domain d: recovers the
+// durable store (if configured), starts the in-band server, and wires
+// the role-appropriate replication side.
+func startRegistry(d *core.Domain, dir *nameservice.Directory, opts registryOpts) (*registryNode, error) {
+	rn := &registryNode{
+		opts: opts, d: d,
+		reg:        nameservice.NewTopicRegistry(),
+		seen:       make(map[int]uint64),
+		lastMoved:  time.Now(),
+		promoteReq: make(chan struct{}, 1),
+	}
+	if opts.Standby && (opts.WALDir == "" || opts.StreamAddr == "") {
+		return nil, fmt.Errorf("flipcd: -standby requires -waldir and -registry-stream")
+	}
+	if opts.WALDir != "" {
+		st, err := registrystore.Open(opts.WALDir, rn.reg, registrystore.Options{})
+		if err != nil {
+			return nil, err
+		}
+		rn.st = st
+		rn.mgr = registrystore.NewManager(rn.reg, st)
+	}
+	srv, err := nameservice.NewServerWith(d, dir, rn.reg, 64)
+	if err != nil {
+		return nil, err
+	}
+	rn.srv = srv
+	if rn.mgr != nil {
+		srv.SetInfo(func() nameservice.RegistryInfo {
+			h := rn.mgr.Health()
+			return nameservice.RegistryInfo{
+				Primary: h.Role == "primary", Gen: h.RegistryGen, Seq: h.Seq, Epoch: h.Epoch,
+			}
+		})
+	}
+
+	switch {
+	case rn.mgr == nil:
+		// Volatile registry: nothing to fence or replicate.
+	case opts.Standby:
+		if err := rn.startStandby(); err != nil {
+			return nil, err
+		}
+	default:
+		if err := rn.startPrimary(); err != nil {
+			return nil, err
+		}
+	}
+	go srv.Serve(5)
+	return rn, nil
+}
+
+// startPrimary attaches the replication feed and fences a new
+// incarnation.
+func (rn *registryNode) startPrimary() error {
+	if err := rn.ensureFeed(); err != nil {
+		return err
+	}
+	rn.mgr.Promote()
+	return nil
+}
+
+// ensureFeed creates and attaches the replication feed once. The feed
+// publishes into the reserved control topic on this registry itself;
+// with no standby subscribed the fanout plan is empty and pumping is a
+// no-op.
+func (rn *registryNode) ensureFeed() error {
+	if rn.feed != nil {
+		return nil
+	}
+	pub, err := topic.NewPublisher(rn.d, topic.LocalDirectory{R: rn.reg}, topic.PublisherConfig{
+		Topic: registrystore.ReplicationTopic, Class: registrystore.ReplicationClass,
+		RefreshEvery: 1, Window: 64,
+	})
+	if err != nil {
+		return err
+	}
+	rn.feed = registrystore.NewFeed(pub, rn.d.MaxPayload())
+	rn.mgr.AttachFeed(rn.feed)
+	return nil
+}
+
+// startStandby subscribes to the primary's replication stream through
+// the remote directory and bootstraps a full-state resync.
+func (rn *registryNode) startStandby() error {
+	addr, err := parseEndpointAddr(rn.opts.StreamAddr)
+	if err != nil {
+		return err
+	}
+	client, err := nameservice.NewClient(rn.d, addr)
+	if err != nil {
+		return err
+	}
+	rn.client = client
+	rdir := topic.RemoteDirectory{C: client}
+	sub, err := topic.NewSubscriber(rn.d, rdir, registrystore.ReplicationTopic,
+		registrystore.ReplicationClass, 64, 64)
+	if err != nil {
+		return err
+	}
+	rn.apply = registrystore.NewApply(sub, rn.reg, rn.st)
+	return rn.resyncFromPrimary()
+}
+
+// resyncFromPrimary rebuilds the replica's full state over the remote
+// protocol: registry info (generation + pre-export sequence), the
+// paged topic list, and one paged snapshot per topic. Remote snapshots
+// do not carry lease epochs, so every imported lease is restamped —
+// the same re-validation window a takeover grants.
+func (rn *registryNode) resyncFromPrimary() error {
+	const tmo = 2 * time.Second
+	info, err := rn.client.RegistryInfo(tmo)
+	if err != nil {
+		return err
+	}
+	names, err := rn.client.TopicList(tmo)
+	if err != nil {
+		return err
+	}
+	state := nameservice.RegistryState{Gen: info.Gen, Epoch: info.Epoch}
+	for _, name := range names {
+		snap, err := rn.client.TopicSnapshot(name, tmo)
+		if err != nil {
+			return err
+		}
+		state.Topics = append(state.Topics, nameservice.TopicState{
+			Name: name, Class: snap.Class, Gen: snap.Gen, Subs: snap.Subs,
+		})
+	}
+	if err := rn.apply.Resync(state, info.Seq); err != nil {
+		return err
+	}
+	rn.reg.RestampLeases()
+	return nil
+}
+
+// requestPromote asks housekeeping to promote this node (SIGUSR1, or
+// operator tooling).
+func (rn *registryNode) requestPromote() {
+	select {
+	case rn.promoteReq <- struct{}{}:
+	default:
+	}
+}
+
+// promote fences this node strictly above everything the old primary
+// served and starts serving mutations — including a replication feed
+// of its own, so the next standby can follow this node.
+func (rn *registryNode) promote() {
+	if rn.mgr == nil {
+		return
+	}
+	if rn.apply != nil {
+		rn.mgr.ObservePeer(rn.apply.PrimaryGen())
+	}
+	if err := rn.ensureFeed(); err != nil {
+		fmt.Printf("flipcd: promoted without replication feed: %v\n", err)
+	}
+	gen := rn.mgr.Promote()
+	fmt.Printf("flipcd: registry promoted to primary at generation %d\n", gen)
+}
+
+// housekeeping runs the registry's periodic work until stop closes:
+// lease sweeps, quarantine eviction, replication pumping, compaction
+// (primary); stream draining, lease renewal, gap resync, and failover
+// detection (standby).
+func (rn *registryNode) housekeeping(stop <-chan struct{}) {
+	tick := time.NewTicker(rn.opts.LeaseInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-rn.promoteReq:
+			rn.promote()
+		case <-tick.C:
+		}
+		if rn.mgr == nil || rn.mgr.Role() == registrystore.RolePrimary {
+			rn.reg.Advance()
+			if n := topic.EvictQuarantined(rn.d, rn.reg, rn.seen); n > 0 {
+				fmt.Printf("flipcd: evicted %d subscriptions of quarantined endpoints\n", n)
+			}
+			if rn.mgr != nil {
+				rn.mgr.Heartbeat()
+				if rn.feed != nil {
+					if _, err := rn.feed.Pump(); err != nil {
+						fmt.Printf("flipcd: replication pump: %v\n", err)
+					}
+				}
+				if rn.st.WALRecords() >= rn.opts.CompactEvery {
+					if err := rn.st.Compact(rn.reg); err != nil {
+						fmt.Printf("flipcd: compaction: %v\n", err)
+					}
+				}
+			}
+			continue
+		}
+		// Standby: follow the stream.
+		rn.apply.Drain()
+		if rn.apply.NeedResync() {
+			if err := rn.resyncFromPrimary(); err != nil {
+				fmt.Printf("flipcd: standby resync: %v\n", err)
+			}
+		}
+		if err := rn.apply.Renew(); err != nil {
+			fmt.Printf("flipcd: stream lease renewal: %v\n", err)
+		}
+		if seq := rn.apply.LastSeq(); seq != rn.lastSeq || rn.apply.Heartbeats() > 0 {
+			rn.lastSeq = seq
+			rn.lastMoved = time.Now()
+		}
+		if rn.opts.FailoverAfter > 0 && time.Since(rn.lastMoved) > rn.opts.FailoverAfter {
+			fmt.Printf("flipcd: no stream progress for %v, taking over\n", rn.opts.FailoverAfter)
+			rn.promote()
+		}
+	}
+}
+
+// parseEndpointAddr parses a hex endpoint address as flipcd prints them
+// (with or without the 0x prefix).
+func parseEndpointAddr(s string) (wire.Addr, error) {
+	if len(s) > 2 && (s[:2] == "0x" || s[:2] == "0X") {
+		s = s[2:]
+	}
+	v, err := strconv.ParseUint(s, 16, 32)
+	if err != nil {
+		return wire.NilAddr, fmt.Errorf("flipcd: bad endpoint address %q: %w", s, err)
+	}
+	a := wire.Addr(v)
+	if !a.Valid() {
+		return wire.NilAddr, fmt.Errorf("flipcd: invalid endpoint address %q", s)
+	}
+	return a, nil
+}

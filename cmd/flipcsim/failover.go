@@ -1,0 +1,340 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"flipc/internal/nameservice"
+	"flipc/internal/registrystore"
+	"flipc/internal/sim"
+	"flipc/internal/simcluster"
+	"flipc/internal/stats"
+	"flipc/internal/topic"
+)
+
+// failoverOpts parameterizes the -failover scenario.
+type failoverOpts struct {
+	nodes   int
+	msgSize int
+	msgs    int           // control publishes per phase
+	gap     time.Duration // publish period (virtual)
+	poll    time.Duration
+	window  int
+}
+
+// runFailover kills the registry mid-traffic and measures the takeover.
+//
+// Node 0 hosts the primary registry (durable store + replication feed),
+// node 1 the standby (store + stream apply), node 2 a control-class
+// publisher, and every remaining node one subscriber — all resolving
+// through a FailoverDirectory pointed at the primary. Phase one runs
+// traffic against the primary while the standby follows the mutation
+// stream. Then the primary is killed cold (observer detached, feed
+// stopped, never notified), the standby promotes, and the workload is
+// retargeted. The scenario enforces the failover contract:
+//
+//   - the standby's generation is strictly above anything the primary
+//     served, and every topic generation moved (cached plans go stale);
+//   - zero subscriptions are lost across the takeover — the standby's
+//     membership is a superset of the primary's last served state, and
+//     subscribers re-validate their leases against the new registry;
+//   - no publisher ever blocks: every publish completes and is
+//     accounted (delivered or counted drop) by the conservation law;
+//   - post-failover control p99 stays within 2x the pre-failover
+//     baseline.
+func runFailover(o failoverOpts) error {
+	if o.nodes < 4 {
+		return fmt.Errorf("-failover needs at least 4 nodes (2 registries, 1 publisher, 1+ subscribers)")
+	}
+	scfg := simcluster.Config{
+		Nodes:        o.nodes,
+		MessageSize:  o.msgSize,
+		NumBuffers:   4 * o.window,
+		PollInterval: sim.Time(o.poll.Nanoseconds()),
+	}
+	c, err := simcluster.New(scfg)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	walA, err := os.MkdirTemp("", "flipcsim-rega-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walA)
+	walB, err := os.MkdirTemp("", "flipcsim-regb-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walB)
+
+	// Primary registry on node 0: durable store, replication feed on the
+	// reserved control-priority topic, fenced at promotion.
+	regA := nameservice.NewTopicRegistry()
+	stA, err := registrystore.Open(walA, regA, registrystore.Options{NoSync: true})
+	if err != nil {
+		return err
+	}
+	mgrA := registrystore.NewManager(regA, stA)
+	dirA := topic.LocalDirectory{R: regA}
+	repPub, err := topic.NewPublisher(c.Domains[0], dirA, topic.PublisherConfig{
+		Topic: registrystore.ReplicationTopic, Class: registrystore.ReplicationClass,
+		Window: o.window, RefreshEvery: 1,
+	})
+	if err != nil {
+		return err
+	}
+	feed := registrystore.NewFeed(repPub, c.Domains[0].MaxPayload())
+	mgrA.AttachFeed(feed)
+	genA := mgrA.Promote()
+
+	// Standby on node 1: subscribes to the replication stream through
+	// the primary, applies records into its own registry and store.
+	regB := nameservice.NewTopicRegistry()
+	stB, err := registrystore.Open(walB, regB, registrystore.Options{NoSync: true})
+	if err != nil {
+		return err
+	}
+	mgrB := registrystore.NewManager(regB, stB)
+	repSub, err := topic.NewSubscriber(c.Domains[1], dirA,
+		registrystore.ReplicationTopic, registrystore.ReplicationClass, o.window, o.window)
+	if err != nil {
+		return err
+	}
+	apply := registrystore.NewApply(repSub, regB, stB)
+
+	// Workload: subscribers on nodes 3..n-1 and a publisher on node 2,
+	// all resolving through a failover directory so a takeover is one
+	// retarget away. Subscriptions land after the standby attached, so
+	// they flow down the stream.
+	fdir := topic.NewFailoverDirectory(dirA)
+	nsubs := o.nodes - 3
+	var subs []*topicSub
+	for n := 3; n < o.nodes; n++ {
+		s, err := topic.NewSubscriber(c.Domains[n], fdir, "ctl", topic.Control, o.window, o.window)
+		if err != nil {
+			return err
+		}
+		subs = append(subs, &topicSub{sub: s})
+	}
+	pub, err := topic.NewPublisher(c.Domains[2], fdir, topic.PublisherConfig{
+		Topic: "ctl", Class: topic.Control, Window: o.window, RefreshEvery: 8,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Bootstrap the standby with a full-state resync (the takeover
+	// records enqueued before it subscribed never reached it): sequence
+	// captured before export, so the stream overlap double-applies
+	// idempotently instead of gapping.
+	seqBefore := stA.Seq()
+	if err := apply.Resync(regA.ExportState(), seqBefore); err != nil {
+		return err
+	}
+
+	// Replication pump: the primary's feed and the standby's drain run
+	// on the virtual clock until the kill. Subscribers renew leases on
+	// the same cadence; the active registry sweeps epochs slowly enough
+	// that a renewing subscriber can never expire.
+	poll := sim.Time(o.poll.Nanoseconds())
+	primaryAlive := true
+	c.Clock.NewTicker(50*poll, func() {
+		if !primaryAlive {
+			return
+		}
+		mgrA.Heartbeat()
+		if _, err := feed.Pump(); err != nil {
+			fatal(err)
+		}
+		apply.Drain()
+		if apply.NeedResync() {
+			fatal(fmt.Errorf("standby gapped during steady state"))
+		}
+	})
+	c.Clock.NewTicker(200*poll, func() {
+		for _, s := range subs {
+			if err := s.sub.Renew(); err != nil {
+				fatal(err)
+			}
+		}
+		if primaryAlive {
+			if err := apply.Renew(); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	c.Clock.NewTicker(1000*poll, func() {
+		if primaryAlive {
+			regA.Advance()
+		} else {
+			regB.Advance()
+		}
+	})
+
+	// Latency bookkeeping as in -topics: tags resolve drain times back
+	// to the virtual publish instant.
+	sent := map[int]sim.Time{}
+	nextTag := 0
+	publish := func() {
+		tag := nextTag
+		nextTag++
+		var buf [2]byte
+		buf[0], buf[1] = byte(tag>>8), byte(tag)
+		sent[tag] = c.Clock.Now()
+		if _, err := pub.Publish(buf[:]); err != nil {
+			fatal(err)
+		}
+	}
+	drain := func(s *topicSub) {
+		for {
+			payload, _, ok := s.sub.Receive()
+			if !ok {
+				return
+			}
+			if len(payload) < 2 {
+				continue
+			}
+			tag := int(payload[0])<<8 | int(payload[1])
+			if t0, ok := sent[tag]; ok {
+				s.lat = append(s.lat, c.Clock.Now()-t0)
+			}
+		}
+	}
+	for _, s := range subs {
+		s := s
+		c.Clock.NewTicker(poll, func() { drain(s) })
+	}
+
+	gap := sim.Time(o.gap.Nanoseconds())
+	settle := 1000 * poll
+	balanced := func() bool {
+		var got uint64
+		for _, s := range subs {
+			got += s.sub.Received() + s.sub.Drops()
+		}
+		return got+pub.Dropped() == pub.Published()*uint64(nsubs)
+	}
+	settleUntil := func(deadline sim.Time) {
+		c.Clock.RunUntil(deadline)
+		for i := 0; i < 500 && !balanced(); i++ {
+			deadline += settle
+			c.Clock.RunUntil(deadline)
+		}
+	}
+
+	// Phase one: traffic against the primary.
+	start := c.Clock.Now() + gap
+	for i := 0; i < o.msgs; i++ {
+		t := start + sim.Time(i)*gap
+		c.Clock.At(t, func() { publish() })
+	}
+	settleUntil(start + sim.Time(o.msgs)*gap + settle)
+	before := collectLatencies(subs)
+
+	// Let the stream fully catch up, then kill the primary cold: the
+	// observer detaches, the feed stops pumping, nobody says goodbye.
+	// The catch-up target is captured once — renewals keep appending to
+	// the log while the clock runs, and chasing a moving head would
+	// never terminate.
+	target := stA.Seq()
+	for i := 0; i < 500 && apply.LastSeq() < target; i++ {
+		c.Clock.RunUntil(c.Clock.Now() + settle)
+	}
+	if apply.LastSeq() < target {
+		return fmt.Errorf("standby never caught up: stream at %d, primary at %d", apply.LastSeq(), target)
+	}
+	served := regA.ExportState()
+	regA.Observe(nil)
+	primaryAlive = false
+
+	// Takeover: fence strictly above the dead primary, then retarget the
+	// workload at the new registry.
+	mgrB.ObservePeer(apply.PrimaryGen())
+	genB := mgrB.Promote()
+	if genB <= genA {
+		return fmt.Errorf("standby generation %d not above dead primary's %d", genB, genA)
+	}
+	fdir.Retarget(topic.LocalDirectory{R: regB})
+
+	// Subscription conservation: everything the primary last served must
+	// exist on the new primary, under a strictly larger topic generation.
+	for _, ts := range served.Topics {
+		snap, ok := regB.Snapshot(ts.Name)
+		if !ok {
+			return fmt.Errorf("topic %q lost in failover", ts.Name)
+		}
+		if snap.Gen <= ts.Gen {
+			return fmt.Errorf("topic %q generation %d not above served %d — stale plans would survive",
+				ts.Name, snap.Gen, ts.Gen)
+		}
+		have := map[uint32]bool{}
+		for _, sub := range snap.Subs {
+			have[uint32(sub.Addr)] = true
+		}
+		for _, sub := range ts.Subs {
+			if !have[uint32(sub.Addr)] {
+				return fmt.Errorf("topic %q lost subscriber %v in failover", ts.Name, sub.Addr)
+			}
+		}
+	}
+	// Lease re-validation: every subscriber renews against the new
+	// registry through the retargeted directory.
+	for _, s := range subs {
+		if err := s.sub.Renew(); err != nil {
+			return fmt.Errorf("post-failover renew: %w", err)
+		}
+	}
+	pub.Refresh()
+
+	// Phase two: same traffic against the new primary.
+	start = c.Clock.Now() + gap
+	for i := 0; i < o.msgs; i++ {
+		t := start + sim.Time(i)*gap
+		c.Clock.At(t, func() { publish() })
+	}
+	settleUntil(start + sim.Time(o.msgs)*gap + settle)
+	after := collectLatencies(subs)
+
+	// Conservation across both phases: every publish completed without
+	// blocking and is accounted for at one end or the other.
+	var delivered, recvDrops uint64
+	for _, s := range subs {
+		delivered += s.sub.Received()
+		recvDrops += s.sub.Drops()
+	}
+	expect := pub.Published() * uint64(nsubs)
+	got := delivered + recvDrops + pub.Dropped()
+	fmt.Printf("flipcsim -failover: %d nodes, %d subscribers, poll %v, gap %v\n",
+		o.nodes, nsubs, o.poll, o.gap)
+	fmt.Printf("registry: primary gen %d killed after %d records; standby promoted at gen %d (epoch %d)\n",
+		genA, stA.Seq(), genB, fdir.Epoch())
+	fmt.Printf("ctl: published %d x %d subs = %d; delivered %d, recv-dropped %d, pub-dropped %d\n",
+		pub.Published(), nsubs, expect, delivered, recvDrops, pub.Dropped())
+	if pub.Published() != uint64(2*o.msgs) {
+		return fmt.Errorf("publisher blocked: %d of %d publishes completed", pub.Published(), 2*o.msgs)
+	}
+	if got != expect {
+		return fmt.Errorf("conservation violated across failover: %d of %d accounted", got, expect)
+	}
+	fmt.Println("conservation: ok (zero subscriptions lost, no publisher blocked)")
+
+	beforeSum, err := stats.Summarize(before)
+	if err != nil {
+		return fmt.Errorf("pre-failover phase: %w", err)
+	}
+	afterSum, err := stats.Summarize(after)
+	if err != nil {
+		return fmt.Errorf("post-failover phase: %w", err)
+	}
+	fmt.Printf("ctl one-way latency µs, pre-failover:  %v\n", beforeSum)
+	fmt.Printf("ctl one-way latency µs, post-failover: %v\n", afterSum)
+	ratio := afterSum.P99 / beforeSum.P99
+	fmt.Printf("ctl p99 after failover: %.2fx pre-failover baseline\n", ratio)
+	if ratio > 2 {
+		return fmt.Errorf("control p99 degraded %.2fx across failover (bound: 2x)", ratio)
+	}
+	return nil
+}

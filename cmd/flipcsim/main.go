@@ -42,8 +42,9 @@ func main() {
 		prio    = flag.Int("prio", 0, "send endpoint transport priority (0-255)")
 		payload = flag.Int("payload", 32, "payload bytes per message")
 
-		topics  = flag.Bool("topics", false, "run the prioritized pub/sub scenario instead of the ping stream")
-		bulkGap = flag.Duration("bulkgap", time.Microsecond, "bulk publish period during -topics saturation phase")
+		topics   = flag.Bool("topics", false, "run the prioritized pub/sub scenario instead of the ping stream")
+		bulkGap  = flag.Duration("bulkgap", time.Microsecond, "bulk publish period during -topics saturation phase")
+		failover = flag.Bool("failover", false, "run the registry kill/failover scenario instead of the ping stream")
 
 		chaos        = flag.Float64("chaos", 0, "enable every fault mode at this rate (0..1)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "fault injection seed (node n uses seed+n)")
@@ -57,6 +58,23 @@ func main() {
 	)
 	flag.Parse()
 
+	if *failover {
+		n := *nodes
+		if n < 6 {
+			n = 6 // 2 registries + publisher + 3 subscribers
+		}
+		if err := runFailover(failoverOpts{
+			nodes:   n,
+			msgSize: *msgSize,
+			msgs:    *msgs,
+			gap:     *gap,
+			poll:    *poll,
+			window:  *window * 4,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *topics {
 		n := *nodes
 		if n == 2 {

@@ -58,7 +58,22 @@ func fetchMetrics(client *http.Client, url string) (*obs.MetricsJSON, error) {
 // render clears the screen and prints one refresh of the live table.
 func render(doc, prev *obs.MetricsJSON, dt time.Duration, url string) {
 	fmt.Print("\033[H\033[2J") // home + clear
-	fmt.Printf("flipcstat -watch %s  (%s)\n\n", url, time.Now().Format("15:04:05"))
+	fmt.Printf("flipcstat -watch %s  (%s)\n", url, time.Now().Format("15:04:05"))
+
+	// Registry durability/failover line (registry nodes only): role and
+	// generation move on failover; WAL lag is records since the last
+	// compaction, snapshot lag the sequence distance the snapshot is
+	// behind the log. A store error means mutations are no longer
+	// durable — shout it.
+	if r := doc.Registry; r != nil {
+		fmt.Printf("registry: role=%s gen=%d seq=%d wal-lag=%d snap-lag=%d epoch=%d promotions=%d demotions=%d",
+			r.Role, r.RegistryGen, r.Seq, r.WALRecords, r.Seq-r.SnapshotSeq, r.Epoch, r.Promotions, r.Demotions)
+		if r.StoreErr != "" {
+			fmt.Printf("  STORE ERROR: %s", r.StoreErr)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
 
 	// Counters: absolute value plus delta rate since the last sample.
 	// Transport counters are exposed as funcs (gauges); fold the

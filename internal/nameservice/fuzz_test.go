@@ -1,0 +1,110 @@
+package nameservice
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"flipc/internal/wire"
+)
+
+// mkReq assembles a protocol request for the fuzz corpus, mirroring the
+// client's buildReq layout.
+func mkReq(op byte, replyTo, field uint32, name string, tail []byte) []byte {
+	req := make([]byte, 10+len(name)+len(tail))
+	req[0] = op
+	binary.BigEndian.PutUint32(req[1:5], replyTo)
+	binary.BigEndian.PutUint32(req[5:9], field)
+	req[9] = byte(len(name))
+	copy(req[10:], name)
+	copy(req[10+len(name):], tail)
+	return req
+}
+
+// FuzzServerProcess drives the remote-protocol request parser with
+// arbitrary requests against a server whose registry holds seeded
+// state. Invariants checked on every request:
+//
+//   - process never panics, whatever the bytes;
+//   - a nil response happens only when the request is too short to
+//     carry a reply address or the address is invalid (nobody to
+//     refuse to);
+//   - every response fits the response minimum (9 bytes) and the
+//     payload capacity it was built for — a page that overflows the
+//     domain's message size would be unsendable;
+//   - the 4-byte tag/payload field echoes through all tagged ops, so
+//     pipelined clients can never mis-match a response.
+func FuzzServerProcess(f *testing.F) {
+	const maxPayload = 120
+	replyAddr := func() uint32 {
+		a, err := wire.MakeAddr(1, 3, 1)
+		if err != nil {
+			panic(err)
+		}
+		return uint32(a)
+	}()
+	subAddr, err := wire.MakeAddr(2, 5, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	// One seed per op, plus malformed shapes.
+	f.Add(mkReq(opRegister, replyAddr, uint32(subAddr), "svc", nil))
+	f.Add(mkReq(opLookup, replyAddr, 7, "svc", nil))
+	f.Add(mkReq(opUnregister, replyAddr, 0, "svc", nil))
+	f.Add(mkReq(opSubscribe, replyAddr, uint32(subAddr), "topic", []byte{2}))
+	f.Add(mkReq(opUnsubscribe, replyAddr, uint32(subAddr), "topic", nil))
+	f.Add(mkReq(opTopicSnap, replyAddr, 9, "topic", []byte{0, 0}))
+	f.Add(mkReq(opTopicSnap, replyAddr, 9, "topic", []byte{0, 200})) // offset past end
+	f.Add(mkReq(opRegistryInfo, replyAddr, 11, "", nil))
+	f.Add(mkReq(opTopicList, replyAddr, 13, "", []byte{0, 0}))
+	f.Add(mkReq(99, replyAddr, 0, "x", nil))                // unknown op
+	f.Add(mkReq(opLookup, 0, 0, "x", nil))                  // invalid reply address
+	f.Add([]byte{opLookup, 0, 0})                           // truncated header
+	f.Add(mkReq(opSubscribe, replyAddr, 0, "t", []byte{1})) // invalid subscriber addr
+	f.Add(func() []byte {                                   // name length runs past the request
+		r := mkReq(opLookup, replyAddr, 0, "abc", nil)
+		r[9] = 200
+		return r
+	}())
+
+	f.Fuzz(func(t *testing.T, req []byte) {
+		// Fresh server per input: state seeded so snapshot/list pages
+		// have content to overflow if the paging math is wrong.
+		s := &Server{dir: New(), topics: NewTopicRegistry()}
+		for i := uint16(1); i <= 40; i++ {
+			a, err := wire.MakeAddr(3, i%64, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.topics.Subscribe("seeded-topic", a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.topics.Declare("another-topic", 2); err != nil {
+			t.Fatal(err)
+		}
+
+		replyTo, resp := s.process(req, maxPayload)
+		if resp == nil {
+			if len(req) >= 10 && wire.Addr(binary.BigEndian.Uint32(req[1:5])).Valid() {
+				t.Fatalf("no response to a request with a valid reply address: %x", req)
+			}
+			return
+		}
+		if !replyTo.Valid() {
+			t.Fatalf("response addressed to invalid %v", replyTo)
+		}
+		if len(resp) < 9 {
+			t.Fatalf("response %d bytes, below protocol minimum", len(resp))
+		}
+		if len(resp) > maxPayload {
+			t.Fatalf("response %d bytes exceeds payload capacity %d (op %d)", len(resp), maxPayload, req[0])
+		}
+		if len(req) >= 10 && int(req[9])+10 <= len(req) {
+			// Parsed far enough to dispatch: the tag field must echo.
+			if got, want := resp[5:9], req[5:9]; req[0] != opLookup && string(got) != string(want) {
+				t.Fatalf("op %d dropped the tag echo: got %x want %x", req[0], got, want)
+			}
+		}
+	})
+}

@@ -50,13 +50,30 @@ import (
 //
 // Snapshot responses page: the client re-requests with a growing
 // offset until a page comes back short.
+// Ops 7–8 are the failover-awareness extensions:
+//
+//	registry info (7): name-less; [5:9] is the request tag. Response:
+//	                   [0] status | [1:5] unused | [5:9] tag echo |
+//	                   [9] role (1=primary) | [10:18] registry gen |
+//	                   [18:26] mutation seq | [26:34] sweep epoch.
+//	                   Clients probe it to detect a failed-over registry
+//	                   (gen moved) and a standby uses gen+seq to bound
+//	                   its replication lag before taking over.
+//	topic list (8):    lookup-shaped plus two trailing offset bytes;
+//	                   response [0] status | [1:5] total topic count |
+//	                   [5:9] tag echo | [9] page count | then count ×
+//	                   (len byte + name). Pages until offset reaches
+//	                   total — with topic snapshots, enough for a
+//	                   replica to bootstrap a full state resync.
 const (
-	opRegister    = 1
-	opLookup      = 2
-	opUnregister  = 3
-	opSubscribe   = 4
-	opUnsubscribe = 5
-	opTopicSnap   = 6
+	opRegister     = 1
+	opLookup       = 2
+	opUnregister   = 3
+	opSubscribe    = 4
+	opUnsubscribe  = 5
+	opTopicSnap    = 6
+	opRegistryInfo = 7
+	opTopicList    = 8
 
 	statusOK        = 0
 	statusNotFound  = 1
@@ -66,6 +83,23 @@ const (
 
 // snapHeaderBytes is the fixed prefix of a topic-snapshot response.
 const snapHeaderBytes = 11
+
+// infoRespBytes is the size of a registry-info response.
+const infoRespBytes = 34
+
+// RegistryInfo is a registry node's failover-relevant status, served by
+// op 7.
+type RegistryInfo struct {
+	// Primary reports whether this node currently serves mutations.
+	Primary bool
+	// Gen is the registry generation (fencing epoch).
+	Gen uint64
+	// Seq is the durable mutation sequence number (0 when the registry
+	// is not durable).
+	Seq uint64
+	// Epoch is the lease sweep epoch.
+	Epoch uint64
+}
 
 // Remote errors.
 var (
@@ -80,12 +114,20 @@ type Server struct {
 	topics *TopicRegistry
 	in     *msglib.Inbox
 	out    *msglib.Outbox
+	info   func() RegistryInfo
 }
 
 // NewServer creates a server on domain d backed by dir. window sizes
 // the request inbox — use flowctl.RPCBuffers(maxClients, outstanding)
 // for an overrun-free configuration.
 func NewServer(d *core.Domain, dir *Directory, window int) (*Server, error) {
+	return NewServerWith(d, dir, NewTopicRegistry(), window)
+}
+
+// NewServerWith is NewServer backed by an existing topic registry — the
+// durable-registry path, where internal/registrystore recovers the
+// registry before the server starts answering for it.
+func NewServerWith(d *core.Domain, dir *Directory, topics *TopicRegistry, window int) (*Server, error) {
 	depth := 2
 	for depth < window+1 {
 		depth *= 2
@@ -98,8 +140,13 @@ func NewServer(d *core.Domain, dir *Directory, window int) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{dir: dir, topics: NewTopicRegistry(), in: in, out: out}, nil
+	return &Server{dir: dir, topics: topics, in: in, out: out}, nil
 }
+
+// SetInfo attaches the status source consulted by registry-info
+// requests (op 7). A plain in-memory server (nil source) reports
+// primary at the registry's current generation with sequence 0.
+func (s *Server) SetInfo(fn func() RegistryInfo) { s.info = fn }
 
 // Addr is the server's well-known endpoint address.
 func (s *Server) Addr() wire.Addr { return s.in.Addr() }
@@ -132,12 +179,24 @@ func (s *Server) Serve(prio core.Priority) {
 }
 
 func (s *Server) handle(req []byte) {
+	replyTo, resp := s.process(req, s.out.MaxPayload())
+	if resp != nil {
+		s.reply(replyTo, resp)
+	}
+}
+
+// process parses and executes one request, returning the reply address
+// and response bytes (nil response: the request carried no valid reply
+// address, so there is nobody to refuse to). Factored from the receive
+// loop so the protocol parser can be driven directly — the fuzz harness
+// feeds it arbitrary requests without a live domain.
+func (s *Server) process(req []byte, maxPayload int) (wire.Addr, []byte) {
 	if len(req) < 10 {
-		return // no reply address to refuse to
+		return wire.NilAddr, nil
 	}
 	replyTo := wire.Addr(binary.BigEndian.Uint32(req[1:5]))
 	if !replyTo.Valid() {
-		return
+		return wire.NilAddr, nil
 	}
 	resp := make([]byte, 9)
 	copy(resp[5:9], req[5:9]) // default tag echo (lookup overwrites below)
@@ -146,8 +205,7 @@ func (s *Server) handle(req []byte) {
 	n := int(req[9])
 	if 10+n > len(req) {
 		resp[0] = statusBad
-		s.reply(replyTo, resp)
-		return
+		return replyTo, resp
 	}
 	name := string(req[10 : 10+n])
 	tail := req[10+n:] // op-specific trailing bytes
@@ -188,17 +246,60 @@ func (s *Server) handle(req []byte) {
 		if len(tail) >= 2 {
 			offset = int(binary.BigEndian.Uint16(tail[0:2]))
 		}
-		s.reply(replyTo, s.snapResponse(name, offset, req[5:9]))
-		return
+		return replyTo, s.snapResponse(name, offset, req[5:9], maxPayload)
+	case opRegistryInfo:
+		return replyTo, s.infoResponse(req[5:9])
+	case opTopicList:
+		var offset int
+		if len(tail) >= 2 {
+			offset = int(binary.BigEndian.Uint16(tail[0:2]))
+		}
+		return replyTo, s.listResponse(offset, req[5:9], maxPayload)
 	default:
 		resp[0] = statusBad
 	}
-	s.reply(replyTo, resp)
+	return replyTo, resp
+}
+
+// infoResponse builds a registry-info response.
+func (s *Server) infoResponse(tag []byte) []byte {
+	info := RegistryInfo{Primary: true, Gen: s.topics.RegistryGen(), Epoch: s.topics.Epoch()}
+	if s.info != nil {
+		info = s.info()
+	}
+	resp := make([]byte, infoRespBytes)
+	copy(resp[5:9], tag)
+	if info.Primary {
+		resp[9] = 1
+	}
+	binary.BigEndian.PutUint64(resp[10:18], info.Gen)
+	binary.BigEndian.PutUint64(resp[18:26], info.Seq)
+	binary.BigEndian.PutUint64(resp[26:34], info.Epoch)
+	return resp
+}
+
+// listResponse builds one page of a topic-list response.
+func (s *Server) listResponse(offset int, tag []byte, maxPayload int) []byte {
+	resp := make([]byte, 10, maxPayload)
+	copy(resp[5:9], tag)
+	names := s.topics.Topics()
+	binary.BigEndian.PutUint32(resp[1:5], uint32(len(names)))
+	count := 0
+	for i := offset; i < len(names) && count < 255; i++ {
+		entry := 1 + len(names[i])
+		if len(resp)+entry > maxPayload {
+			break
+		}
+		resp = append(resp, byte(len(names[i])))
+		resp = append(resp, names[i]...)
+		count++
+	}
+	resp[9] = byte(count)
+	return resp
 }
 
 // snapResponse builds one page of a topic-snapshot response.
-func (s *Server) snapResponse(name string, offset int, tag []byte) []byte {
-	maxPayload := s.out.MaxPayload()
+func (s *Server) snapResponse(name string, offset int, tag []byte, maxPayload int) []byte {
 	resp := make([]byte, snapHeaderBytes, maxPayload)
 	copy(resp[5:9], tag)
 	snap, ok := s.topics.Snapshot(name)
@@ -453,6 +554,80 @@ func (c *Client) TopicSnapshot(topic string, timeout time.Duration) (TopicSnapsh
 			return snap, nil
 		}
 		offset += count
+	}
+}
+
+// RegistryInfo fetches the registry node's failover status: role,
+// registry generation, durable sequence, and sweep epoch. Clients use
+// it to detect a failed-over registry (the generation moved) and to
+// pick the primary among candidate registry endpoints.
+func (c *Client) RegistryInfo(timeout time.Duration) (RegistryInfo, error) {
+	c.tag++
+	want := c.tag
+	req, err := c.buildReq(opRegistryInfo, "", want, nil)
+	if err != nil {
+		return RegistryInfo{}, err
+	}
+	resp, err := c.roundtrip(req, timeout, func(resp []byte) bool {
+		return binary.BigEndian.Uint32(resp[5:9]) == want
+	})
+	if err != nil {
+		return RegistryInfo{}, err
+	}
+	if resp[0] != statusOK || len(resp) < infoRespBytes {
+		return RegistryInfo{}, fmt.Errorf("%w: registry info status %d", ErrBadReply, resp[0])
+	}
+	return RegistryInfo{
+		Primary: resp[9] == 1,
+		Gen:     binary.BigEndian.Uint64(resp[10:18]),
+		Seq:     binary.BigEndian.Uint64(resp[18:26]),
+		Epoch:   binary.BigEndian.Uint64(resp[26:34]),
+	}, nil
+}
+
+// TopicList fetches every topic name known to the registry, paging
+// until the server-reported total is reached. With TopicSnapshot per
+// name, it is enough for a replica to bootstrap a full state resync.
+func (c *Client) TopicList(timeout time.Duration) ([]string, error) {
+	var names []string
+	deadline := time.Now().Add(timeout)
+	for offset := 0; ; {
+		c.tag++
+		want := c.tag
+		var tail [2]byte
+		binary.BigEndian.PutUint16(tail[:], uint16(offset))
+		req, err := c.buildReq(opTopicList, "", want, tail[:])
+		if err != nil {
+			return names, err
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return names, ErrRemoteTimeout
+		}
+		resp, err := c.roundtrip(req, remain, func(resp []byte) bool {
+			return binary.BigEndian.Uint32(resp[5:9]) == want
+		})
+		if err != nil {
+			return names, err
+		}
+		if resp[0] != statusOK || len(resp) < 10 {
+			return names, fmt.Errorf("%w: topic list status %d", ErrBadReply, resp[0])
+		}
+		total := int(binary.BigEndian.Uint32(resp[1:5]))
+		count := int(resp[9])
+		off := 10
+		for i := 0; i < count; i++ {
+			if off >= len(resp) || off+1+int(resp[off]) > len(resp) {
+				return names, fmt.Errorf("%w: truncated topic list page", ErrBadReply)
+			}
+			n := int(resp[off])
+			names = append(names, string(resp[off+1:off+1+n]))
+			off += 1 + n
+		}
+		offset += count
+		if offset >= total || count == 0 {
+			return names, nil
+		}
 	}
 }
 

@@ -62,14 +62,52 @@ type topicRecord struct {
 	subs  map[wire.Addr]uint64 // addr -> epoch of last renewal
 }
 
+// MutationOp identifies one kind of registry state change.
+type MutationOp uint8
+
+// Mutation operations. MutRenew is a lease refresh that did not change
+// membership (no generation bump); everything else moved durable state.
+const (
+	MutDeclare MutationOp = iota + 1
+	MutSubscribe
+	MutRenew
+	MutUnsubscribe
+	MutAdvance
+)
+
+// Mutation describes one acknowledged registry state change, in exactly
+// the form needed to replay it: applying the same mutations in the same
+// order to an empty registry reconstructs the same topics, subscriber
+// sets, epochs, and generations (internal/registrystore's write-ahead
+// record log and replication stream are built on this).
+type Mutation struct {
+	Op    MutationOp
+	Topic string
+	Addr  wire.Addr
+	Class uint8
+}
+
+// MutationObserver receives every acknowledged mutation. It is called
+// with the registry lock held — before the mutating call returns, so a
+// write-ahead observer orders strictly with the state change — and must
+// not call back into the registry.
+type MutationObserver func(Mutation)
+
 // TopicRegistry is an in-process topic → subscriber-set registry, safe
 // for concurrent use. It is served remotely by Server (ops 4–6 of the
 // remote protocol) so one cluster needs a single registry node.
+//
+// The registry carries a registry generation — a fencing epoch that a
+// durable registry bumps on every restart or failover, strictly above
+// any generation it ever served (see internal/registrystore). It is
+// orthogonal to the per-topic membership generations.
 type TopicRegistry struct {
 	mu     sync.Mutex
 	topics map[string]*topicRecord
 	epoch  uint64
 	ttl    uint64
+	reggen uint64
+	obs    MutationObserver
 }
 
 // NewTopicRegistry creates an empty registry with DefaultTopicTTL.
@@ -85,6 +123,22 @@ func (r *TopicRegistry) SetTTL(epochs int) {
 		epochs = 1
 	}
 	r.ttl = uint64(epochs)
+}
+
+// Observe attaches obs as the registry's mutation observer (nil
+// detaches). The observer sees every later acknowledged mutation, under
+// the registry lock.
+func (r *TopicRegistry) Observe(obs MutationObserver) {
+	r.mu.Lock()
+	r.obs = obs
+	r.mu.Unlock()
+}
+
+// notify forwards a mutation to the observer. Caller holds r.mu.
+func (r *TopicRegistry) notify(m Mutation) {
+	if r.obs != nil {
+		r.obs(m)
+	}
 }
 
 // record returns the topic's record, creating it if needed. Caller
@@ -106,10 +160,15 @@ func (r *TopicRegistry) Declare(topic string, class uint8) error {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	created := r.topics[topic] == nil
 	t := r.record(topic)
 	if t.class != class {
 		t.class = class
 		t.gen++
+		created = true
+	}
+	if created {
+		r.notify(Mutation{Op: MutDeclare, Topic: topic, Class: class})
 	}
 	return nil
 }
@@ -127,10 +186,13 @@ func (r *TopicRegistry) Subscribe(topic string, addr wire.Addr) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	t := r.record(topic)
+	op := MutRenew
 	if _, joined := t.subs[addr]; !joined {
 		t.gen++
+		op = MutSubscribe
 	}
 	t.subs[addr] = r.epoch
+	r.notify(Mutation{Op: op, Topic: topic, Addr: addr, Class: t.class})
 	return nil
 }
 
@@ -145,7 +207,34 @@ func (r *TopicRegistry) Unsubscribe(topic string, addr wire.Addr) {
 	if _, joined := t.subs[addr]; joined {
 		delete(t.subs, addr)
 		t.gen++
+		r.notify(Mutation{Op: MutUnsubscribe, Topic: topic, Addr: addr})
 	}
+}
+
+// EvictEndpoint removes every subscription whose address names the
+// given node and endpoint index, regardless of generation, bumping the
+// affected topics' generations so cached fanout plans rebuild on their
+// next refresh. It is the quarantine integration point: when an engine
+// quarantines an endpoint that is also a subscriber, evicting it here
+// stops fanout to it immediately instead of waiting up to TTL sweep
+// epochs of counted-but-wasted sends. Returns the number of
+// subscriptions removed. Evictions reach the observer as ordinary
+// unsubscribes, so replay and replication need no extra record type.
+func (r *TopicRegistry) EvictEndpoint(node wire.NodeID, index uint16) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	evicted := 0
+	for name, t := range r.topics {
+		for a := range t.subs {
+			if a.Node() == node && a.Index() == index {
+				delete(t.subs, a)
+				t.gen++
+				evicted++
+				r.notify(Mutation{Op: MutUnsubscribe, Topic: name, Addr: a})
+			}
+		}
+	}
+	return evicted
 }
 
 // Snapshot returns topic's membership, ordered by address. The ok
@@ -186,6 +275,7 @@ func (r *TopicRegistry) Advance() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.epoch++
+	r.notify(Mutation{Op: MutAdvance})
 	expired := 0
 	for _, t := range r.topics {
 		for a, e := range t.subs {
@@ -199,6 +289,29 @@ func (r *TopicRegistry) Advance() int {
 	return expired
 }
 
+// Epoch returns the current sweep epoch.
+func (r *TopicRegistry) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// RegistryGen returns the registry generation — the fencing epoch a
+// durable registry resumes above after any restart or failover.
+func (r *TopicRegistry) RegistryGen() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reggen
+}
+
+// SetRegistryGen installs the registry generation (recovery/failover
+// fencing; see internal/registrystore).
+func (r *TopicRegistry) SetRegistryGen(gen uint64) {
+	r.mu.Lock()
+	r.reggen = gen
+	r.mu.Unlock()
+}
+
 // Topics returns the known topic names, sorted.
 func (r *TopicRegistry) Topics() []string {
 	r.mu.Lock()
@@ -209,4 +322,86 @@ func (r *TopicRegistry) Topics() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// TopicState is one topic's full durable state (snapshot/restore unit).
+type TopicState struct {
+	Name  string
+	Class uint8
+	Gen   uint32
+	Subs  []Subscription // ordered by address
+}
+
+// RegistryState is the registry's full durable state: what a compacted
+// snapshot persists and a standby replica reconciles against.
+type RegistryState struct {
+	Gen    uint64       // registry generation (fencing epoch)
+	Epoch  uint64       // sweep epoch
+	Topics []TopicState // ordered by name
+}
+
+// ExportState captures the registry's full state, deterministically
+// ordered (topics by name, subscribers by address).
+func (r *TopicRegistry) ExportState() RegistryState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RegistryState{Gen: r.reggen, Epoch: r.epoch, Topics: make([]TopicState, 0, len(r.topics))}
+	for name, t := range r.topics {
+		ts := TopicState{Name: name, Class: t.class, Gen: t.gen, Subs: make([]Subscription, 0, len(t.subs))}
+		for a, e := range t.subs {
+			ts.Subs = append(ts.Subs, Subscription{Addr: a, Epoch: e})
+		}
+		sort.Slice(ts.Subs, func(i, j int) bool { return ts.Subs[i].Addr < ts.Subs[j].Addr })
+		st.Topics = append(st.Topics, ts)
+	}
+	sort.Slice(st.Topics, func(i, j int) bool { return st.Topics[i].Name < st.Topics[j].Name })
+	return st
+}
+
+// RestoreState replaces the registry's state wholesale (recovery and
+// standby resync). The observer is not notified: restores rebuild state
+// that is already durable.
+func (r *TopicRegistry) RestoreState(st RegistryState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.reggen = st.Gen
+	r.epoch = st.Epoch
+	r.topics = make(map[string]*topicRecord, len(st.Topics))
+	for _, ts := range st.Topics {
+		t := &topicRecord{class: ts.Class, gen: ts.Gen, subs: make(map[wire.Addr]uint64, len(ts.Subs))}
+		for _, s := range ts.Subs {
+			t.subs[s.Addr] = s.Epoch
+		}
+		r.topics[ts.Name] = t
+	}
+}
+
+// BumpTopicGens bumps every topic's membership generation. A recovered
+// or failed-over registry calls it once before serving, so every
+// publisher plan built against the previous incarnation reads as stale
+// even if the tail of the record log was lost: each topic resumes at a
+// generation strictly above any the previous incarnation served for the
+// surviving state.
+func (r *TopicRegistry) BumpTopicGens() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.topics {
+		t.gen++
+	}
+}
+
+// RestampLeases refreshes every subscription's lease to the current
+// epoch — the failover reconciliation window: a new primary cannot know
+// how stale its replicated lease epochs are, so it gives every imported
+// subscriber a full TTL to re-validate by renewing (live subscribers
+// renew on their normal cadence; dead ones age out), instead of mass-
+// expiring or mass-trusting a divergent set.
+func (r *TopicRegistry) RestampLeases() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.topics {
+		for a := range t.subs {
+			t.subs[a] = r.epoch
+		}
+	}
 }

@@ -1,0 +1,44 @@
+package nettrans
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// mkPreamble builds one stream preamble for the fuzz corpus.
+func mkPreamble(magic, size uint16) []byte {
+	p := make([]byte, preambleBytes)
+	binary.BigEndian.PutUint16(p[0:2], magic)
+	binary.BigEndian.PutUint16(p[2:4], size)
+	return p
+}
+
+// FuzzParsePreamble drives the stream-framing parser — the only part of
+// the TCP layer that interprets peer-controlled framing bytes — with
+// arbitrary input. Invariants: never panics, and accepts exactly the
+// preambles whose magic and size match the boot-time configuration
+// (anything else must error, because a desynchronized stream that slips
+// through delivers garbage frames).
+func FuzzParsePreamble(f *testing.F) {
+	const msgSize = 128
+	f.Add(mkPreamble(preambleMagic, msgSize), msgSize)               // well-formed
+	f.Add(mkPreamble(preambleMagic, msgSize+32), msgSize)            // size mismatch
+	f.Add(mkPreamble(preambleMagic^0xFFFF, msgSize), msgSize)        // bad magic
+	f.Add([]byte{0xF1}, msgSize)                                     // short
+	f.Add([]byte{}, msgSize)                                         // empty
+	f.Add(mkPreamble(preambleMagic, 0), 0)                           // zero size config
+	f.Add(append(mkPreamble(preambleMagic, msgSize), 1, 2), msgSize) // trailing bytes
+
+	f.Fuzz(func(t *testing.T, pre []byte, messageSize int) {
+		err := parsePreamble(pre, messageSize)
+		wellFormed := len(pre) >= preambleBytes &&
+			binary.BigEndian.Uint16(pre[0:2]) == preambleMagic &&
+			int(binary.BigEndian.Uint16(pre[2:4])) == messageSize
+		if wellFormed && err != nil {
+			t.Fatalf("well-formed preamble rejected: %v", err)
+		}
+		if !wellFormed && err == nil {
+			t.Fatalf("malformed preamble %x accepted for size %d", pre, messageSize)
+		}
+	})
+}

@@ -642,6 +642,23 @@ func (t *Transport) DropConn(node wire.NodeID) {
 	p.mu.Unlock()
 }
 
+// parsePreamble validates one frame preamble against the boot-time
+// message size. Factored from readLoop so the parser — the only part
+// of the stream layer that interprets peer-controlled framing bytes —
+// can be driven directly by the fuzz harness.
+func parsePreamble(pre []byte, messageSize int) error {
+	if len(pre) < preambleBytes {
+		return fmt.Errorf("nettrans: short preamble (%d bytes)", len(pre))
+	}
+	if m := binary.BigEndian.Uint16(pre[0:2]); m != preambleMagic {
+		return fmt.Errorf("nettrans: bad preamble magic %#04x", m)
+	}
+	if size := int(binary.BigEndian.Uint16(pre[2:4])); size != messageSize {
+		return fmt.Errorf("nettrans: frame size %d != boot-time message size %d", size, messageSize)
+	}
+	return nil
+}
+
 // readLoop pumps frames from one of p's connections into the inbox.
 func (t *Transport) readLoop(p *peer, conn net.Conn) {
 	buf := make([]byte, preambleBytes+t.cfg.MessageSize)
@@ -652,12 +669,11 @@ func (t *Transport) readLoop(p *peer, conn net.Conn) {
 			p.mu.Unlock()
 			return
 		}
-		if binary.BigEndian.Uint16(buf[0:2]) != preambleMagic ||
-			int(binary.BigEndian.Uint16(buf[2:4])) != t.cfg.MessageSize {
+		if err := parsePreamble(buf[:preambleBytes], t.cfg.MessageSize); err != nil {
 			// Stream corrupt or size mismatch: drop the connection
 			// rather than deliver garbage.
 			p.mu.Lock()
-			t.connFailedLocked(p, conn, fmt.Errorf("nettrans: corrupt stream from node %d", p.node))
+			t.connFailedLocked(p, conn, fmt.Errorf("nettrans: corrupt stream from node %d: %w", p.node, err))
 			p.mu.Unlock()
 			return
 		}

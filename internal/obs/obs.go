@@ -29,6 +29,7 @@ import (
 	"flipc/internal/engine"
 	"flipc/internal/metrics"
 	"flipc/internal/nettrans"
+	"flipc/internal/registrystore"
 	"flipc/internal/trace"
 )
 
@@ -48,6 +49,19 @@ type Server struct {
 	// result marks the node degraded on /healthz: the engine has fenced
 	// off part of the communication buffer.
 	Quarantined func() []engine.QuarantinedEndpoint
+	// RegistryHealth returns the durable registry's role, generation,
+	// and WAL/snapshot state (registrystore.Manager.Health) — set only
+	// on registry nodes. Surfaced in both /metrics?format=json and
+	// /healthz so operators and flipcstat see failover state live.
+	RegistryHealth func() registrystore.Health
+}
+
+func (s *Server) registryHealth() *registrystore.Health {
+	if s.RegistryHealth == nil {
+		return nil
+	}
+	h := s.RegistryHealth()
+	return &h
 }
 
 // QuarantineJSON is one quarantined endpoint in the JSON exposition.
@@ -99,10 +113,11 @@ type PeerJSON struct {
 
 // MetricsJSON is the /metrics?format=json document.
 type MetricsJSON struct {
-	Counters   map[string]uint64   `json:"counters"`
-	Gauges     map[string]float64  `json:"gauges"`
-	Histograms map[string]HistJSON `json:"histograms"`
-	Peers      []PeerJSON          `json:"peers"`
+	Counters   map[string]uint64     `json:"counters"`
+	Gauges     map[string]float64    `json:"gauges"`
+	Histograms map[string]HistJSON   `json:"histograms"`
+	Peers      []PeerJSON            `json:"peers"`
+	Registry   *registrystore.Health `json:"registry,omitempty"`
 }
 
 // Handler returns the HTTP handler serving the observability routes.
@@ -152,6 +167,7 @@ func (s *Server) MetricsDoc() MetricsJSON {
 		Gauges:     map[string]float64{},
 		Histograms: map[string]HistJSON{},
 		Peers:      s.peers(),
+		Registry:   s.registryHealth(),
 	}
 	if s.Registry == nil {
 		return doc
@@ -260,7 +276,11 @@ func baseSuffix(name, suffix string) string {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	peers := s.peers()
 	quarantined := s.quarantined()
+	reg := s.registryHealth()
 	healthy := len(quarantined) == 0
+	if reg != nil && reg.StoreErr != "" {
+		healthy = false // the registry can no longer make mutations durable
+	}
 	for _, p := range peers {
 		if p.State != nettrans.PeerConnected.String() {
 			healthy = false
@@ -275,10 +295,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// guarantee local).
 	sort.Slice(peers, func(i, j int) bool { return peers[i].Node < peers[j].Node })
 	json.NewEncoder(w).Encode(struct {
-		Healthy     bool             `json:"healthy"`
-		Peers       []PeerJSON       `json:"peers"`
-		Quarantined []QuarantineJSON `json:"quarantined,omitempty"`
-	}{healthy, peers, quarantined})
+		Healthy     bool                  `json:"healthy"`
+		Peers       []PeerJSON            `json:"peers"`
+		Quarantined []QuarantineJSON      `json:"quarantined,omitempty"`
+		Registry    *registrystore.Health `json:"registry,omitempty"`
+	}{healthy, peers, quarantined, reg})
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,276 @@
+// Package registrystore makes the nameservice topic registry durable
+// and replicated: a write-ahead record log plus periodic compacted
+// snapshots on the registry node, and a mutation stream to a standby
+// replica carried over a reserved control-priority FLIPC topic.
+//
+// The durability contract is generation fencing: a registry that
+// restarts (or a standby that takes over) resumes at a registry
+// generation strictly above any the previous incarnation ever served,
+// and bumps every topic's membership generation, so every publisher
+// plan and every client view built against the old incarnation reads
+// as stale and refreshes — without a cluster-wide re-join storm,
+// because the recovered subscriber sets answer paged-snapshot requests
+// immediately.
+//
+// Replay is exact: the registry's mutation observer emits each
+// acknowledged state change before the mutating call returns (write-
+// ahead, under the registry lock), and applying the same records in
+// the same order to an empty registry reconstructs the same topics,
+// subscriber sets, lease epochs, and generations. Lease expiry is not
+// journaled — it is a deterministic function of the journaled Advance
+// and renewal records.
+package registrystore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"flipc/internal/nameservice"
+	"flipc/internal/wire"
+)
+
+// RecType identifies one record kind in the log and replication stream.
+type RecType uint8
+
+// Record types. Declare/Subscribe/Renew/Unsubscribe/Advance mirror the
+// registry's mutation operations; Fence and Heartbeat are the store's
+// own: a Fence persists the registry generation an incarnation serves
+// at, a Heartbeat (replication stream only, never logged) carries the
+// primary's generation and sequence so a silent standby can detect both
+// primary death and its own stream gaps.
+const (
+	RecDeclare RecType = iota + 1
+	RecSubscribe
+	RecRenew
+	RecUnsubscribe
+	RecAdvance
+	RecFence
+	RecHeartbeat
+
+	recTypeSentinel
+)
+
+// String names the record type for traces and errors.
+func (t RecType) String() string {
+	switch t {
+	case RecDeclare:
+		return "declare"
+	case RecSubscribe:
+		return "subscribe"
+	case RecRenew:
+		return "renew"
+	case RecUnsubscribe:
+		return "unsubscribe"
+	case RecAdvance:
+		return "advance"
+	case RecFence:
+		return "fence"
+	case RecHeartbeat:
+		return "heartbeat"
+	}
+	return fmt.Sprintf("rectype(%d)", uint8(t))
+}
+
+// Record is one registry mutation (or store control event) in its
+// durable form. Seq is the registry-wide mutation sequence number,
+// assigned by the primary's store; gaps in Seq on the standby mean the
+// replication stream lost records (the optimistic transport may drop)
+// and the replica must resync from a full state snapshot.
+type Record struct {
+	Type  RecType
+	Seq   uint64
+	Topic string
+	Addr  wire.Addr
+	Class uint8
+	// Gen is the registry generation carried by Fence and Heartbeat
+	// records.
+	Gen uint64
+}
+
+// Record wire layout:
+//
+//	[0:4]   CRC32C over bytes [4:16+n] (wire.Checksum — the frame
+//	        checksum machinery reused for durable records)
+//	[4:6]   body length n
+//	[6]     record type
+//	[7]     format version (0)
+//	[8:16]  sequence number
+//	[16:16+n] body
+//
+// Bodies: declare = class(1) | topic; subscribe/renew/unsubscribe =
+// addr(4) | topic; advance = empty; fence/heartbeat = generation(8).
+const (
+	recHeaderBytes = 16
+	recVersion     = 0
+
+	// MaxTopicLen bounds topic names in records (matches the remote
+	// protocol's name limit).
+	MaxTopicLen = 200
+)
+
+// ErrCorrupt is wrapped by every record-parsing failure: bad checksum,
+// unknown type, impossible length, malformed body. A log reader stops
+// at the first corrupt record (torn tail); a replica treats it as a
+// stream gap.
+var ErrCorrupt = errors.New("registrystore: corrupt record")
+
+// ErrShort reports a structurally incomplete record prefix — fewer
+// bytes than the header (or the header-claimed body) needs. A log
+// reader treats a short tail as a torn final write, not corruption.
+var ErrShort = errors.New("registrystore: short record")
+
+// body builds the record's type-specific body.
+func (r *Record) body() ([]byte, error) {
+	switch r.Type {
+	case RecDeclare:
+		if len(r.Topic) == 0 || len(r.Topic) > MaxTopicLen {
+			return nil, fmt.Errorf("registrystore: bad topic length %d", len(r.Topic))
+		}
+		b := make([]byte, 1+len(r.Topic))
+		b[0] = r.Class
+		copy(b[1:], r.Topic)
+		return b, nil
+	case RecSubscribe, RecRenew, RecUnsubscribe:
+		if len(r.Topic) == 0 || len(r.Topic) > MaxTopicLen {
+			return nil, fmt.Errorf("registrystore: bad topic length %d", len(r.Topic))
+		}
+		if !r.Addr.Valid() {
+			return nil, fmt.Errorf("registrystore: %v record with invalid address", r.Type)
+		}
+		b := make([]byte, 4+len(r.Topic))
+		binary.BigEndian.PutUint32(b[0:4], uint32(r.Addr))
+		copy(b[4:], r.Topic)
+		return b, nil
+	case RecAdvance:
+		return nil, nil
+	case RecFence, RecHeartbeat:
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint64(b, r.Gen)
+		return b, nil
+	}
+	return nil, fmt.Errorf("registrystore: cannot encode record type %v", r.Type)
+}
+
+// AppendRecord encodes r and appends it to dst, returning the extended
+// slice. The same encoding frames WAL entries and replication messages.
+func AppendRecord(dst []byte, r *Record) ([]byte, error) {
+	body, err := r.body()
+	if err != nil {
+		return dst, err
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, recHeaderBytes+len(body))...)
+	rec := dst[off:]
+	binary.BigEndian.PutUint16(rec[4:6], uint16(len(body)))
+	rec[6] = uint8(r.Type)
+	rec[7] = recVersion
+	binary.BigEndian.PutUint64(rec[8:16], r.Seq)
+	copy(rec[recHeaderBytes:], body)
+	binary.BigEndian.PutUint32(rec[0:4], wire.Checksum(rec[4:]))
+	return dst, nil
+}
+
+// DecodeRecord parses one record from the front of b, returning the
+// record and the bytes consumed. ErrShort means b ends before the
+// record does (torn tail); ErrCorrupt wraps every other failure.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < recHeaderBytes {
+		return Record{}, 0, ErrShort
+	}
+	n := int(binary.BigEndian.Uint16(b[4:6]))
+	if len(b) < recHeaderBytes+n {
+		return Record{}, 0, ErrShort
+	}
+	rec := b[:recHeaderBytes+n]
+	if wire.Checksum(rec[4:]) != binary.BigEndian.Uint32(rec[0:4]) {
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if rec[7] != recVersion {
+		return Record{}, 0, fmt.Errorf("%w: unknown version %d", ErrCorrupt, rec[7])
+	}
+	r := Record{
+		Type: RecType(rec[6]),
+		Seq:  binary.BigEndian.Uint64(rec[8:16]),
+	}
+	body := rec[recHeaderBytes:]
+	switch r.Type {
+	case RecDeclare:
+		if len(body) < 2 || len(body) > 1+MaxTopicLen {
+			return Record{}, 0, fmt.Errorf("%w: declare body %d bytes", ErrCorrupt, len(body))
+		}
+		r.Class = body[0]
+		r.Topic = string(body[1:])
+	case RecSubscribe, RecRenew, RecUnsubscribe:
+		if len(body) < 5 || len(body) > 4+MaxTopicLen {
+			return Record{}, 0, fmt.Errorf("%w: %v body %d bytes", ErrCorrupt, r.Type, len(body))
+		}
+		r.Addr = wire.Addr(binary.BigEndian.Uint32(body[0:4]))
+		if !r.Addr.Valid() {
+			return Record{}, 0, fmt.Errorf("%w: %v with invalid address", ErrCorrupt, r.Type)
+		}
+		r.Topic = string(body[4:])
+	case RecAdvance:
+		if len(body) != 0 {
+			return Record{}, 0, fmt.Errorf("%w: advance body %d bytes", ErrCorrupt, len(body))
+		}
+	case RecFence, RecHeartbeat:
+		if len(body) != 8 {
+			return Record{}, 0, fmt.Errorf("%w: %v body %d bytes", ErrCorrupt, r.Type, len(body))
+		}
+		r.Gen = binary.BigEndian.Uint64(body)
+	default:
+		return Record{}, 0, fmt.Errorf("%w: unknown type %d", ErrCorrupt, rec[6])
+	}
+	return r, recHeaderBytes + n, nil
+}
+
+// recordOf translates a registry mutation into its durable record form
+// (Seq is assigned by the store).
+func recordOf(m nameservice.Mutation) (Record, bool) {
+	switch m.Op {
+	case nameservice.MutDeclare:
+		return Record{Type: RecDeclare, Topic: m.Topic, Class: m.Class}, true
+	case nameservice.MutSubscribe:
+		return Record{Type: RecSubscribe, Topic: m.Topic, Addr: m.Addr}, true
+	case nameservice.MutRenew:
+		return Record{Type: RecRenew, Topic: m.Topic, Addr: m.Addr}, true
+	case nameservice.MutUnsubscribe:
+		return Record{Type: RecUnsubscribe, Topic: m.Topic, Addr: m.Addr}, true
+	case nameservice.MutAdvance:
+		return Record{Type: RecAdvance}, true
+	}
+	return Record{}, false
+}
+
+// applyRecord replays one record onto reg. The caller must have
+// detached any observer first (replay must not re-journal).
+//
+// A fence record replays as the incarnation boundary it marked: it
+// installs the fenced registry generation and bumps every topic's
+// membership generation, exactly as the incarnation that wrote it did
+// before serving. Because the bump is in the log, replay reconstructs
+// per-topic generations exactly across any number of crash/restart
+// cycles, and a fresh incarnation's post-recovery bump is always
+// strictly above every generation any predecessor served.
+func applyRecord(reg *nameservice.TopicRegistry, r *Record) error {
+	switch r.Type {
+	case RecDeclare:
+		return reg.Declare(r.Topic, r.Class)
+	case RecSubscribe, RecRenew:
+		return reg.Subscribe(r.Topic, r.Addr)
+	case RecUnsubscribe:
+		reg.Unsubscribe(r.Topic, r.Addr)
+		return nil
+	case RecAdvance:
+		reg.Advance()
+		return nil
+	case RecFence:
+		reg.SetRegistryGen(r.Gen)
+		reg.BumpTopicGens()
+		return nil
+	case RecHeartbeat:
+		return nil
+	}
+	return fmt.Errorf("registrystore: cannot apply record type %v", r.Type)
+}

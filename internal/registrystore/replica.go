@@ -1,0 +1,280 @@
+package registrystore
+
+import (
+	"sync"
+
+	"flipc/internal/nameservice"
+	"flipc/internal/topic"
+)
+
+// ReplicationTopic is the reserved control-priority topic the primary
+// streams registry mutation records over. The "!" prefix keeps it out
+// of any application namespace; the standby subscribes to it through
+// the primary's own registry, so the stream dogfoods the full topic
+// stack (priority classes, fanout accounting, optimistic loss).
+const ReplicationTopic = "!registry"
+
+// ReplicationClass is the stream's priority class: registry mutations
+// are small and latency-critical, exactly what Control is for.
+const ReplicationClass = topic.Control
+
+// Feed is the primary's side of the replication stream: journaled
+// records are enqueued (cheap, called under the registry lock by the
+// manager's observer) and a periodic Pump — run outside any lock, on
+// the housekeeping cadence — coalesces them into control-class fanout
+// messages. Publishing is optimistic: a dropped batch is not retried,
+// because the standby detects the sequence gap and resyncs from a full
+// state snapshot; that keeps the primary's mutation path free of any
+// replication backpressure.
+type Feed struct {
+	mu       sync.Mutex
+	pub      *topic.Publisher
+	queue    [][]byte
+	maxBatch int
+
+	enqueued uint64
+	batches  uint64
+	dropped  uint64 // fanout drops reported by the publisher
+	oversize uint64 // records too large for any batch (forces a resync)
+}
+
+// NewFeed wraps pub. maxBatch bounds one stream message's payload and
+// must not exceed the domain's payload capacity (default 512).
+func NewFeed(pub *topic.Publisher, maxBatch int) *Feed {
+	if maxBatch <= 0 {
+		maxBatch = 512
+	}
+	return &Feed{pub: pub, maxBatch: maxBatch}
+}
+
+// Enqueue queues one framed record for the next Pump. Safe to call from
+// the registry's mutation observer: it takes only the feed's own lock.
+func (f *Feed) Enqueue(framed []byte) {
+	f.mu.Lock()
+	f.queue = append(f.queue, framed)
+	f.enqueued++
+	f.mu.Unlock()
+}
+
+// Heartbeat queues a heartbeat carrying the primary's registry
+// generation and current sequence number, letting a silent standby
+// detect both primary liveness and its own stream gaps.
+func (f *Feed) Heartbeat(gen, seq uint64) {
+	framed, err := AppendRecord(nil, &Record{Type: RecHeartbeat, Seq: seq, Gen: gen})
+	if err != nil {
+		return
+	}
+	f.Enqueue(framed)
+}
+
+// Pump drains the queue, coalescing records into batches of at most
+// maxBatch bytes (records are self-framing, so concatenation is the
+// batch format), and publishes each batch. It must run on the
+// publisher's single thread (the housekeeping loop). Returns the
+// number of records published.
+func (f *Feed) Pump() (int, error) {
+	f.mu.Lock()
+	q := f.queue
+	f.queue = nil
+	f.mu.Unlock()
+	if len(q) == 0 {
+		return 0, nil
+	}
+	published := 0
+	var batch []byte
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		res, err := f.pub.Publish(batch)
+		batch = batch[:0]
+		f.mu.Lock()
+		f.batches++
+		f.dropped += uint64(res.Dropped)
+		f.mu.Unlock()
+		return err
+	}
+	for _, rec := range q {
+		if len(rec) > f.maxBatch {
+			f.mu.Lock()
+			f.oversize++
+			f.mu.Unlock()
+			continue // the standby's gap detection will force a resync
+		}
+		if len(batch)+len(rec) > f.maxBatch {
+			if err := flush(); err != nil {
+				return published, err
+			}
+		}
+		batch = append(batch, rec...)
+		published++
+	}
+	return published, flush()
+}
+
+// Dropped returns the cumulative fanout drops the publisher reported —
+// each one a future standby resync.
+func (f *Feed) Dropped() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped + f.oversize
+}
+
+// Apply is the standby's side of the replication stream: it drains the
+// subscriber, parses record batches, and applies them to the standby's
+// registry copy in sequence order, journaling each applied record to
+// the standby's own store so a standby restart recovers too.
+//
+// Sequence discipline: the first applied record must be lastSeq+1
+// (lastSeq starts at 0, so a standby can follow a fresh primary from
+// genesis); any discontinuity — a dropped stream message, a heartbeat
+// whose sequence is ahead of ours, a corrupt batch — marks the replica
+// gapped. A gapped replica stops applying (its copy would diverge) and
+// reports NeedResync until Resync installs a full state snapshot.
+type Apply struct {
+	mu  sync.Mutex
+	sub *topic.Subscriber
+	reg *nameservice.TopicRegistry
+	st  *Store // optional: standby durability
+
+	lastSeq    uint64
+	primaryGen uint64
+	gap        bool
+
+	applied    uint64
+	heartbeats uint64
+	skipped    uint64
+}
+
+// NewApply wraps the standby's stream subscriber. st may be nil (a
+// diskless replica).
+func NewApply(sub *topic.Subscriber, reg *nameservice.TopicRegistry, st *Store) *Apply {
+	return &Apply{sub: sub, reg: reg, st: st}
+}
+
+// Drain consumes every waiting stream message, returning how many were
+// processed. Call it on the standby's housekeeping cadence.
+func (a *Apply) Drain() int {
+	n := 0
+	for {
+		payload, _, ok := a.sub.Receive()
+		if !ok {
+			return n
+		}
+		a.mu.Lock()
+		a.feedLocked(payload)
+		a.mu.Unlock()
+		n++
+	}
+}
+
+// feedLocked parses one batch. Caller holds a.mu.
+func (a *Apply) feedLocked(b []byte) {
+	for len(b) > 0 {
+		rec, n, err := DecodeRecord(b)
+		if err != nil {
+			a.gap = true // corrupt stream bytes: treat as lost records
+			return
+		}
+		a.applyLocked(&rec, b[:n])
+		b = b[n:]
+	}
+}
+
+// applyLocked applies one record. Caller holds a.mu.
+func (a *Apply) applyLocked(rec *Record, framed []byte) {
+	if rec.Type == RecHeartbeat {
+		a.heartbeats++
+		if rec.Gen > a.primaryGen {
+			a.primaryGen = rec.Gen
+		}
+		if rec.Seq != a.lastSeq {
+			a.gap = true // the primary is ahead of (or behind) our copy
+		}
+		return
+	}
+	if rec.Seq <= a.lastSeq {
+		a.skipped++ // duplicate or pre-resync record
+		return
+	}
+	if a.gap {
+		return // diverged: wait for resync, do not compound
+	}
+	if rec.Seq != a.lastSeq+1 {
+		a.gap = true
+		return
+	}
+	if err := applyRecord(a.reg, rec); err != nil {
+		a.gap = true
+		return
+	}
+	if rec.Type == RecFence && rec.Gen > a.primaryGen {
+		a.primaryGen = rec.Gen
+	}
+	a.lastSeq = rec.Seq
+	a.applied++
+	if a.st != nil {
+		a.st.AppendRaw(rec, framed)
+	}
+}
+
+// NeedResync reports whether the replica has diverged and needs a full
+// state snapshot.
+func (a *Apply) NeedResync() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.gap
+}
+
+// Resync installs a full state snapshot exported by the primary at
+// sequence seq (captured before the export, so records the snapshot
+// already reflects replay harmlessly; see Store.Compact for why the
+// overlap is safe). Clears the gap and resumes stream application at
+// seq+1.
+func (a *Apply) Resync(state nameservice.RegistryState, seq uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.reg.RestoreState(state)
+	a.lastSeq = seq
+	a.gap = false
+	if state.Gen > a.primaryGen {
+		a.primaryGen = state.Gen
+	}
+	if a.st != nil {
+		a.st.SetSeq(seq)
+		return a.st.Compact(a.reg)
+	}
+	return nil
+}
+
+// Renew refreshes the stream subscription's lease at the primary.
+func (a *Apply) Renew() error { return a.sub.Renew() }
+
+// LastSeq returns the last applied sequence number.
+func (a *Apply) LastSeq() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastSeq
+}
+
+// PrimaryGen returns the highest primary registry generation observed
+// on the stream (heartbeats and fences) or via resync.
+func (a *Apply) PrimaryGen() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.primaryGen
+}
+
+// Applied returns the records applied to the replica.
+func (a *Apply) Applied() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.applied
+}
+
+// Heartbeats returns the heartbeats observed.
+func (a *Apply) Heartbeats() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.heartbeats
+}

@@ -1,0 +1,436 @@
+package registrystore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"flipc/internal/nameservice"
+	"flipc/internal/wire"
+)
+
+// File names inside a store directory.
+const (
+	walName  = "wal.log"
+	snapName = "snapshot.dat"
+)
+
+// snapMagic marks a snapshot file ("FLPR").
+const snapMagic = 0x464C5052
+
+// snapVersion is the snapshot format version.
+const snapVersion = 1
+
+// Store persists one registry's state: a write-ahead record log plus a
+// periodically compacted snapshot. Journal writes are ordered ahead of
+// mutation acknowledgement (the registry's observer runs under its
+// lock, before the mutating call returns), and every record that can
+// move a membership generation is synced to stable storage before the
+// journal call returns — so a recovered registry's generations exactly
+// reconstruct what was served. Lease renewals are written unsynced
+// (they never move generations, and recovery restamps leases anyway),
+// keeping the steady-state renewal path cheap.
+type Store struct {
+	mu         sync.Mutex
+	dir        string
+	wal        *os.File
+	seq        uint64 // last sequence number assigned or applied
+	snapSeq    uint64 // sequence covered by the snapshot file
+	walRecords int    // records in the log since the last compaction
+	nosync     bool
+	err        error // sticky I/O error; surfaced in Health
+	enc        []byte
+}
+
+// Options tunes a store.
+type Options struct {
+	// NoSync disables fsync on generation-moving records (tests and
+	// benchmarks; a production registry should leave it off).
+	NoSync bool
+}
+
+// Open opens (creating if necessary) the store in dir and replays its
+// snapshot and record log into reg, wholesale-replacing reg's state.
+// The log's torn tail, if any, is truncated: a record cut short by a
+// crash mid-write was never acknowledged, so dropping it is exact.
+//
+// Open recovers state only; it does not fence a new incarnation or
+// attach the journal — that is role policy, owned by Manager (a
+// primary fences and journals; a standby's state instead tracks the
+// replication stream).
+func Open(dir string, reg *nameservice.TopicRegistry, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registrystore: %w", err)
+	}
+	s := &Store{dir: dir, nosync: opt.NoSync}
+
+	state, snapSeq, err := readSnapshot(filepath.Join(dir, snapName))
+	if err != nil {
+		return nil, err
+	}
+	reg.RestoreState(state)
+	s.snapSeq, s.seq = snapSeq, snapSeq
+
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("registrystore: %w", err)
+	}
+	s.wal = wal
+	if err := s.replayWAL(reg); err != nil {
+		wal.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// replayWAL replays every intact record onto reg and truncates the log
+// after the last one (dropping a torn or corrupt tail). Records at or
+// below the snapshot's sequence are skipped: they are already reflected
+// in the restored state.
+func (s *Store) replayWAL(reg *nameservice.TopicRegistry) error {
+	fi, err := s.wal.Stat()
+	if err != nil {
+		return fmt.Errorf("registrystore: %w", err)
+	}
+	buf := make([]byte, fi.Size())
+	if _, err := s.wal.ReadAt(buf, 0); err != nil && fi.Size() > 0 {
+		return fmt.Errorf("registrystore: read log: %w", err)
+	}
+	off := 0
+	for off < len(buf) {
+		rec, n, err := DecodeRecord(buf[off:])
+		if err != nil {
+			// Torn tail (short) or corruption: everything beyond this
+			// point was never acknowledged as durable in order, so the
+			// incarnation ends here.
+			break
+		}
+		if rec.Seq > s.snapSeq {
+			if err := applyRecord(reg, &rec); err != nil {
+				return fmt.Errorf("registrystore: replay %v: %w", rec.Type, err)
+			}
+			if rec.Seq > s.seq {
+				s.seq = rec.Seq
+			}
+			s.walRecords++
+		}
+		off += n
+	}
+	if int64(off) != fi.Size() {
+		if err := s.wal.Truncate(int64(off)); err != nil {
+			return fmt.Errorf("registrystore: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := s.wal.Seek(0, 2); err != nil {
+		return fmt.Errorf("registrystore: %w", err)
+	}
+	return nil
+}
+
+// needsSync reports whether t can move a membership generation and must
+// therefore reach stable storage before the mutation is acknowledged.
+func needsSync(t RecType) bool { return t != RecRenew && t != RecHeartbeat }
+
+// Journal assigns the next sequence number to rec, appends it to the
+// log (synced per needsSync), and returns the framed bytes — the exact
+// encoding the replication stream forwards, so log and stream can never
+// disagree. Returns nil after a sticky I/O error (surfaced in Health).
+func (s *Store) Journal(rec *Record) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return nil
+	}
+	s.seq++
+	rec.Seq = s.seq
+	s.enc = s.enc[:0]
+	framed, err := AppendRecord(s.enc, rec)
+	if err != nil {
+		s.err = err
+		return nil
+	}
+	s.enc = framed
+	if err := s.writeLocked(framed, needsSync(rec.Type)); err != nil {
+		return nil
+	}
+	out := make([]byte, len(framed))
+	copy(out, framed)
+	return out
+}
+
+// AppendRaw appends an already-framed record received from the
+// replication stream (the standby's log path), preserving the
+// primary's sequence number.
+func (s *Store) AppendRaw(rec *Record, framed []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.writeLocked(framed, needsSync(rec.Type)); err != nil {
+		return err
+	}
+	if rec.Seq > s.seq {
+		s.seq = rec.Seq
+	}
+	return nil
+}
+
+// writeLocked appends bytes to the log. Caller holds s.mu.
+func (s *Store) writeLocked(b []byte, sync bool) error {
+	if _, err := s.wal.Write(b); err != nil {
+		s.err = fmt.Errorf("registrystore: log write: %w", err)
+		return s.err
+	}
+	if sync && !s.nosync {
+		if err := s.wal.Sync(); err != nil {
+			s.err = fmt.Errorf("registrystore: log sync: %w", err)
+			return s.err
+		}
+	}
+	s.walRecords++
+	return nil
+}
+
+// SetSeq installs the sequence cursor (standby resync: the replica's
+// next applied record follows the resync point, not its local history).
+func (s *Store) SetSeq(seq uint64) {
+	s.mu.Lock()
+	s.seq = seq
+	s.mu.Unlock()
+}
+
+// Seq returns the last sequence number assigned or applied.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// WALRecords returns the records accumulated in the log since the last
+// compaction — the operator's WAL-lag signal.
+func (s *Store) WALRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walRecords
+}
+
+// SnapshotSeq returns the sequence number the snapshot file covers.
+func (s *Store) SnapshotSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapSeq
+}
+
+// Err returns the sticky I/O error, if any.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close closes the log (syncing buffered renewals).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	if !s.nosync {
+		s.wal.Sync()
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
+
+// Compact snapshots reg's current state and drops the log records the
+// snapshot covers.
+//
+// Locking discipline: the registry export must happen outside s.mu
+// (a registry mutation in flight holds the registry lock while calling
+// Journal, which takes s.mu — exporting under s.mu would deadlock), so
+// the snapshot may include mutations journaled after seqBefore was
+// captured. Those records are retained in the log and will replay on
+// top of the snapshot at recovery; replay of the registry's mutation
+// records over a state that already reflects them is idempotent for
+// membership and never moves a generation spuriously downward, so the
+// overlap is harmless.
+func (s *Store) Compact(reg *nameservice.TopicRegistry) error {
+	s.mu.Lock()
+	seqBefore := s.seq
+	s.mu.Unlock()
+	state := reg.ExportState()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if err := writeSnapshot(filepath.Join(s.dir, snapName), state, seqBefore, s.nosync); err != nil {
+		s.err = err
+		return err
+	}
+	// Rewrite the log keeping only records beyond the snapshot.
+	fi, err := s.wal.Stat()
+	if err != nil {
+		s.err = fmt.Errorf("registrystore: %w", err)
+		return s.err
+	}
+	buf := make([]byte, fi.Size())
+	if _, err := s.wal.ReadAt(buf, 0); err != nil && fi.Size() > 0 {
+		s.err = fmt.Errorf("registrystore: %w", err)
+		return s.err
+	}
+	var keep []byte
+	kept := 0
+	for off := 0; off < len(buf); {
+		rec, n, err := DecodeRecord(buf[off:])
+		if err != nil {
+			break
+		}
+		if rec.Seq > seqBefore {
+			keep = append(keep, buf[off:off+n]...)
+			kept++
+		}
+		off += n
+	}
+	tmp := filepath.Join(s.dir, walName+".tmp")
+	if err := os.WriteFile(tmp, keep, 0o644); err != nil {
+		s.err = fmt.Errorf("registrystore: %w", err)
+		return s.err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, walName)); err != nil {
+		s.err = fmt.Errorf("registrystore: %w", err)
+		return s.err
+	}
+	wal, err := os.OpenFile(filepath.Join(s.dir, walName), os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		s.err = fmt.Errorf("registrystore: %w", err)
+		return s.err
+	}
+	s.wal.Close()
+	s.wal = wal
+	s.snapSeq = seqBefore
+	s.walRecords = kept
+	return nil
+}
+
+// writeSnapshot writes state atomically (tmp file + rename), CRC-framed
+// with the same checksum machinery as records and wire frames.
+func writeSnapshot(path string, state nameservice.RegistryState, seq uint64, nosync bool) error {
+	var b []byte
+	var hdr [29]byte
+	binary.BigEndian.PutUint32(hdr[0:4], snapMagic)
+	hdr[4] = snapVersion
+	binary.BigEndian.PutUint64(hdr[5:13], state.Gen)
+	binary.BigEndian.PutUint64(hdr[13:21], seq)
+	binary.BigEndian.PutUint64(hdr[21:29], state.Epoch)
+	b = append(b, hdr[:]...)
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(state.Topics)))
+	b = append(b, u32[:]...)
+	for _, t := range state.Topics {
+		if len(t.Name) == 0 || len(t.Name) > MaxTopicLen {
+			return fmt.Errorf("registrystore: snapshot topic name %d bytes", len(t.Name))
+		}
+		b = append(b, byte(len(t.Name)))
+		b = append(b, t.Name...)
+		b = append(b, t.Class)
+		binary.BigEndian.PutUint32(u32[:], t.Gen)
+		b = append(b, u32[:]...)
+		binary.BigEndian.PutUint32(u32[:], uint32(len(t.Subs)))
+		b = append(b, u32[:]...)
+		var sub [12]byte
+		for _, s := range t.Subs {
+			binary.BigEndian.PutUint32(sub[0:4], uint32(s.Addr))
+			binary.BigEndian.PutUint64(sub[4:12], s.Epoch)
+			b = append(b, sub[:]...)
+		}
+	}
+	binary.BigEndian.PutUint32(u32[:], wire.Checksum(b))
+	b = append(b, u32[:]...)
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("registrystore: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return fmt.Errorf("registrystore: %w", err)
+	}
+	if !nosync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("registrystore: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("registrystore: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("registrystore: %w", err)
+	}
+	return nil
+}
+
+// readSnapshot loads a snapshot file. A missing file is an empty state;
+// a corrupt one (bad magic, version, structure, or checksum) is
+// reported — recovery must not silently serve partial state.
+func readSnapshot(path string) (nameservice.RegistryState, uint64, error) {
+	var state nameservice.RegistryState
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return state, 0, nil
+	}
+	if err != nil {
+		return state, 0, fmt.Errorf("registrystore: %w", err)
+	}
+	if len(b) < 37 { // header + count + CRC
+		return state, 0, fmt.Errorf("%w: snapshot %d bytes", ErrCorrupt, len(b))
+	}
+	body, crc := b[:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if wire.Checksum(body) != crc {
+		return state, 0, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	if binary.BigEndian.Uint32(body[0:4]) != snapMagic || body[4] != snapVersion {
+		return state, 0, fmt.Errorf("%w: snapshot magic/version", ErrCorrupt)
+	}
+	state.Gen = binary.BigEndian.Uint64(body[5:13])
+	seq := binary.BigEndian.Uint64(body[13:21])
+	state.Epoch = binary.BigEndian.Uint64(body[21:29])
+	n := int(binary.BigEndian.Uint32(body[29:33]))
+	off := 33
+	for i := 0; i < n; i++ {
+		if off+1 > len(body) {
+			return state, 0, fmt.Errorf("%w: snapshot truncated", ErrCorrupt)
+		}
+		nameLen := int(body[off])
+		off++
+		if nameLen == 0 || off+nameLen+9 > len(body) {
+			return state, 0, fmt.Errorf("%w: snapshot truncated", ErrCorrupt)
+		}
+		t := nameservice.TopicState{Name: string(body[off : off+nameLen])}
+		off += nameLen
+		t.Class = body[off]
+		t.Gen = binary.BigEndian.Uint32(body[off+1 : off+5])
+		subs := int(binary.BigEndian.Uint32(body[off+5 : off+9]))
+		off += 9
+		if off+12*subs > len(body) {
+			return state, 0, fmt.Errorf("%w: snapshot truncated", ErrCorrupt)
+		}
+		for j := 0; j < subs; j++ {
+			t.Subs = append(t.Subs, nameservice.Subscription{
+				Addr:  wire.Addr(binary.BigEndian.Uint32(body[off : off+4])),
+				Epoch: binary.BigEndian.Uint64(body[off+4 : off+12]),
+			})
+			off += 12
+		}
+		state.Topics = append(state.Topics, t)
+	}
+	return state, seq, nil
+}

@@ -1,0 +1,391 @@
+package registrystore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"flipc/internal/nameservice"
+	"flipc/internal/wire"
+)
+
+func addr(t *testing.T, node wire.NodeID, index uint16) wire.Addr {
+	t.Helper()
+	a, err := wire.MakeAddr(node, index, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	a, err := wire.MakeAddr(3, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		{Type: RecDeclare, Seq: 1, Topic: "alpha", Class: 2},
+		{Type: RecSubscribe, Seq: 2, Topic: "alpha", Addr: a},
+		{Type: RecRenew, Seq: 3, Topic: "alpha", Addr: a},
+		{Type: RecUnsubscribe, Seq: 4, Topic: "alpha", Addr: a},
+		{Type: RecAdvance, Seq: 5},
+		{Type: RecFence, Seq: 6, Gen: 42},
+		{Type: RecHeartbeat, Seq: 7, Gen: 43},
+	}
+	var buf []byte
+	for i := range recs {
+		buf, err = AppendRecord(buf, &recs[i])
+		if err != nil {
+			t.Fatalf("append %v: %v", recs[i].Type, err)
+		}
+	}
+	off := 0
+	for i := range recs {
+		got, n, err := DecodeRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if got != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got, recs[i])
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	buf, err := AppendRecord(nil, &Record{Type: RecDeclare, Seq: 1, Topic: "x", Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte anywhere after the checksum field: must never decode.
+	// A corrupted length field may read as a short record instead (it is
+	// indistinguishable from a torn tail, and both stop the reader).
+	for i := 4; i < len(buf); i++ {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0xFF
+		_, _, err := DecodeRecord(mut)
+		if i < 6 {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrShort) {
+				t.Fatalf("length flip at %d: err = %v", i, err)
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: err = %v, want ErrCorrupt", i, err)
+		}
+	}
+	// Any strict prefix must read short, never corrupt.
+	for n := 0; n < len(buf); n++ {
+		if _, _, err := DecodeRecord(buf[:n]); !errors.Is(err, ErrShort) {
+			t.Fatalf("prefix %d: err = %v, want ErrShort", n, err)
+		}
+	}
+}
+
+// journalVia opens a store in dir, promotes it, runs mutate against the
+// registry, and returns the registry (still open: crash = just not
+// closing cleanly, since Open never depends on a clean shutdown).
+func journalVia(t *testing.T, dir string, mutate func(*nameservice.TopicRegistry)) (*nameservice.TopicRegistry, *Store, *Manager) {
+	t.Helper()
+	reg := nameservice.NewTopicRegistry()
+	st, err := Open(dir, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	mgr := NewManager(reg, st)
+	mgr.Promote()
+	if mutate != nil {
+		mutate(reg)
+	}
+	return reg, st, mgr
+}
+
+func TestRecoveryReplaysExactState(t *testing.T) {
+	dir := t.TempDir()
+	a1, a2 := addr(t, 1, 4), addr(t, 2, 9)
+	reg, _, _ := journalVia(t, dir, func(r *nameservice.TopicRegistry) {
+		if err := r.Declare("bulk", 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Subscribe("bulk", a1); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Subscribe("bulk", a2); err != nil {
+			t.Fatal(err)
+		}
+		r.Advance()
+		if err := r.Subscribe("bulk", a1); err != nil { // renewal
+			t.Fatal(err)
+		}
+		r.Unsubscribe("bulk", a2)
+		if err := r.Declare("ctl", 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	want := reg.ExportState()
+
+	reg2 := nameservice.NewTopicRegistry()
+	st2, err := Open(dir, reg2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got := reg2.ExportState()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed state diverged:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRecoveryGenerationsStrictlyAbove(t *testing.T) {
+	dir := t.TempDir()
+	a1 := addr(t, 1, 4)
+
+	// Incarnation 1 serves some generations, then "crashes" (no Close).
+	reg, _, _ := journalVia(t, dir, func(r *nameservice.TopicRegistry) {
+		if err := r.Subscribe("t", a1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	servedReg := reg.RegistryGen()
+	servedTopic := reg.Gen("t")
+	if servedReg == 0 {
+		t.Fatal("incarnation 1 has no registry generation")
+	}
+
+	// Incarnation 2: recovery + promotion must fence strictly above.
+	reg2 := nameservice.NewTopicRegistry()
+	st2, err := Open(dir, reg2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	mgr2 := NewManager(reg2, st2)
+	gen2 := mgr2.Promote()
+	if gen2 <= servedReg {
+		t.Fatalf("incarnation 2 reggen %d not above served %d", gen2, servedReg)
+	}
+	if g := reg2.Gen("t"); g <= servedTopic {
+		t.Fatalf("topic gen %d not above served %d", g, servedTopic)
+	}
+
+	// Subscribers recovered with a fresh lease: present immediately, and
+	// they survive a full TTL of sweeps without renewing.
+	snap, ok := reg2.Snapshot("t")
+	if !ok || len(snap.Subs) != 1 || snap.Subs[0].Addr != a1 {
+		t.Fatalf("recovered membership = %+v, ok=%v", snap.Subs, ok)
+	}
+	for i := 0; i < nameservice.DefaultTopicTTL; i++ {
+		if n := reg2.Advance(); n != 0 {
+			t.Fatalf("restamped lease expired after %d sweeps", i+1)
+		}
+	}
+}
+
+func TestWALTruncatedMidRecord(t *testing.T) {
+	dir := t.TempDir()
+	a1, a2 := addr(t, 1, 4), addr(t, 1, 5)
+	reg, _, _ := journalVia(t, dir, func(r *nameservice.TopicRegistry) {
+		if err := r.Subscribe("t", a1); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Subscribe("t", a2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	_ = reg
+
+	// Tear the final record mid-write, as a crash during append would.
+	wal := filepath.Join(dir, "wal.log")
+	b, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wal, b[:len(b)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := nameservice.NewTopicRegistry()
+	st2, err := Open(dir, reg2, Options{})
+	if err != nil {
+		t.Fatalf("recovery after torn tail: %v", err)
+	}
+	defer st2.Close()
+	// The torn record (a2's subscribe) is gone; everything before survives.
+	snap, ok := reg2.Snapshot("t")
+	if !ok || len(snap.Subs) != 1 || snap.Subs[0].Addr != a1 {
+		t.Fatalf("post-truncation membership = %+v, ok=%v", snap.Subs, ok)
+	}
+	// The file was truncated at the tear, so new appends start clean.
+	mgr2 := NewManager(reg2, st2)
+	mgr2.Promote()
+	if err := reg2.Subscribe("t", a2); err != nil {
+		t.Fatal(err)
+	}
+	reg3 := nameservice.NewTopicRegistry()
+	st3, err := Open(dir, reg3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Close()
+	if snap, _ := reg3.Snapshot("t"); len(snap.Subs) != 2 {
+		t.Fatalf("post-repair membership = %+v", snap.Subs)
+	}
+}
+
+func TestCompactAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	a1, a2 := addr(t, 1, 4), addr(t, 2, 9)
+	reg, st, _ := journalVia(t, dir, func(r *nameservice.TopicRegistry) {
+		if err := r.Subscribe("t", a1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := st.Compact(reg); err != nil {
+		t.Fatal(err)
+	}
+	if lag := st.WALRecords(); lag != 0 {
+		t.Fatalf("WAL lag after compact = %d", lag)
+	}
+	// Mutations after the compaction land in the fresh log.
+	if err := reg.Subscribe("t", a2); err != nil {
+		t.Fatal(err)
+	}
+	want := reg.ExportState()
+
+	reg2 := nameservice.NewTopicRegistry()
+	st2, err := Open(dir, reg2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := reg2.ExportState(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("snapshot+log recovery diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if st2.SnapshotSeq() == 0 {
+		t.Fatal("recovered store lost the snapshot sequence")
+	}
+}
+
+func TestCorruptSnapshotRefused(t *testing.T) {
+	dir := t.TempDir()
+	reg, st, _ := journalVia(t, dir, func(r *nameservice.TopicRegistry) {
+		if err := r.Subscribe("t", addr(t, 1, 4)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := st.Compact(reg); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "snapshot.dat")
+	b, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xFF
+	if err := os.WriteFile(snap, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nameservice.NewTopicRegistry(), Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDoubleFailoverFencing(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+
+	// A is the original primary.
+	regA := nameservice.NewTopicRegistry()
+	stA, err := Open(dirA, regA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgrA := NewManager(regA, stA)
+	genA := mgrA.Promote()
+	if err := regA.Subscribe("t", addr(t, 1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	stA.Close() // A "dies"
+
+	// B takes over, having observed A's generation via replication.
+	regB := nameservice.NewTopicRegistry()
+	stB, err := Open(dirB, regB, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stB.Close()
+	mgrB := NewManager(regB, stB)
+	mgrB.ObservePeer(genA)
+	genB := mgrB.Promote()
+	if genB <= genA {
+		t.Fatalf("takeover gen %d not above primary gen %d", genB, genA)
+	}
+
+	// A returns, recovers its own history, and must observe B's fence:
+	// it may not serve at or below genB.
+	regA2 := nameservice.NewTopicRegistry()
+	stA2, err := Open(dirA, regA2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stA2.Close()
+	mgrA2 := NewManager(regA2, stA2)
+	if demoted := mgrA2.ObservePeer(genB); demoted {
+		t.Fatal("standby cannot be demoted")
+	}
+	if mgrA2.Role() != RoleStandby {
+		t.Fatalf("returning primary role = %v before promotion", mgrA2.Role())
+	}
+	genA2 := mgrA2.Promote()
+	if genA2 <= genB {
+		t.Fatalf("returning primary fenced at %d, not above peer %d", genA2, genB)
+	}
+
+	// The symmetric race: if A had promoted first and then learned of
+	// B's equal-or-higher fence, it must yield.
+	mgrB.ObservePeer(genA2)
+	if mgrB.Role() != RoleStandby {
+		t.Fatal("old primary did not yield to a peer fence at or above its own")
+	}
+	if h := mgrB.Health(); h.Demotions != 1 || h.Role != "standby" {
+		t.Fatalf("health after demotion = %+v", h)
+	}
+}
+
+func TestEvictEndpointBumpsGenAndNotifies(t *testing.T) {
+	dir := t.TempDir()
+	a1, a2 := addr(t, 1, 4), addr(t, 2, 4)
+	reg, _, _ := journalVia(t, dir, func(r *nameservice.TopicRegistry) {
+		for _, tp := range []string{"x", "y"} {
+			if err := r.Subscribe(tp, a1); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.Subscribe(tp, a2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	genX := reg.Gen("x")
+	if n := reg.EvictEndpoint(1, 4); n != 2 {
+		t.Fatalf("evicted %d subscriptions, want 2", n)
+	}
+	if reg.Gen("x") <= genX {
+		t.Fatal("eviction did not bump the topic generation")
+	}
+	// Evictions journal as unsubscribes: recovery must not resurrect.
+	reg2 := nameservice.NewTopicRegistry()
+	st2, err := Open(dir, reg2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	for _, tp := range []string{"x", "y"} {
+		snap, _ := reg2.Snapshot(tp)
+		if len(snap.Subs) != 1 || snap.Subs[0].Addr != a2 {
+			t.Fatalf("topic %s recovered membership = %+v", tp, snap.Subs)
+		}
+	}
+}

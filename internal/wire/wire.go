@@ -155,6 +155,11 @@ var ErrChecksum = errors.New("wire: frame checksum mismatch")
 // castagnoli is the CRC32C table (hardware-accelerated on amd64/arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// Checksum computes the CRC32C (Castagnoli) of p — the same machinery
+// that protects frames, exported for other wire-adjacent formats (the
+// registry's record log frames its records with it).
+func Checksum(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
 // zeroChecksum substitutes for the trailer slot during verification.
 var zeroChecksum [ChecksumBytes]byte
 
