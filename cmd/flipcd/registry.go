@@ -51,10 +51,11 @@ type registryNode struct {
 	apply  *registrystore.Apply
 	client *nameservice.Client // resync fetches from the primary
 
-	seen       map[int]uint64 // quarantine episodes already evicted
-	lastSeq    uint64         // stream progress marker
-	lastMoved  time.Time
-	promoteReq chan struct{}
+	seen           map[int]uint64 // quarantine episodes already evicted
+	lastSeq        uint64         // stream progress markers (previous tick)
+	lastHeartbeats uint64
+	lastMoved      time.Time
+	promoteReq     chan struct{}
 }
 
 // startRegistry brings up the registry role on domain d: recovers the
@@ -254,7 +255,12 @@ func (rn *registryNode) housekeeping(stop <-chan struct{}) {
 			}
 			continue
 		}
-		// Standby: follow the stream.
+		// Standby: follow the stream. A self-demoted ex-primary (store
+		// failure) has no stream attached; it idles until an operator
+		// intervenes.
+		if rn.apply == nil {
+			continue
+		}
 		rn.apply.Drain()
 		if rn.apply.NeedResync() {
 			if err := rn.resyncFromPrimary(); err != nil {
@@ -264,15 +270,26 @@ func (rn *registryNode) housekeeping(stop <-chan struct{}) {
 		if err := rn.apply.Renew(); err != nil {
 			fmt.Printf("flipcd: stream lease renewal: %v\n", err)
 		}
-		if seq := rn.apply.LastSeq(); seq != rn.lastSeq || rn.apply.Heartbeats() > 0 {
-			rn.lastSeq = seq
-			rn.lastMoved = time.Now()
-		}
-		if rn.opts.FailoverAfter > 0 && time.Since(rn.lastMoved) > rn.opts.FailoverAfter {
+		if rn.streamSilent() {
 			fmt.Printf("flipcd: no stream progress for %v, taking over\n", rn.opts.FailoverAfter)
 			rn.promote()
 		}
 	}
+}
+
+// streamSilent records replication-stream progress and reports whether
+// the stream has been silent past the failover timeout. Progress is a
+// *change* in the applied sequence number or the heartbeat count since
+// the previous tick — both counters are cumulative, so comparing
+// against the last observed values is what distinguishes "the primary
+// is alive" from "the primary was alive once".
+func (rn *registryNode) streamSilent() bool {
+	seq, hb := rn.apply.LastSeq(), rn.apply.Heartbeats()
+	if seq != rn.lastSeq || hb != rn.lastHeartbeats {
+		rn.lastSeq, rn.lastHeartbeats = seq, hb
+		rn.lastMoved = time.Now()
+	}
+	return rn.opts.FailoverAfter > 0 && time.Since(rn.lastMoved) > rn.opts.FailoverAfter
 }
 
 // parseEndpointAddr parses a hex endpoint address as flipcd prints them

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"flipc/internal/core"
+	"flipc/internal/interconnect"
+	"flipc/internal/nameservice"
+	"flipc/internal/registrystore"
+	"flipc/internal/topic"
+	"flipc/internal/wire"
+)
+
+func testDomain(t *testing.T, fabric *interconnect.Fabric, node wire.NodeID) *core.Domain {
+	t.Helper()
+	tr, err := fabric.Attach(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := core.NewDomain(core.Config{Node: node, MessageSize: 256, NumBuffers: 256}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	d.Start()
+	return d
+}
+
+// TestStreamSilenceTriggersFailover exercises the standby's failover
+// detector: heartbeat-only stream progress (the applied sequence never
+// moves) must keep holding off the -failover-after promotion, and true
+// stream silence after the primary dies must trip it. Regression test
+// for the detector reading the cumulative heartbeat counter as
+// perpetual progress, which made auto-promotion permanently unreachable
+// once any heartbeat had ever arrived.
+func TestStreamSilenceTriggersFailover(t *testing.T) {
+	fabric := interconnect.NewFabric(1024)
+	primD := testDomain(t, fabric, 0)
+	stbyD := testDomain(t, fabric, 1)
+
+	// Primary side: just a replication feed on the reserved topic.
+	regA := nameservice.NewTopicRegistry()
+	dirA := topic.LocalDirectory{R: regA}
+	pub, err := topic.NewPublisher(primD, dirA, topic.PublisherConfig{
+		Topic: registrystore.ReplicationTopic, Class: registrystore.ReplicationClass,
+		RefreshEvery: 1, Window: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := registrystore.NewFeed(pub, primD.MaxPayload())
+
+	// Standby side: the stream apply loop plus the detector state.
+	regB := nameservice.NewTopicRegistry()
+	sub, err := topic.NewSubscriber(stbyD, dirA, registrystore.ReplicationTopic,
+		registrystore.ReplicationClass, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn := &registryNode{
+		opts:      registryOpts{FailoverAfter: 300 * time.Millisecond},
+		apply:     registrystore.NewApply(sub, regB, nil),
+		lastMoved: time.Now(),
+	}
+
+	// Heartbeat-only progress, spanning well past FailoverAfter in
+	// total: each delivered heartbeat must refresh the silence clock.
+	for i := 0; i < 6; i++ {
+		feed.Heartbeat(1)
+		if _, err := feed.Pump(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(100 * time.Millisecond)
+		rn.apply.Drain()
+		if rn.streamSilent() {
+			t.Fatalf("heartbeat progress read as silence on tick %d", i)
+		}
+	}
+
+	// The primary dies: no more heartbeats. Silence must be detected
+	// once the timeout elapses — with the cumulative-counter bug this
+	// loop never terminates.
+	deadline := time.Now().Add(5 * time.Second)
+	for !rn.streamSilent() {
+		if time.Now().After(deadline) {
+			t.Fatal("stream silence never detected after the primary stopped")
+		}
+		rn.apply.Drain()
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -54,9 +54,13 @@ func FuzzServerProcess(f *testing.F) {
 	f.Add(mkReq(opSubscribe, replyAddr, uint32(subAddr), "topic", []byte{2}))
 	f.Add(mkReq(opUnsubscribe, replyAddr, uint32(subAddr), "topic", nil))
 	f.Add(mkReq(opTopicSnap, replyAddr, 9, "topic", []byte{0, 0}))
-	f.Add(mkReq(opTopicSnap, replyAddr, 9, "topic", []byte{0, 200})) // offset past end
+	f.Add(mkReq(opTopicSnap, replyAddr, 9, "topic", []byte{0, 200}))       // legacy 2-byte offset past end
+	f.Add(mkReq(opTopicSnap, replyAddr, 9, "topic", []byte{0, 0, 0, 4}))   // 4-byte offset
+	f.Add(mkReq(opTopicSnap, replyAddr, 9, "topic", []byte{1, 0, 0, 0}))   // 4-byte offset past end
 	f.Add(mkReq(opRegistryInfo, replyAddr, 11, "", nil))
 	f.Add(mkReq(opTopicList, replyAddr, 13, "", []byte{0, 0}))
+	f.Add(mkReq(opTopicList, replyAddr, 13, "", []byte{0, 0, 0, 1}))       // 4-byte offset
+	f.Add(mkReq(opTopicList, replyAddr, 13, "", []byte{0xFF, 0, 0, 0xFF})) // offset far past end
 	f.Add(mkReq(99, replyAddr, 0, "x", nil))                // unknown op
 	f.Add(mkReq(opLookup, 0, 0, "x", nil))                  // invalid reply address
 	f.Add([]byte{opLookup, 0, 0})                           // truncated header

@@ -42,8 +42,10 @@ import (
 //	                 address and one trailing byte after the name
 //	                 carries the topic's priority class
 //	unsubscribe (5): register-shaped; [5:9] is the subscriber's address
-//	snapshot (6):    lookup-shaped plus two trailing offset bytes after
-//	                 the name; the response is the paged layout
+//	snapshot (6):    lookup-shaped plus trailing offset bytes after the
+//	                 name (4-byte big-endian; a 2-byte offset from an
+//	                 older client is still accepted); the response is
+//	                 the paged layout
 //	                 [0] status | [1:5] membership generation |
 //	                 [5:9] tag echo | [9] class | [10] count |
 //	                 [11:11+4·count] subscriber addresses
@@ -59,12 +61,19 @@ import (
 //	                   Clients probe it to detect a failed-over registry
 //	                   (gen moved) and a standby uses gen+seq to bound
 //	                   its replication lag before taking over.
-//	topic list (8):    lookup-shaped plus two trailing offset bytes;
-//	                   response [0] status | [1:5] total topic count |
+//	topic list (8):    lookup-shaped plus trailing offset bytes (4-byte
+//	                   big-endian, 2-byte accepted); response
+//	                   [0] status | [1:5] total topic count |
 //	                   [5:9] tag echo | [9] page count | then count ×
 //	                   (len byte + name). Pages until offset reaches
 //	                   total — with topic snapshots, enough for a
 //	                   replica to bootstrap a full state resync.
+//
+// Topic mutations (subscribe/unsubscribe) are refused with
+// statusNotPrimary at a node whose info source reports it is not the
+// primary registry: a standby (or a primary that self-demoted after a
+// store failure) acknowledging them would serve non-durable,
+// non-replicated state.
 const (
 	opRegister     = 1
 	opLookup       = 2
@@ -75,10 +84,11 @@ const (
 	opRegistryInfo = 7
 	opTopicList    = 8
 
-	statusOK        = 0
-	statusNotFound  = 1
-	statusDuplicate = 2
-	statusBad       = 3
+	statusOK         = 0
+	statusNotFound   = 1
+	statusDuplicate  = 2
+	statusBad        = 3
+	statusNotPrimary = 4
 )
 
 // snapHeaderBytes is the fixed prefix of a topic-snapshot response.
@@ -105,6 +115,11 @@ type RegistryInfo struct {
 var (
 	ErrRemoteTimeout = errors.New("nameservice: remote call timed out")
 	ErrBadReply      = errors.New("nameservice: malformed reply")
+	// ErrNotPrimary reports a topic mutation refused because the target
+	// registry node is not the primary (standby, or self-demoted after
+	// a store failure). Callers should re-resolve the registry endpoint
+	// and retry.
+	ErrNotPrimary = errors.New("nameservice: registry is not primary")
 )
 
 // Server serves a Directory (and a TopicRegistry) over FLIPC. Run its
@@ -229,6 +244,10 @@ func (s *Server) process(req []byte, maxPayload int) (wire.Addr, []byte) {
 	case opUnregister:
 		s.dir.Unregister(name)
 	case opSubscribe:
+		if !s.mutable() {
+			resp[0] = statusNotPrimary
+			break
+		}
 		addr := wire.Addr(binary.BigEndian.Uint32(req[5:9]))
 		var class uint8
 		if len(tail) >= 1 {
@@ -240,25 +259,42 @@ func (s *Server) process(req []byte, maxPayload int) (wire.Addr, []byte) {
 			resp[0] = statusBad
 		}
 	case opUnsubscribe:
+		if !s.mutable() {
+			resp[0] = statusNotPrimary
+			break
+		}
 		s.topics.Unsubscribe(name, wire.Addr(binary.BigEndian.Uint32(req[5:9])))
 	case opTopicSnap:
-		var offset int
-		if len(tail) >= 2 {
-			offset = int(binary.BigEndian.Uint16(tail[0:2]))
-		}
-		return replyTo, s.snapResponse(name, offset, req[5:9], maxPayload)
+		return replyTo, s.snapResponse(name, pageOffset(tail), req[5:9], maxPayload)
 	case opRegistryInfo:
 		return replyTo, s.infoResponse(req[5:9])
 	case opTopicList:
-		var offset int
-		if len(tail) >= 2 {
-			offset = int(binary.BigEndian.Uint16(tail[0:2]))
-		}
-		return replyTo, s.listResponse(offset, req[5:9], maxPayload)
+		return replyTo, s.listResponse(pageOffset(tail), req[5:9], maxPayload)
 	default:
 		resp[0] = statusBad
 	}
 	return replyTo, resp
+}
+
+// mutable reports whether this node may acknowledge topic mutations: a
+// plain in-memory server always can; a durability-aware one only while
+// its info source reports it primary.
+func (s *Server) mutable() bool {
+	return s.info == nil || s.info().Primary
+}
+
+// pageOffset decodes the trailing page-offset bytes of a snapshot or
+// topic-list request: 4-byte big-endian, with the pre-failover 2-byte
+// encoding still accepted (it caps paging at 65535 entries, which is
+// why current clients send 4 bytes).
+func pageOffset(tail []byte) int {
+	if len(tail) >= 4 {
+		return int(binary.BigEndian.Uint32(tail[0:4]))
+	}
+	if len(tail) >= 2 {
+		return int(binary.BigEndian.Uint16(tail[0:2]))
+	}
+	return 0
 }
 
 // infoResponse builds a registry-info response.
@@ -475,6 +511,9 @@ func (c *Client) Subscribe(topic string, addr wire.Addr, class uint8, timeout ti
 	if err != nil {
 		return err
 	}
+	if resp[0] == statusNotPrimary {
+		return fmt.Errorf("%w: subscribe %q", ErrNotPrimary, topic)
+	}
 	if resp[0] != statusOK {
 		return fmt.Errorf("nameservice: subscribe %q failed (status %d)", topic, resp[0])
 	}
@@ -491,6 +530,9 @@ func (c *Client) Unsubscribe(topic string, addr wire.Addr, timeout time.Duration
 	if err != nil {
 		return err
 	}
+	if resp[0] == statusNotPrimary {
+		return fmt.Errorf("%w: unsubscribe %q", ErrNotPrimary, topic)
+	}
 	if resp[0] != statusOK {
 		return fmt.Errorf("nameservice: unsubscribe %q failed (status %d)", topic, resp[0])
 	}
@@ -505,8 +547,8 @@ func (c *Client) TopicSnapshot(topic string, timeout time.Duration) (TopicSnapsh
 	for offset := 0; ; {
 		c.tag++
 		want := c.tag
-		var tail [2]byte
-		binary.BigEndian.PutUint16(tail[:], uint16(offset))
+		var tail [4]byte
+		binary.BigEndian.PutUint32(tail[:], uint32(offset))
 		req, err := c.buildReq(opTopicSnap, topic, want, tail[:])
 		if err != nil {
 			return snap, err
@@ -594,8 +636,8 @@ func (c *Client) TopicList(timeout time.Duration) ([]string, error) {
 	for offset := 0; ; {
 		c.tag++
 		want := c.tag
-		var tail [2]byte
-		binary.BigEndian.PutUint16(tail[:], uint16(offset))
+		var tail [4]byte
+		binary.BigEndian.PutUint32(tail[:], uint32(offset))
 		req, err := c.buildReq(opTopicList, "", want, tail[:])
 		if err != nil {
 			return names, err
@@ -625,8 +667,16 @@ func (c *Client) TopicList(timeout time.Duration) ([]string, error) {
 			off += 1 + n
 		}
 		offset += count
-		if offset >= total || count == 0 {
+		if offset >= total {
 			return names, nil
+		}
+		if count == 0 {
+			// A non-final page that made no progress is an error, not
+			// completion: one topic name the server cannot fit into a
+			// page (or any other stall) must not let a replica
+			// bootstrap silently install incomplete state.
+			return names, fmt.Errorf("%w: topic list page at offset %d carried no entries (total %d)",
+				ErrBadReply, offset, total)
 		}
 	}
 }

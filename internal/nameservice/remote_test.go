@@ -2,6 +2,8 @@ package nameservice
 
 import (
 	"errors"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -11,6 +13,13 @@ import (
 )
 
 func newRemoteRig(t *testing.T) (*Server, *Client, *core.Domain, *core.Domain) {
+	return newRemoteRigInfo(t, nil)
+}
+
+// newRemoteRigInfo is newRemoteRig with the server's registry-info
+// source installed before the serve loop starts (SetInfo is wiring-time
+// configuration, not synchronized against a running server).
+func newRemoteRigInfo(t *testing.T, info func() RegistryInfo) (*Server, *Client, *core.Domain, *core.Domain) {
 	t.Helper()
 	fabric := interconnect.NewFabric(256)
 	mk := func(node wire.NodeID) *core.Domain {
@@ -31,6 +40,9 @@ func newRemoteRig(t *testing.T) (*Server, *Client, *core.Domain, *core.Domain) {
 	srv, err := NewServer(sd, New(), 16)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if info != nil {
+		srv.SetInfo(info)
 	}
 	go srv.Serve(5)
 	cli, err := NewClient(cd, srv.Addr())
@@ -297,5 +309,62 @@ func TestRemoteEndToEndDiscovery(t *testing.T) {
 	}
 	if string(got.Payload()[:got.Len()]) != "discovered in-band" {
 		t.Fatalf("payload = %q", got.Payload()[:got.Len()])
+	}
+}
+
+// TestStandbyRefusesMutations: a server whose info source reports it is
+// not the primary (a standby, or a primary that self-demoted after a
+// store failure) must refuse topic mutations with ErrNotPrimary instead
+// of acknowledging non-durable, non-replicated state — while reads keep
+// serving and a later return to primary resumes mutations.
+func TestStandbyRefusesMutations(t *testing.T) {
+	var primary atomic.Bool
+	primary.Store(true)
+	_, cli, _, cd := newRemoteRigInfo(t, func() RegistryInfo {
+		return RegistryInfo{Primary: primary.Load(), Gen: 7}
+	})
+	ep, err := cd.NewRecvEndpoint(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Subscribe("ctl", ep.Addr(), 2, callTimeout); err != nil {
+		t.Fatalf("subscribe at primary: %v", err)
+	}
+
+	primary.Store(false)
+	if err := cli.Subscribe("ctl", ep.Addr(), 2, callTimeout); !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("subscribe at standby: err = %v, want ErrNotPrimary", err)
+	}
+	if err := cli.Unsubscribe("ctl", ep.Addr(), callTimeout); !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("unsubscribe at standby: err = %v, want ErrNotPrimary", err)
+	}
+	// Reads still serve, and the refused unsubscribe changed nothing.
+	snap, err := cli.TopicSnapshot("ctl", callTimeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Subs) != 1 || snap.Subs[0].Addr != ep.Addr() {
+		t.Fatalf("standby refusal mutated state: %+v", snap.Subs)
+	}
+
+	primary.Store(true)
+	if err := cli.Unsubscribe("ctl", ep.Addr(), callTimeout); err != nil {
+		t.Fatalf("unsubscribe after return to primary: %v", err)
+	}
+}
+
+// TestTopicListStalledPageErrors: a topic name too long for the server
+// to fit into one page stalls the paging loop with a zero-entry page;
+// the client must surface that as an error, never as a successful but
+// silently incomplete listing (a replica would otherwise bootstrap
+// partial state).
+func TestTopicListStalledPageErrors(t *testing.T) {
+	srv, cli, _, _ := newRemoteRigInfo(t, nil)
+	long := strings.Repeat("n", 120) // entry exceeds the 128-byte rig payload
+	if err := srv.Topics().Declare(long, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.TopicList(callTimeout); !errors.Is(err, ErrBadReply) {
+		t.Fatalf("stalled topic list: err = %v, want ErrBadReply", err)
 	}
 }

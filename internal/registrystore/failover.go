@@ -91,7 +91,7 @@ func (m *Manager) Promote() uint64 {
 	rec := Record{Type: RecFence, Gen: gen}
 	framed := m.st.Journal(&rec)
 	if framed != nil && m.feed != nil {
-		m.feed.Enqueue(framed)
+		m.feed.Enqueue(rec.Seq, framed)
 	}
 	m.reg.Observe(m.observe)
 	m.role = RolePrimary
@@ -109,13 +109,25 @@ func (m *Manager) observe(mut nameservice.Mutation) {
 	}
 	framed := m.st.Journal(&rec)
 	if framed == nil {
+		// The mutation could not be made durable (sticky store error):
+		// self-demote rather than keep acknowledging non-durable,
+		// non-replicated mutations. The observer stays attached — we
+		// are under the registry lock, so detaching here would
+		// deadlock — but journals nothing further, and a server
+		// consulting the role refuses mutations once it reads standby.
+		m.mu.Lock()
+		if m.role == RolePrimary && m.st.Err() != nil {
+			m.role = RoleStandby
+			m.demotions++
+		}
+		m.mu.Unlock()
 		return
 	}
 	m.mu.Lock()
 	feed := m.feed
 	m.mu.Unlock()
 	if feed != nil {
-		feed.Enqueue(framed)
+		feed.Enqueue(rec.Seq, framed)
 	}
 }
 
@@ -142,13 +154,15 @@ func (m *Manager) ObservePeer(gen uint64) bool {
 }
 
 // Heartbeat enqueues a replication heartbeat if this node is primary
-// with a feed attached.
+// with a feed attached. The heartbeat's sequence number is the feed's
+// own cursor (see Feed.Heartbeat), not the store's: the store cursor
+// can run ahead of the enqueue order under concurrent mutation.
 func (m *Manager) Heartbeat() {
 	m.mu.Lock()
 	feed, role := m.feed, m.role
 	m.mu.Unlock()
 	if role == RolePrimary && feed != nil {
-		feed.Heartbeat(m.reg.RegistryGen(), m.st.Seq())
+		feed.Heartbeat(m.reg.RegistryGen())
 	}
 }
 

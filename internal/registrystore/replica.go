@@ -31,6 +31,7 @@ type Feed struct {
 	pub      *topic.Publisher
 	queue    [][]byte
 	maxBatch int
+	lastSeq  uint64 // highest record sequence enqueued so far
 
 	enqueued uint64
 	batches  uint64
@@ -47,24 +48,37 @@ func NewFeed(pub *topic.Publisher, maxBatch int) *Feed {
 	return &Feed{pub: pub, maxBatch: maxBatch}
 }
 
-// Enqueue queues one framed record for the next Pump. Safe to call from
-// the registry's mutation observer: it takes only the feed's own lock.
-func (f *Feed) Enqueue(framed []byte) {
+// Enqueue queues one framed record (carrying sequence number seq) for
+// the next Pump. Safe to call from the registry's mutation observer: it
+// takes only the feed's own lock.
+func (f *Feed) Enqueue(seq uint64, framed []byte) {
 	f.mu.Lock()
 	f.queue = append(f.queue, framed)
 	f.enqueued++
+	if seq > f.lastSeq {
+		f.lastSeq = seq
+	}
 	f.mu.Unlock()
 }
 
 // Heartbeat queues a heartbeat carrying the primary's registry
-// generation and current sequence number, letting a silent standby
-// detect both primary liveness and its own stream gaps.
-func (f *Feed) Heartbeat(gen, seq uint64) {
-	framed, err := AppendRecord(nil, &Record{Type: RecHeartbeat, Seq: seq, Gen: gen})
+// generation and the sequence number of the last record enqueued ahead
+// of it, letting a silent standby detect both primary liveness and its
+// own stream gaps. The sequence is the feed's own cursor, not the
+// store's: a mutation that has journaled sequence N but not yet
+// enqueued record N must not be claimed by a heartbeat that will reach
+// the standby first (the standby would read N as a gap and resync
+// spuriously), so the heartbeat is built and queued under the same
+// lock that orders record enqueues.
+func (f *Feed) Heartbeat(gen uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	framed, err := AppendRecord(nil, &Record{Type: RecHeartbeat, Seq: f.lastSeq, Gen: gen})
 	if err != nil {
 		return
 	}
-	f.Enqueue(framed)
+	f.queue = append(f.queue, framed)
+	f.enqueued++
 }
 
 // Pump drains the queue, coalescing records into batches of at most
@@ -230,7 +244,9 @@ func (a *Apply) NeedResync() bool {
 // sequence seq (captured before the export, so records the snapshot
 // already reflects replay harmlessly; see Store.Compact for why the
 // overlap is safe). Clears the gap and resumes stream application at
-// seq+1.
+// seq+1. The replica's local log is discarded wholesale: it may hold a
+// divergent history (an ex-primary's unreplicated tail, possibly with
+// sequence numbers above seq), and the snapshot supersedes all of it.
 func (a *Apply) Resync(state nameservice.RegistryState, seq uint64) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -241,8 +257,7 @@ func (a *Apply) Resync(state nameservice.RegistryState, seq uint64) error {
 		a.primaryGen = state.Gen
 	}
 	if a.st != nil {
-		a.st.SetSeq(seq)
-		return a.st.Compact(a.reg)
+		return a.st.ResetTo(state, seq)
 	}
 	return nil
 }

@@ -90,6 +90,52 @@ func TestApplyGapForcesResync(t *testing.T) {
 	}
 }
 
+// TestHeartbeatCarriesEnqueuedSeq pins the heartbeat's sequence to the
+// feed's enqueue order: a mutation that has journaled sequence N but
+// not yet enqueued record N (the store cursor runs ahead of the feed
+// between Journal and Enqueue) must not be claimed by a heartbeat that
+// reaches the standby first, or the standby reads N as a gap and
+// resyncs spuriously.
+func TestHeartbeatCarriesEnqueuedSeq(t *testing.T) {
+	sub1, err := wire.MakeAddr(1, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFeed(nil, 512)
+	rec := Record{Type: RecSubscribe, Seq: 5, Topic: "t", Addr: sub1}
+	framed, err := AppendRecord(nil, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Enqueue(rec.Seq, framed)
+
+	// Journal has already assigned sequence 6 elsewhere, but record 6 is
+	// not enqueued yet: the heartbeat must carry 5, the feed's cursor.
+	f.Heartbeat(3)
+	f.mu.Lock()
+	hbFramed := f.queue[len(f.queue)-1]
+	f.mu.Unlock()
+	hb, _, err := DecodeRecord(hbFramed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.Type != RecHeartbeat || hb.Seq != 5 || hb.Gen != 3 {
+		t.Fatalf("heartbeat = %+v, want type heartbeat seq 5 gen 3", hb)
+	}
+
+	// A standby that has applied through 5 reads the heartbeat as
+	// confirmation, not as a gap.
+	a := NewApply(nil, nameservice.NewTopicRegistry(), nil)
+	a.mu.Lock()
+	a.lastSeq = 4
+	a.feedLocked(framed)
+	a.feedLocked(hbFramed)
+	a.mu.Unlock()
+	if a.NeedResync() {
+		t.Fatal("in-order heartbeat read as a sequence gap")
+	}
+}
+
 // TestRegistryFailoverSoak is the failover soak: a primary registry
 // replicates to a standby over the reserved control-priority topic
 // while a publisher fans traffic out to subscribers; the primary is

@@ -195,12 +195,34 @@ func (s *Store) writeLocked(b []byte, sync bool) error {
 	return nil
 }
 
-// SetSeq installs the sequence cursor (standby resync: the replica's
-// next applied record follows the resync point, not its local history).
-func (s *Store) SetSeq(seq uint64) {
+// ResetTo installs a full-state snapshot at seq and discards the
+// entire local log (standby resync). The snapshot supersedes all local
+// history: a demoted or restarted ex-primary's log may describe a
+// divergent timeline whose records carry sequence numbers above the
+// resync point, and retaining any of them would replay divergent state
+// on top of the new primary's snapshot at the next restart.
+func (s *Store) ResetTo(state nameservice.RegistryState, seq uint64) error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if err := writeSnapshot(filepath.Join(s.dir, snapName), state, seq, s.nosync); err != nil {
+		s.err = err
+		return err
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		s.err = fmt.Errorf("registrystore: truncate log: %w", err)
+		return s.err
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		s.err = fmt.Errorf("registrystore: %w", err)
+		return s.err
+	}
 	s.seq = seq
-	s.mu.Unlock()
+	s.snapSeq = seq
+	s.walRecords = 0
+	return nil
 }
 
 // Seq returns the last sequence number assigned or applied.

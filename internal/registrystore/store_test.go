@@ -294,6 +294,97 @@ func TestCorruptSnapshotRefused(t *testing.T) {
 	}
 }
 
+func TestResyncDiscardsDivergentLocalHistory(t *testing.T) {
+	dir := t.TempDir()
+	a1, a2 := addr(t, 1, 4), addr(t, 2, 9)
+	// An ex-primary journals a history whose tail was never replicated:
+	// its log head runs ahead of the point the new primary's snapshot
+	// will cover.
+	journalVia(t, dir, func(r *nameservice.TopicRegistry) {
+		if err := r.Subscribe("t", a1); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Subscribe("stale", a2); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// It restarts as a standby and resyncs from the new primary, whose
+	// state lacks the divergent tail and whose sequence is behind the
+	// old log's head.
+	reg := nameservice.NewTopicRegistry()
+	st, err := Open(dir, reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	src := nameservice.NewTopicRegistry()
+	src.SetRegistryGen(9)
+	if err := src.Subscribe("t", a1); err != nil {
+		t.Fatal(err)
+	}
+	state := src.ExportState()
+	resyncSeq := uint64(2)
+	if head := st.Seq(); head <= resyncSeq {
+		t.Fatalf("test setup: old log head %d not ahead of resync point %d", head, resyncSeq)
+	}
+	apply := NewApply(nil, reg, st)
+	if err := apply.Resync(state, resyncSeq); err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq() != resyncSeq || st.WALRecords() != 0 {
+		t.Fatalf("after resync: seq=%d walRecords=%d, want seq=%d and an empty log",
+			st.Seq(), st.WALRecords(), resyncSeq)
+	}
+
+	// A restart must recover exactly the resynced state: none of the
+	// divergent records — even those whose sequence numbers exceed the
+	// resync point — may replay on top of the snapshot.
+	reg2 := nameservice.NewTopicRegistry()
+	st2, err := Open(dir, reg2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := reg2.ExportState(); !reflect.DeepEqual(got, state) {
+		t.Fatalf("restart after resync diverged:\n got %+v\nwant %+v", got, state)
+	}
+	if _, ok := reg2.Snapshot("stale"); ok {
+		t.Fatal("divergent old-history topic resurrected after restart")
+	}
+	if st2.Seq() != resyncSeq {
+		t.Fatalf("restarted store seq = %d, want %d", st2.Seq(), resyncSeq)
+	}
+}
+
+func TestStoreErrorDemotesPrimary(t *testing.T) {
+	dir := t.TempDir()
+	reg, st, mgr := journalVia(t, dir, func(r *nameservice.TopicRegistry) {
+		if err := r.Subscribe("t", addr(t, 1, 4)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Break the log out from under the store: every further journal
+	// write fails stickily.
+	st.mu.Lock()
+	st.wal.Close()
+	st.mu.Unlock()
+
+	// The next mutation cannot be made durable: the manager must demote
+	// itself rather than keep acknowledging non-durable, non-replicated
+	// mutations as primary.
+	if err := reg.Subscribe("t", addr(t, 2, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Role() != RoleStandby {
+		t.Fatalf("role after store failure = %v, want standby", mgr.Role())
+	}
+	h := mgr.Health()
+	if h.Demotions != 1 || h.StoreErr == "" {
+		t.Fatalf("health after store failure = %+v, want one demotion and a store error", h)
+	}
+}
+
 func TestDoubleFailoverFencing(t *testing.T) {
 	dirA, dirB := t.TempDir(), t.TempDir()
 
