@@ -24,12 +24,22 @@ import (
 // every delivery yields one latency sample. Drops (publisher window or
 // subscriber inbox) are counted, never silent, so the run also checks
 // the fanout conservation law before reporting.
+//
+// Beyond the plain baseline widths, the matrix runs a slow-subscriber
+// pair at fanout 8 — one subscriber draining far below the publish
+// rate, with per-topic receive credit off and then on — recording the
+// before/after of the credit loop: without credit the slow inbox
+// overruns (recv_dropped), with credit the overrun converts into
+// publisher throttles (throttled) and the drop ledger stays clean.
 
 type pubsubResult struct {
+	Scenario      string  `json:"scenario"`
+	Credit        bool    `json:"credit"`
 	Subscribers   int     `json:"subscribers"`
 	Publishes     uint64  `json:"publishes"`
 	FanoutSent    uint64  `json:"fanout_sent"`
 	FanoutDropped uint64  `json:"fanout_dropped"`
+	Throttled     uint64  `json:"throttled"`
 	Delivered     uint64  `json:"delivered"`
 	RecvDropped   uint64  `json:"recv_dropped"`
 	PublishPerSec float64 `json:"publish_per_sec"`
@@ -46,20 +56,33 @@ type pubsubReport struct {
 	Results     []pubsubResult `json:"results"`
 }
 
-// runPubsub benchmarks each fanout width and writes the JSON report to
-// path ("-" or "" = stdout only; a file also gets a human summary on
+// runPubsub benchmarks the scenario matrix and writes the JSON report
+// to path ("-" or "" = stdout only; a file also gets a human summary on
 // stdout).
 func runPubsub(path string, publishes int) error {
 	report := pubsubReport{Benchmark: "pubsub_fanout", MessageSize: 128, Class: topic.Normal.String()}
-	for _, subs := range []int{1, 8, 64} {
-		r, err := pubsubOne(subs, publishes)
+	matrix := []struct {
+		scenario string
+		subs     int
+		slow     bool
+		credit   bool
+	}{
+		{"baseline", 1, false, false},
+		{"baseline", 8, false, false},
+		{"baseline", 64, false, false},
+		{"slow_nocredit", 8, true, false},
+		{"slow_credit", 8, true, true},
+	}
+	for _, m := range matrix {
+		r, err := pubsubOne(m.subs, publishes, m.slow, m.credit)
 		if err != nil {
-			return fmt.Errorf("pubsub fanout %d: %w", subs, err)
+			return fmt.Errorf("pubsub %s fanout %d: %w", m.scenario, m.subs, err)
 		}
+		r.Scenario, r.Credit = m.scenario, m.credit
 		report.Results = append(report.Results, r)
-		fmt.Printf("pubsub %2d subs: %8.0f publish/s %10.0f frames/s  p50 %7.1fµs  p99 %7.1fµs  (delivered %d, dropped pub %d + recv %d)\n",
-			r.Subscribers, r.PublishPerSec, r.FramesPerSec, r.LatencyP50Us, r.LatencyP99Us,
-			r.Delivered, r.FanoutDropped, r.RecvDropped)
+		fmt.Printf("pubsub %-13s %2d subs: %8.0f publish/s %10.0f frames/s  p50 %7.1fµs  p99 %7.1fµs  (delivered %d, dropped pub %d + recv %d, throttled %d)\n",
+			m.scenario, r.Subscribers, r.PublishPerSec, r.FramesPerSec, r.LatencyP50Us, r.LatencyP99Us,
+			r.Delivered, r.FanoutDropped, r.RecvDropped, r.Throttled)
 	}
 	var out io.Writer = os.Stdout
 	if path != "" && path != "-" {
@@ -75,10 +98,15 @@ func runPubsub(path string, publishes int) error {
 	return enc.Encode(report)
 }
 
-func pubsubOne(subs, publishes int) (pubsubResult, error) {
+// pubsubOne runs one cell. With slow set, subscriber 0 drains an order
+// of magnitude below the publish rate (its latency samples are excluded
+// — the fast subscribers' tail is what the scenario measures); with
+// credit set, the topic runs the per-subscriber receive-credit loop.
+func pubsubOne(subs, publishes int, slow, credit bool) (pubsubResult, error) {
 	const (
 		msgSize  = 128
 		subNodes = 4 // subscriber domains; fanout spreads round-robin
+		subBufs  = 64
 	)
 	fabric := interconnect.NewFabric(4096)
 	mkDomain := func(node wire.NodeID) (*core.Domain, error) {
@@ -113,29 +141,42 @@ func pubsubOne(subs, publishes int) (pubsubResult, error) {
 
 	dir := topic.LocalDirectory{R: nameservice.NewTopicRegistry()}
 	type subRun struct {
-		s   *topic.Subscriber
-		lat []float64
+		s    *topic.Subscriber
+		slow bool
+		lat  []float64
 	}
 	runs := make([]*subRun, subs)
 	for i := range runs {
-		s, err := topic.NewSubscriber(subDs[i%subNodes], dir, "bench", topic.Normal, 64, 64)
+		var s *topic.Subscriber
+		var err error
+		if credit {
+			s, err = topic.NewSubscriberCredit(subDs[i%subNodes], dir, "bench", topic.Normal,
+				subBufs, subBufs, topic.CreditConfig{})
+		} else {
+			s, err = topic.NewSubscriber(subDs[i%subNodes], dir, "bench", topic.Normal, subBufs, subBufs)
+		}
 		if err != nil {
 			return pubsubResult{}, err
 		}
-		runs[i] = &subRun{s: s}
+		runs[i] = &subRun{s: s, slow: slow && i == 0}
 	}
 	window := topic.PublisherWindow(subs, 4)
 	if window < 64 {
 		window = 64
 	}
 	pub, err := topic.NewPublisher(pubD, dir, topic.PublisherConfig{
-		Topic: "bench", Class: topic.Normal, Depth: 64, Window: window})
+		Topic: "bench", Class: topic.Normal, Depth: 64, Window: window, Credit: credit})
 	if err != nil {
 		return pubsubResult{}, err
 	}
 	if pub.Subscribers() != subs {
 		return pubsubResult{}, fmt.Errorf("plan has %d subscribers, want %d", pub.Subscribers(), subs)
 	}
+
+	// The paced publish gap (below) sets the offered rate; the slow
+	// subscriber consumes one message per slowdown gaps.
+	gap := time.Duration(subs)*2*time.Microsecond + 10*time.Microsecond
+	const slowdown = 20
 
 	// Drain goroutines: one per subscriber (each inbox is
 	// single-threaded, each goroutine owns exactly one). They stop when
@@ -167,8 +208,25 @@ func pubsubOne(subs, publishes int) (pubsubResult, error) {
 					sent := int64(binary.BigEndian.Uint64(payload[:8]))
 					r.lat = append(r.lat, float64(time.Now().UnixNano()-sent)/1e3)
 				}
+				if r.slow {
+					time.Sleep(slowdown * gap)
+				}
 			}
 		}()
+	}
+
+	// Credit handshake before the clock starts: hellos answered, every
+	// account live, so the measured phase runs fully credited.
+	if credit {
+		deadline := time.Now().Add(2 * time.Second)
+		for pub.CreditAdverts() < subs {
+			if time.Now().After(deadline) {
+				close(done)
+				wg.Wait()
+				return pubsubResult{}, fmt.Errorf("credit handshake incomplete: %d/%d adverts", pub.CreditAdverts(), subs)
+			}
+			time.Sleep(time.Millisecond)
+		}
 	}
 
 	// Paced publish loop: a gap proportional to fanout keeps the
@@ -177,7 +235,6 @@ func pubsubOne(subs, publishes int) (pubsubResult, error) {
 	// on the clock (time.Sleep granularity is too coarse at these
 	// gaps) but yields each turn so the engine goroutines make
 	// progress on small core counts.
-	gap := time.Duration(subs)*2*time.Microsecond + 10*time.Microsecond
 	var payload [8]byte
 	t0 := time.Now()
 	next := t0
@@ -192,14 +249,16 @@ func pubsubOne(subs, publishes int) (pubsubResult, error) {
 		}
 	}
 	elapsed := time.Since(t0)
-	// Let in-flight frames land, then stop the drains.
-	deadline := time.Now().Add(2 * time.Second)
+	// Let in-flight frames land, then stop the drains. The slow
+	// subscriber needs real time: up to a full inbox at its sleep rate.
+	settle := 2*time.Second + time.Duration(subBufs)*slowdown*gap
+	deadline := time.Now().Add(settle)
 	for time.Now().Before(deadline) {
 		var got uint64
 		for _, r := range runs {
 			got += r.s.Received() + r.s.Drops()
 		}
-		if got+pub.Dropped() == pub.Published()*uint64(subs) {
+		if got+pub.Dropped()+pub.Throttled() == pub.Published()*uint64(subs) {
 			break
 		}
 		time.Sleep(time.Millisecond)
@@ -212,17 +271,20 @@ func pubsubOne(subs, publishes int) (pubsubResult, error) {
 	for _, r := range runs {
 		delivered += r.s.Received()
 		recvDropped += r.s.Drops()
-		lat = append(lat, r.lat...)
+		if !r.slow {
+			lat = append(lat, r.lat...)
+		}
 	}
-	if delivered+recvDropped+pub.Dropped() != pub.Published()*uint64(subs) {
-		return pubsubResult{}, fmt.Errorf("conservation violated: %d delivered + %d recv-dropped + %d pub-dropped != %d published x %d",
-			delivered, recvDropped, pub.Dropped(), pub.Published(), subs)
+	if delivered+recvDropped+pub.Dropped()+pub.Throttled() != pub.Published()*uint64(subs) {
+		return pubsubResult{}, fmt.Errorf("conservation violated: %d delivered + %d recv-dropped + %d pub-dropped + %d throttled != %d published x %d",
+			delivered, recvDropped, pub.Dropped(), pub.Throttled(), pub.Published(), subs)
 	}
 	res := pubsubResult{
 		Subscribers:   subs,
 		Publishes:     pub.Published(),
 		FanoutSent:    pub.Sent(),
 		FanoutDropped: pub.Dropped(),
+		Throttled:     pub.Throttled(),
 		Delivered:     delivered,
 		RecvDropped:   recvDropped,
 		PublishPerSec: float64(pub.Published()) / elapsed.Seconds(),

@@ -45,6 +45,8 @@ func main() {
 		topics   = flag.Bool("topics", false, "run the prioritized pub/sub scenario instead of the ping stream")
 		bulkGap  = flag.Duration("bulkgap", time.Microsecond, "bulk publish period during -topics saturation phase")
 		failover = flag.Bool("failover", false, "run the registry kill/failover scenario instead of the ping stream")
+		slowsub  = flag.Bool("slowsub", false, "run the slow-subscriber credit scenario instead of the ping stream")
+		slowBy   = flag.Int("slowby", 10, "-slowsub: slow subscriber drains one message per this many publish periods")
 
 		chaos        = flag.Float64("chaos", 0, "enable every fault mode at this rate (0..1)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "fault injection seed (node n uses seed+n)")
@@ -70,6 +72,19 @@ func main() {
 			gap:     *gap,
 			poll:    *poll,
 			window:  *window * 4,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *slowsub {
+		if err := runSlowsub(slowsubOpts{
+			msgSize:    *msgSize,
+			msgs:       *msgs,
+			gap:        *gap,
+			poll:       *poll,
+			window:     *window * 4,
+			slowFactor: *slowBy,
 		}); err != nil {
 			fatal(err)
 		}

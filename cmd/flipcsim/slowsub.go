@@ -1,0 +1,260 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"flipc/internal/nameservice"
+	"flipc/internal/sim"
+	"flipc/internal/simcluster"
+	"flipc/internal/stats"
+	"flipc/internal/topic"
+)
+
+// slowsubOpts parameterizes the -slowsub scenario.
+type slowsubOpts struct {
+	msgSize    int
+	msgs       int           // publishes per phase
+	gap        time.Duration // publish period (virtual)
+	poll       time.Duration
+	window     int // subscriber inbox buffers / advertised credit cap
+	slowFactor int // slow subscriber drains one message per slowFactor*gap
+}
+
+// slowsubLeg is one full cluster run: a baseline phase with only the
+// fast subscriber, then a contended phase where a slow subscriber
+// (draining at 1/slowFactor of the publish rate) joins the topic.
+type slowsubLeg struct {
+	baselineP99 float64 // fast subscriber one-way p99, no slow peer (µs)
+	contendP99  float64 // fast subscriber one-way p99 beside the slow peer (µs)
+	slowDrops   uint64  // slow subscriber inbox overruns
+	slowRecv    uint64  // slow subscriber deliveries
+	throttled   uint64  // publisher throttles (credit leg only)
+}
+
+// runSlowsub runs the scenario twice — credit off, then credit on — and
+// checks the credit leg's guarantees: the slow subscriber's inbox drops
+// fall to ~zero (the overrun converts into publisher-side throttles,
+// deferral instead of loss) while the fast subscriber's tail latency
+// stays within 1.2x of its no-slow-peer baseline.
+func runSlowsub(o slowsubOpts) error {
+	if o.slowFactor < 2 {
+		return fmt.Errorf("-slowsub needs a slow factor >= 2")
+	}
+	uncredited, err := slowsubOnce(o, false)
+	if err != nil {
+		return fmt.Errorf("uncredited leg: %w", err)
+	}
+	credited, err := slowsubOnce(o, true)
+	if err != nil {
+		return fmt.Errorf("credited leg: %w", err)
+	}
+
+	fmt.Printf("flipcsim -slowsub: %d publishes/phase, gap %v, slow subscriber drains 1/%d, window %d\n",
+		o.msgs, o.gap, o.slowFactor, o.window)
+	fmt.Printf("%-12s %14s %14s %12s %12s %12s\n",
+		"leg", "fast p99 µs", "vs baseline", "slow recv", "slow drops", "throttled")
+	for _, l := range []struct {
+		name string
+		leg  *slowsubLeg
+	}{{"credit-off", &uncredited}, {"credit-on", &credited}} {
+		fmt.Printf("%-12s %14.2f %13.2fx %12d %12d %12d\n",
+			l.name, l.leg.contendP99, l.leg.contendP99/l.leg.baselineP99,
+			l.leg.slowRecv, l.leg.slowDrops, l.leg.throttled)
+	}
+
+	if uncredited.slowDrops == 0 {
+		return fmt.Errorf("uncredited leg lost nothing — the slow subscriber was not actually overrun")
+	}
+	// The tentpole guarantee: overrun converts to throttles, not drops.
+	if credited.slowDrops > uncredited.slowDrops/20 {
+		return fmt.Errorf("credited slow subscriber still dropped %d (uncredited: %d)",
+			credited.slowDrops, uncredited.slowDrops)
+	}
+	if credited.throttled == 0 {
+		return fmt.Errorf("credited leg throttled nothing — credit never engaged")
+	}
+	ratio := credited.contendP99 / credited.baselineP99
+	if ratio > 1.2 {
+		return fmt.Errorf("fast subscriber p99 degraded %.2fx beside the slow peer (bound: 1.2x)", ratio)
+	}
+	fmt.Printf("slowsub: ok (credited drops %d -> throttles %d; fast p99 %.2fx baseline, bound 1.2x)\n",
+		credited.slowDrops, credited.throttled, ratio)
+	return nil
+}
+
+func slowsubOnce(o slowsubOpts, credit bool) (slowsubLeg, error) {
+	var leg slowsubLeg
+	scfg := simcluster.Config{
+		Nodes:        3, // 0 publisher, 1 fast subscriber, 2 slow subscriber
+		MessageSize:  o.msgSize,
+		NumBuffers:   4*o.window + 32,
+		PollInterval: sim.Time(o.poll.Nanoseconds()),
+	}
+	c, err := simcluster.New(scfg)
+	if err != nil {
+		return leg, err
+	}
+	defer c.Close()
+
+	dir := topic.LocalDirectory{R: nameservice.NewTopicRegistry()}
+	newSub := func(node int) (*topic.Subscriber, error) {
+		if credit {
+			return topic.NewSubscriberCredit(c.Domains[node], dir, "feed", topic.Normal,
+				o.window, o.window, topic.CreditConfig{})
+		}
+		return topic.NewSubscriber(c.Domains[node], dir, "feed", topic.Normal, o.window, o.window)
+	}
+	fast, err := newSub(1)
+	if err != nil {
+		return leg, err
+	}
+	pub, err := topic.NewPublisher(c.Domains[0], dir, topic.PublisherConfig{
+		Topic: "feed", Class: topic.Normal, Window: o.window,
+		RefreshEvery: 16, Credit: credit, CreditBuffers: o.window,
+	})
+	if err != nil {
+		return leg, err
+	}
+
+	// Positional latency, as in -topics: publishes stamp a tag, drain
+	// tickers resolve it to one sample per delivery.
+	sent := map[int]sim.Time{}
+	nextTag := 0
+	publish := func() {
+		tag := nextTag
+		nextTag++
+		var buf [2]byte
+		buf[0], buf[1] = byte(tag>>8), byte(tag)
+		sent[tag] = c.Clock.Now()
+		if _, err := pub.Publish(buf[:]); err != nil {
+			fatal(err)
+		}
+	}
+	fastLedger := &topicSub{sub: fast}
+	drainOne := func(s *topicSub) bool {
+		payload, _, ok := s.sub.Receive()
+		if !ok {
+			return false
+		}
+		if len(payload) >= 2 {
+			tag := int(payload[0])<<8 | int(payload[1])
+			if t0, ok := sent[tag]; ok {
+				s.lat = append(s.lat, c.Clock.Now()-t0)
+			}
+		}
+		return true
+	}
+	poll := sim.Time(o.poll.Nanoseconds())
+	c.Clock.NewTicker(poll, func() {
+		for drainOne(fastLedger) {
+		}
+	})
+
+	gap := sim.Time(o.gap.Nanoseconds())
+	settle := 1000 * poll
+	var phaseAPub uint64
+
+	// Handshake before traffic: the hello must be consumed and answered
+	// so the baseline phase runs fully credited.
+	waitAdverts := func(n int) error {
+		if !credit {
+			return nil
+		}
+		deadline := c.Clock.Now() + 10000*poll
+		for pub.CreditAdverts() < n {
+			if c.Clock.Now() > deadline {
+				return fmt.Errorf("credit handshake incomplete (%d/%d adverts)", pub.CreditAdverts(), n)
+			}
+			c.Clock.RunUntil(c.Clock.Now() + 100*poll)
+		}
+		return nil
+	}
+	if err := waitAdverts(1); err != nil {
+		return leg, err
+	}
+
+	// Phase A: the fast subscriber alone — the no-slow-peer baseline.
+	start := c.Clock.Now() + gap
+	for i := 0; i < o.msgs; i++ {
+		t := start + sim.Time(i)*gap
+		c.Clock.At(t, func() { publish() })
+	}
+	deadline := start + sim.Time(o.msgs)*gap + settle
+	c.Clock.RunUntil(deadline)
+	for i := 0; i < 500 && fast.Received()+fast.Drops() < pub.Sent(); i++ {
+		deadline += settle
+		c.Clock.RunUntil(deadline)
+	}
+	phaseAPub = pub.Published()
+	base, err := stats.Summarize(collectLatencies([]*topicSub{fastLedger}))
+	if err != nil {
+		return leg, fmt.Errorf("baseline phase: %w", err)
+	}
+	leg.baselineP99 = base.P99
+
+	// The slow subscriber joins, draining one message per slowFactor
+	// publish periods — a consumer an order of magnitude behind the
+	// topic's offered rate.
+	slow, err := newSub(2)
+	if err != nil {
+		return leg, err
+	}
+	slowLedger := &topicSub{sub: slow}
+	c.Clock.NewTicker(sim.Time(o.slowFactor)*gap, func() { drainOne(slowLedger) })
+	// Renewals on a coarse cadence drive the AIMD interval (and keep
+	// the lease alive, as a deployment's housekeeping loop would).
+	c.Clock.NewTicker(100*gap, func() {
+		if err := fast.Renew(); err != nil {
+			fatal(err)
+		}
+		if err := slow.Renew(); err != nil {
+			fatal(err)
+		}
+	})
+	if err := pub.Refresh(); err != nil {
+		return leg, err
+	}
+	if err := waitAdverts(2); err != nil {
+		return leg, err
+	}
+
+	// Phase B: same publish cadence beside the slow peer.
+	start = c.Clock.Now() + gap
+	for i := 0; i < o.msgs; i++ {
+		t := start + sim.Time(i)*gap
+		c.Clock.At(t, func() { publish() })
+	}
+	deadline = start + sim.Time(o.msgs)*gap + settle
+	c.Clock.RunUntil(deadline)
+	balanced := func() bool {
+		disposed := fast.Received() + fast.Drops() + slow.Received() + slow.Drops()
+		return disposed >= pub.Sent()
+	}
+	for i := 0; i < 2000 && !balanced(); i++ {
+		deadline += settle
+		c.Clock.RunUntil(deadline)
+	}
+
+	// Conservation, with the new term: every fanout slot is delivered,
+	// counted at a drop ledger, or deliberately throttled.
+	slots := phaseAPub + 2*(pub.Published()-phaseAPub)
+	got := fast.Received() + fast.Drops() + slow.Received() + slow.Drops() +
+		pub.Dropped() + pub.Throttled()
+	if got != slots {
+		return leg, fmt.Errorf("conservation violated: %d accounted of %d fanout slots "+
+			"(delivered f=%d s=%d, recv-dropped f=%d s=%d, pub-dropped %d, throttled %d)",
+			got, slots, fast.Received(), slow.Received(), fast.Drops(), slow.Drops(),
+			pub.Dropped(), pub.Throttled())
+	}
+
+	cont, err := stats.Summarize(collectLatencies([]*topicSub{fastLedger}))
+	if err != nil {
+		return leg, fmt.Errorf("contended phase: %w", err)
+	}
+	leg.contendP99 = cont.P99
+	leg.slowDrops = slow.Drops()
+	leg.slowRecv = slow.Received()
+	leg.throttled = pub.Throttled()
+	return leg, nil
+}

@@ -1,0 +1,269 @@
+package flowctl
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"flipc/internal/core"
+	"flipc/internal/faultinject"
+	"flipc/internal/interconnect"
+	"flipc/internal/wire"
+)
+
+func TestAccountLedger(t *testing.T) {
+	a := NewAccount(4)
+	if a.Available() != 4 || a.Window() != 4 {
+		t.Fatalf("fresh account: available %d window %d", a.Available(), a.Window())
+	}
+	for i := 0; i < 4; i++ {
+		a.Spend()
+	}
+	if a.Available() != 0 || a.Outstanding() != 4 {
+		t.Fatalf("spent account: available %d outstanding %d", a.Available(), a.Outstanding())
+	}
+	if !a.Ack(3) {
+		t.Fatal("ack 3 did not advance")
+	}
+	if a.Available() != 3 {
+		t.Fatalf("available after ack = %d, want 3", a.Available())
+	}
+	// Stale/reordered report: ignored.
+	if a.Ack(2) {
+		t.Fatal("stale ack advanced the ledger")
+	}
+	if a.Available() != 3 {
+		t.Fatalf("available after stale ack = %d", a.Available())
+	}
+	// A report above the charged count realigns sent.
+	if !a.Ack(10) {
+		t.Fatal("over-ack did not advance")
+	}
+	if a.Outstanding() != 0 || a.Available() != 4 {
+		t.Fatalf("over-ack: outstanding %d available %d", a.Outstanding(), a.Available())
+	}
+	// Resync forgives outstanding frames.
+	a.Spend()
+	a.Spend()
+	if a.Available() != 2 {
+		t.Fatalf("available = %d", a.Available())
+	}
+	a.Resync()
+	if a.Available() != 4 {
+		t.Fatalf("available after resync = %d", a.Available())
+	}
+	// Baseline aligns both counters.
+	a.Baseline(100)
+	if a.Outstanding() != 0 || a.Available() != 4 {
+		t.Fatalf("baseline: outstanding %d available %d", a.Outstanding(), a.Available())
+	}
+	a.SetWindow(-1)
+	if a.Window() != 0 || a.Available() != 0 {
+		t.Fatalf("negative window not clamped: %d", a.Window())
+	}
+}
+
+func TestAIMDController(t *testing.T) {
+	c := NewAIMD(1, 8, 4)
+	// Clean intervals: +1 up to the cap.
+	for i := 0; i < 10; i++ {
+		c.Observe(0)
+	}
+	if c.Window() != 8 {
+		t.Fatalf("window after clean growth = %d, want 8", c.Window())
+	}
+	// A drop epoch halves.
+	if got := c.Observe(1); got != 4 {
+		t.Fatalf("window after drop epoch = %d, want 4", got)
+	}
+	// Same cumulative count = clean interval again.
+	if got := c.Observe(1); got != 5 {
+		t.Fatalf("window after recovery interval = %d, want 5", got)
+	}
+	// Repeated drop epochs floor at min.
+	for i := uint64(2); i < 12; i++ {
+		c.Observe(i)
+	}
+	if c.Window() != 1 {
+		t.Fatalf("window floor = %d, want 1", c.Window())
+	}
+	// Constructor clamps.
+	if got := NewAIMD(0, 0, 99).Window(); got != 1 {
+		t.Fatalf("clamped controller window = %d", got)
+	}
+}
+
+func TestCreditCodecRoundTrip(t *testing.T) {
+	from, err := wire.MakeAddr(3, 17, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf [64]byte
+	n := EncodeCredit(buf[:], from, 42, 1<<40+7)
+	if n != CreditFrameBytes {
+		t.Fatalf("credit frame length %d", n)
+	}
+	gf, gw, gd, ok := DecodeCredit(buf[:n])
+	if !ok || gf != from || gw != 42 || gd != 1<<40+7 {
+		t.Fatalf("credit round trip: %v %d %d %v", gf, gw, gd, ok)
+	}
+	n = EncodeHello(buf[:], from)
+	if n != HelloFrameBytes {
+		t.Fatalf("hello frame length %d", n)
+	}
+	ga, ok := DecodeHello(buf[:n])
+	if !ok || ga != from {
+		t.Fatalf("hello round trip: %v %v", ga, ok)
+	}
+	// Garbage and short frames are rejected, not misparsed.
+	if _, _, _, ok := DecodeCredit([]byte{CreditMagic}); ok {
+		t.Fatal("short credit frame accepted")
+	}
+	if _, _, _, ok := DecodeCredit(make([]byte, CreditFrameBytes)); ok {
+		t.Fatal("zero credit frame accepted")
+	}
+	if _, ok := DecodeHello([]byte{HelloMagic, 99, 0, 0, 0, 0, 0, 0}); ok {
+		t.Fatal("wrong-version hello accepted")
+	}
+}
+
+// Satellite regression: Sent and PeerDowns are read by metrics/health
+// scrapers from other goroutines while the send path writes them. Run
+// under -race (the CI race job does) this fails if they regress to
+// plain fields.
+func TestCounterScrapeRace(t *testing.T) {
+	a, b := newPair(t)
+	snd, rcv := newChannel(t, a, b, 4, 1)
+	up := true
+	snd.SetHealthProbe(func() bool { return up })
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the scraper
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = snd.Sent()
+				_ = snd.PeerDowns()
+				_ = rcv.Received()
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		up = i%10 != 0
+		err := snd.TrySend([]byte{byte(i)})
+		if err != nil && !errors.Is(err, ErrNoCredit) && !errors.Is(err, ErrPeerDown) {
+			t.Fatal(err)
+		}
+		pump(a, b)
+		for {
+			if _, ok := rcv.Receive(); !ok {
+				break
+			}
+		}
+		pump(a, b)
+	}
+	close(stop)
+	wg.Wait()
+	if snd.Sent() == 0 || rcv.Received() == 0 {
+		t.Fatalf("nothing flowed: sent %d received %d", snd.Sent(), rcv.Received())
+	}
+}
+
+// Satellite regression: credit advertisements lost to a transient peer
+// outage must not shrink the window permanently. The receiver's side of
+// the link is partitioned (its credit frames are swallowed in flight),
+// the receiver keeps consuming, the partition heals, and the next
+// advertisement — cumulative — restores the full window.
+func TestWindowSurvivesCreditOutage(t *testing.T) {
+	fabric := interconnect.NewFabric(256)
+	mk := func(node wire.NodeID, wrap bool) (*core.Domain, *faultinject.Injector) {
+		tr, err := fabric.Attach(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var inj *faultinject.Injector
+		itr := interconnect.Transport(tr)
+		if wrap {
+			inj, err = faultinject.Wrap(tr, faultinject.Config{Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			itr = inj
+		}
+		d, err := core.NewDomain(core.Config{Node: node, MessageSize: 64, NumBuffers: 64}, itr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(d.Close)
+		return d, inj
+	}
+	a, _ := mk(0, false)
+	b, inj := mk(1, true)
+	const window = 4
+	snd, rcv := newChannel(t, a, b, window, 1)
+
+	fill := func() int {
+		n := 0
+		for {
+			if err := snd.TrySend([]byte{byte(n)}); err != nil {
+				break
+			}
+			n++
+		}
+		pump(a, b)
+		return n
+	}
+	drainAll := func() {
+		for {
+			if _, ok := rcv.Receive(); !ok {
+				break
+			}
+		}
+		pump(a, b)
+	}
+
+	// Healthy round trip first.
+	if n := fill(); n != window {
+		t.Fatalf("initial burst = %d, want %d", n, window)
+	}
+	drainAll()
+	if got := snd.Credits(); got != window {
+		t.Fatalf("credits after healthy round = %d", got)
+	}
+
+	// Outage: every credit frame the receiver returns is lost in
+	// flight. The sender's window drains to zero.
+	inj.Partition(0, true)
+	if n := fill(); n != window {
+		t.Fatalf("burst into outage = %d", n)
+	}
+	drainAll()
+	if got := snd.Credits(); got != 0 {
+		t.Fatalf("credits during outage = %d, want 0 (advertisements lost)", got)
+	}
+
+	// Heal. One cumulative advertisement repairs everything the outage
+	// swallowed.
+	inj.Heal()
+	rcv.Sync()
+	pump(a, b)
+	if got := snd.Credits(); got != window {
+		t.Fatalf("credits after heal+sync = %d, want full window %d", got, window)
+	}
+	// And the restored window is genuinely usable.
+	if n := fill(); n != window {
+		t.Fatalf("post-recovery burst = %d, want %d", n, window)
+	}
+	drainAll()
+	if rcv.Drops() != 0 {
+		t.Fatalf("receiver dropped %d", rcv.Drops())
+	}
+	if rcv.Received() != 3*window {
+		t.Fatalf("received = %d, want %d", rcv.Received(), 3*window)
+	}
+}

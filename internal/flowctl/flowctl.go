@@ -11,24 +11,25 @@
 //     credit per message and the receiver returns batched credits on a
 //     reverse FLIPC channel, so the receive endpoint can never be
 //     overrun;
+//   - Account, AIMD, and the credit/hello codec (credit.go) are the
+//     reusable core the per-topic receive credit in internal/topic is
+//     built on;
 //   - RPCBuffers and PeriodicBuffers are the paper's two static-sizing
 //     examples, where application structure removes the need for any
 //     runtime flow control at all.
+//
+// Credit frames carry cumulative disposed counts (see credit.go), so a
+// credit frame lost to a transient peer outage shrinks the window only
+// until the next frame arrives — never permanently.
 package flowctl
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"flipc/internal/core"
 )
-
-// creditMagic tags credit-return messages on the reverse channel.
-const creditMagic = 0xC4
-
-// creditMsgBytes is the credit message payload: magic(1) | pad(1) | count(2).
-const creditMsgBytes = 4
 
 // ErrNoCredit is returned by TrySend when the window is exhausted.
 var ErrNoCredit = errors.New("flowctl: send window exhausted")
@@ -41,18 +42,19 @@ var ErrPeerDown = errors.New("flowctl: destination peer down")
 
 // Sender is the sending half of a credit-windowed channel. It wraps a
 // FLIPC send endpoint plus a private receive endpoint on which the
-// peer returns credits. Not safe for concurrent use (match it with the
-// lock-free endpoint variants; wrap externally for multithreading).
+// peer returns credits. The send path is not safe for concurrent use
+// (match it with the lock-free endpoint variants; wrap externally for
+// multithreading), but the Sent and PeerDowns counters are atomic so
+// metrics and health scrapers may read them from other goroutines.
 type Sender struct {
 	d        *core.Domain
 	sep      *core.Endpoint // data out
 	creditEp *core.Endpoint // credits in
 	dst      core.Addr
-	credits  int
-	window   int
-	sent     uint64
+	acct     Account
+	sent     atomic.Uint64
 	probe    func() bool // nil = destination assumed reachable
-	downs    uint64
+	downs    atomic.Uint64
 }
 
 // NewSender creates a windowed sender to dst. window must match the
@@ -70,7 +72,7 @@ func NewSender(d *core.Domain, dst core.Addr, window int) (*Sender, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Sender{d: d, sep: sep, creditEp: creditEp, dst: dst, credits: window, window: window}
+	s := &Sender{d: d, sep: sep, creditEp: creditEp, dst: dst, acct: NewAccount(window)}
 	// Keep credit buffers posted: one per possible in-flight credit batch.
 	for i := 0; i < creditEp.QueueDepth()-1; i++ {
 		m, err := d.AllocBuffer()
@@ -96,7 +98,7 @@ func (s *Sender) Retarget(dst core.Addr) { s.dst = dst }
 // Credits returns the currently available window.
 func (s *Sender) Credits() int {
 	s.harvest()
-	return s.credits
+	return s.acct.Available()
 }
 
 // harvest collects returned credits and completed send buffers.
@@ -106,12 +108,11 @@ func (s *Sender) harvest() {
 		if !ok {
 			break
 		}
-		p := m.Payload()
-		if m.Len() == creditMsgBytes && p[0] == creditMagic {
-			s.credits += int(binary.BigEndian.Uint16(p[2:4]))
-			if s.credits > s.window {
-				s.credits = s.window // defensive clamp
-			}
+		if _, window, disposed, ok := DecodeCredit(m.Payload()[:m.Len()]); ok {
+			// Cumulative: a lost or reordered earlier frame is
+			// subsumed by this one.
+			s.acct.SetWindow(int(window))
+			s.acct.Ack(disposed)
 		}
 		// Repost the credit buffer.
 		if err := s.creditEp.Post(m); err != nil {
@@ -138,7 +139,8 @@ func (s *Sender) harvest() {
 func (s *Sender) SetHealthProbe(probe func() bool) { s.probe = probe }
 
 // PeerDowns returns the number of sends refused by the health probe.
-func (s *Sender) PeerDowns() uint64 { return s.downs }
+// Safe to call from any goroutine.
+func (s *Sender) PeerDowns() uint64 { return s.downs.Load() }
 
 // TrySend sends payload if a credit is available, returning ErrNoCredit
 // otherwise (or ErrPeerDown when a configured health probe reports the
@@ -147,10 +149,10 @@ func (s *Sender) PeerDowns() uint64 { return s.downs }
 func (s *Sender) TrySend(payload []byte) error {
 	s.harvest()
 	if s.probe != nil && !s.probe() {
-		s.downs++
+		s.downs.Add(1)
 		return ErrPeerDown
 	}
-	if s.credits == 0 {
+	if s.acct.Available() == 0 {
 		return ErrNoCredit
 	}
 	m, err := s.d.AllocBuffer()
@@ -166,25 +168,28 @@ func (s *Sender) TrySend(payload []byte) error {
 		s.d.FreeBuffer(m)
 		return err
 	}
-	s.credits--
-	s.sent++
+	s.acct.Spend()
+	s.sent.Add(1)
 	return nil
 }
 
-// Sent returns the number of messages sent.
-func (s *Sender) Sent() uint64 { return s.sent }
+// Sent returns the number of messages sent. Safe to call from any
+// goroutine.
+func (s *Sender) Sent() uint64 { return s.sent.Load() }
 
 // Receiver is the receiving half: it keeps bufs buffers posted on its
-// receive endpoint and returns credits in batches after messages are
-// consumed. Not safe for concurrent use.
+// receive endpoint and returns cumulative credit advertisements after
+// messages are consumed. The receive path is not safe for concurrent
+// use, but Received may be read from any goroutine.
 type Receiver struct {
 	d         *core.Domain
 	rep       *core.Endpoint
 	creditSep *core.Endpoint
 	creditDst core.Addr
+	bufs      int
 	batch     int
 	owed      int
-	received  uint64
+	received  atomic.Uint64
 }
 
 // NewReceiver creates the receiving half. bufs is the window size
@@ -213,7 +218,7 @@ func NewReceiver(d *core.Domain, creditDst core.Addr, bufs, batch int) (*Receive
 	if err != nil {
 		return nil, err
 	}
-	r := &Receiver{d: d, rep: rep, creditSep: creditSep, creditDst: creditDst, batch: batch}
+	r := &Receiver{d: d, rep: rep, creditSep: creditSep, creditDst: creditDst, bufs: bufs, batch: batch}
 	for i := 0; i < bufs; i++ {
 		m, err := d.AllocBuffer()
 		if err != nil {
@@ -240,7 +245,7 @@ func (r *Receiver) Receive() ([]byte, bool) {
 	if err := r.rep.Post(m); err != nil {
 		r.d.FreeBuffer(m)
 	}
-	r.received++
+	r.received.Add(1)
 	r.owed++
 	if r.owed >= r.batch {
 		r.returnCredits()
@@ -248,7 +253,18 @@ func (r *Receiver) Receive() ([]byte, bool) {
 	return out, true
 }
 
-// returnCredits sends one credit message for everything owed.
+// disposed is the cumulative count of frames this endpoint has disposed
+// of — consumed plus discarded-at-arrival. Including the endpoint's own
+// drops keeps the sender's ledger honest even against an overrunning
+// (mis-wired) peer: a dropped frame occupies no buffer, so it must not
+// occupy the window either.
+func (r *Receiver) disposed() uint64 { return r.received.Load() + r.rep.Drops() }
+
+// returnCredits sends one cumulative credit advertisement. A failed
+// attempt (no buffer, queue full) loses nothing: the owed trigger is
+// kept so the next Receive retries, and the advertisement is cumulative
+// so even a frame lost after a successful local send is subsumed by the
+// next one that gets through.
 func (r *Receiver) returnCredits() {
 	// Reclaim previous credit sends first.
 	for {
@@ -262,23 +278,27 @@ func (r *Receiver) returnCredits() {
 	if err != nil {
 		return // retry on next Receive; credits stay owed
 	}
-	p := m.Payload()
-	p[0] = creditMagic
-	p[1] = 0
-	binary.BigEndian.PutUint16(p[2:4], uint16(r.owed))
-	if err := r.creditSep.Send(m, r.creditDst, creditMsgBytes); err != nil {
+	n := EncodeCredit(m.Payload(), r.rep.Addr(), uint16(r.bufs), r.disposed())
+	if err := r.creditSep.Send(m, r.creditDst, n); err != nil {
 		r.d.FreeBuffer(m)
-		return
+		return // retry on next Receive; credits stay owed
 	}
 	r.owed = 0
 }
+
+// Sync re-advertises the cumulative window state unconditionally — the
+// recovery call after a suspected feedback-channel outage (every credit
+// frame lost in flight is subsumed by this one). Harmless at any other
+// time.
+func (r *Receiver) Sync() { r.returnCredits() }
 
 // Drops exposes the data endpoint's discard counter; with an honest
 // sender it stays zero.
 func (r *Receiver) Drops() uint64 { return r.rep.Drops() }
 
-// Received returns the number of messages consumed.
-func (r *Receiver) Received() uint64 { return r.received }
+// Received returns the number of messages consumed. Safe to call from
+// any goroutine.
+func (r *Receiver) Received() uint64 { return r.received.Load() }
 
 // Static sizing: the paper's two examples of application structure
 // eliminating runtime flow control (§Message Transfer).

@@ -1,0 +1,215 @@
+package topic
+
+// Per-topic dynamic receive credit: the end-to-end backpressure loop
+// between a topic's publishers and its subscribers, built on
+// internal/flowctl's credit core (cumulative accounts, AIMD window
+// controller, credit/hello codec).
+//
+// The loop, end to end:
+//
+//  1. A credit-enabled Publisher owns a credit-return inbox. On every
+//     fanout-plan rebuild it sends a hello frame — marked with the
+//     topic-control wire flag — to each subscriber it has not yet heard
+//     from, announcing that inbox's address (FLIPC delivers no sender
+//     identity, so the rendezvous travels in-band).
+//  2. A credit-enabled Subscriber intercepts the hello in its receive
+//     path and starts advertising: credit frames on a control-priority
+//     endpoint (they overtake bulk backlogs at the engine's send scan)
+//     carrying its receive window and its cumulative disposed count
+//     (consumed + discarded at the endpoint).
+//  3. The Publisher keeps one flowctl.Account per subscriber in its
+//     fanout plan. A subscriber whose window is exhausted is skipped
+//     and the skip is counted in the Throttled ledger — a deliberate,
+//     publisher-side deferral, distinct from Dropped (outbox
+//     backpressure) and from the subscriber's endpoint discards.
+//  4. The Subscriber's AIMD controller adapts the advertised window on
+//     the lease-renewal cadence: a renewal interval that saw endpoint
+//     drops halves the window, a clean interval grows it by one. The
+//     drop ledger drives the feedback — buffer allocation is NP-hard in
+//     general, so the window is steered, not solved.
+//
+// Credit is advisory and optimistic, never blocking: a publisher that
+// has not completed the handshake fans out uncredited exactly as
+// before, and accounting inaccuracy (multi-publisher topics share one
+// inbox ledger; frames lost between engines are never reported
+// disposed) degrades into counted drops or throttles, never silent
+// loss or deadlock. The stall-resync escape hatch bounds the damage a
+// lossy feedback channel can do: after CreditStall consecutive
+// throttles with no ack progress the account is forgiven and the
+// window re-probed.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"flipc/internal/core"
+	"flipc/internal/flowctl"
+	"flipc/internal/msglib"
+)
+
+// ctlFlag is the wire-flag bit marking topic-plane control frames
+// (hello and credit). It is one of the application flag bits, reserved
+// by this package: PublishFlags masks it from application flags, and
+// every Subscriber filters frames carrying it out of the application
+// stream (credit-unaware subscribers simply swallow them).
+const ctlFlag uint8 = 1 << 4
+
+// CreditConfig tunes a credit-enabled subscriber.
+type CreditConfig struct {
+	// Window is the initial and maximum advertised receive window
+	// (default: the inbox buffer count — the static sizing the
+	// controller adapts within).
+	Window int
+	// Min is the AIMD floor (default 1).
+	Min int
+	// Batch is how many consumed messages accumulate before a credit
+	// frame is returned (default Window/4, at least 1; 1 = immediate).
+	Batch int
+}
+
+func (c *CreditConfig) applyDefaults(bufs int) {
+	if c.Window <= 0 {
+		c.Window = bufs
+	}
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Batch <= 0 {
+		c.Batch = c.Window / 4
+		if c.Batch < 1 {
+			c.Batch = 1
+		}
+	}
+}
+
+// subCredit is the publisher's per-subscriber credit state, keyed by
+// subscriber address (an address embeds the endpoint generation, so a
+// re-allocated subscriber endpoint starts a fresh account).
+type subCredit struct {
+	acct   flowctl.Account
+	advert bool // an advertisement has been received; account is live
+	stall  int  // consecutive throttles with no ack progress
+}
+
+// subCreditState is the subscriber half: the control-priority return
+// channel, the set of publisher credit inboxes learned from hellos,
+// and the AIMD controller.
+type subCreditState struct {
+	out    *msglib.Outbox
+	pubs   map[core.Addr]struct{}
+	aimd   *flowctl.AIMD
+	batch  int
+	owed   int
+	window atomic.Int64 // mirror of aimd window for metrics scrapers
+}
+
+// creditOutboxBufs sizes the subscriber's credit-return outbox: credit
+// frames are tiny and cumulative, so a handful of in-flight buffers is
+// plenty — a send that finds none simply retries on the next trigger.
+const creditOutboxBufs = 8
+
+func newSubCreditState(d *core.Domain, cc CreditConfig, bufs int) (*subCreditState, error) {
+	cc.applyDefaults(bufs)
+	if cc.Batch > cc.Window {
+		return nil, fmt.Errorf("topic: credit batch %d exceeds window %d", cc.Batch, cc.Window)
+	}
+	out, err := msglib.NewOutboxPrio(d, 0, creditOutboxBufs, Control.EndpointPriority())
+	if err != nil {
+		return nil, err
+	}
+	c := &subCreditState{
+		out:   out,
+		pubs:  make(map[core.Addr]struct{}),
+		aimd:  flowctl.NewAIMD(cc.Min, cc.Window, cc.Window),
+		batch: cc.Batch,
+	}
+	c.window.Store(int64(c.aimd.Window()))
+	return c, nil
+}
+
+// handleCtl processes one topic-control frame from the subscriber's
+// inbox. Hello frames register the publisher's credit-return address
+// and trigger an immediate advertisement (completing the handshake);
+// anything else is swallowed — control frames never reach the
+// application.
+func (s *Subscriber) handleCtl(payload []byte) {
+	s.ctlRecv.Add(1)
+	c := s.credit
+	if c == nil {
+		return
+	}
+	if addr, ok := flowctl.DecodeHello(payload); ok && addr.Valid() {
+		c.pubs[addr] = struct{}{}
+		s.sendCredit()
+	}
+}
+
+// noteDelivery counts one application delivery against the credit
+// batch and returns credits when it fills.
+func (s *Subscriber) noteDelivery() {
+	s.delivered.Add(1)
+	c := s.credit
+	if c == nil || len(c.pubs) == 0 {
+		return
+	}
+	c.owed++
+	if c.owed >= c.batch {
+		s.sendCredit()
+	}
+}
+
+// sendCredit advertises the current window and cumulative disposed
+// count to every known publisher. Cumulative framing makes failure
+// cheap: a frame that cannot be sent (or is lost in flight) is
+// subsumed by the next one, so the owed trigger is only cleared when
+// every publisher was reached and nothing is ever lost permanently.
+func (s *Subscriber) sendCredit() {
+	c := s.credit
+	if c == nil || len(c.pubs) == 0 {
+		return
+	}
+	var buf [flowctl.CreditFrameBytes]byte
+	n := flowctl.EncodeCredit(buf[:], s.in.Addr(), uint16(c.aimd.Window()), s.Disposed())
+	sentAll := true
+	for pub := range c.pubs {
+		if err := c.out.SendFlags(pub, buf[:n], ctlFlag); err != nil {
+			sentAll = false
+		}
+	}
+	if sentAll {
+		c.owed = 0
+	}
+}
+
+// renewCredit runs one AIMD interval against the inbox drop ledger and
+// re-advertises — the adaptive half of the feedback loop, on the lease
+// renewal cadence. The re-advertisement doubles as the resync that
+// heals any credit frames lost since the last renewal.
+func (s *Subscriber) renewCredit() {
+	c := s.credit
+	if c == nil {
+		return
+	}
+	w := c.aimd.Observe(s.in.Drops())
+	c.window.Store(int64(w))
+	s.sendCredit()
+}
+
+// CreditWindow returns the currently advertised receive window, or 0
+// for a credit-disabled subscriber. Safe to call from any goroutine
+// (metrics scrapers read it).
+func (s *Subscriber) CreditWindow() int {
+	if s.credit == nil {
+		return 0
+	}
+	return int(s.credit.window.Load())
+}
+
+// Disposed returns the inbox's cumulative disposed count — consumed
+// plus discarded at the endpoint — the quantity credit advertisements
+// carry.
+func (s *Subscriber) Disposed() uint64 { return s.in.Received() + s.in.Drops() }
+
+// CtlReceived returns the number of topic-control frames (hellos)
+// filtered out of the application stream. Safe from any goroutine.
+func (s *Subscriber) CtlReceived() uint64 { return s.ctlRecv.Load() }

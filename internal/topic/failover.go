@@ -73,14 +73,25 @@ func (f *FailoverDirectory) Snapshot(topic string) (nameservice.TopicSnapshot, e
 // waiting for the next directory refresh — the publisher-side half of
 // quarantine integration. The directory is not touched (the registry
 // eviction is the caller's job); the next refresh rebuilds the plan
-// from the authoritative membership. Returns whether addr was planned.
+// from the authoritative membership. Safe against a concurrent Publish
+// (it is normally called from the quarantine housekeeping goroutine):
+// the publisher mutex serializes it with the fanout loop, so a message
+// either fans out to addr or doesn't — it is never charged to the
+// ledgers twice or to an evicted subscriber. Returns whether addr was
+// planned.
 func (p *Publisher) Evict(addr core.Addr) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	for i, a := range p.plan {
 		if a == addr {
 			p.plan = append(p.plan[:i], p.plan[i+1:]...)
 			if p.mSubs != nil {
 				p.mSubs.Set(float64(len(p.plan)))
 			}
+			// The account dies with the plan entry: a re-allocated
+			// endpoint at this slot arrives under a new generation (a
+			// different address) and handshakes afresh.
+			delete(p.creditState, addr)
 			return true
 		}
 	}

@@ -3,9 +3,11 @@ package topic
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"flipc/internal/core"
+	"flipc/internal/flowctl"
 	"flipc/internal/metrics"
 	"flipc/internal/msglib"
 )
@@ -28,6 +30,24 @@ type PublisherConfig struct {
 	// plan before the directory is probed for a membership change
 	// (default 64; 1 probes every publish). Refresh can force it.
 	RefreshEvery int
+
+	// Credit enables per-subscriber receive credit (see credit.go):
+	// the publisher tracks each subscriber's advertised window and
+	// skips exhausted subscribers, counting the skip in the Throttled
+	// ledger instead of burning the subscriber's inbox. Subscribers on
+	// the topic should be credit-enabled (NewSubscriberCredit);
+	// subscribers that never advertise are fanned out to uncredited,
+	// exactly as before.
+	Credit bool
+	// CreditBuffers sizes the credit-return inbox pool (default 64).
+	CreditBuffers int
+	// CreditStall is the escape hatch against a lost feedback channel:
+	// after this many consecutive throttled publishes to one
+	// subscriber with no ack progress, its account is forgiven and the
+	// window re-probed (drops, if the subscriber is genuinely
+	// saturated, are counted at its endpoint as usual). 0 disables;
+	// default 0.
+	CreditStall int
 }
 
 // PublishResult accounts one fanout.
@@ -39,16 +59,26 @@ type PublishResult struct {
 	// subscriber's drop account. Receiver-side discards are counted
 	// separately at the subscriber's endpoint.
 	Dropped int
+	// Throttled counts subscribers deliberately skipped because their
+	// advertised receive credit was exhausted — deferral by feedback,
+	// not loss: the subscriber's inbox was never burned and the
+	// publisher spent no engine work on the frame.
+	Throttled int
 }
 
-// Publisher fans messages out to a topic's subscribers. It is
-// single-threaded, like the outbox it wraps.
+// Publisher fans messages out to a topic's subscribers. The publish
+// path is single-threaded, like the outbox it wraps; Evict, Refresh,
+// and every accessor are safe to call from other goroutines (the
+// quarantine housekeeping loop and metrics scrapers do).
 type Publisher struct {
 	d   *core.Domain
 	dir Directory
 	cfg PublisherConfig
 	out *msglib.Outbox
 
+	// mu guards the plan, the ledgers, and the credit state against
+	// Evict/Refresh/accessor callers racing the publish path.
+	mu           sync.Mutex
 	plan         []core.Addr // fanout order: address-sorted = grouped by node
 	planGen      uint32
 	sinceRefresh int
@@ -56,14 +86,20 @@ type Publisher struct {
 	published uint64 // Publish calls that fanned out (plan non-empty)
 	sent      uint64 // per-subscriber frames queued
 	dropped   uint64 // per-subscriber frames lost to backpressure
+	throttled uint64 // per-subscriber sends skipped on exhausted credit
 	drops     map[core.Addr]uint64
+	throttles map[core.Addr]uint64
+
+	creditIn    *msglib.Inbox // credit-return inbox (credit mode only)
+	creditState map[core.Addr]*subCredit
+	resyncs     uint64 // stall-triggered account resyncs
 
 	// nowNanos is the fanout-latency clock (replaceable in tests).
 	nowNanos func() int64
 
-	mPublished, mSent, mDropped *metrics.Counter
-	mSubs                       *metrics.Gauge
-	mFanoutNs                   *metrics.Histogram
+	mPublished, mSent, mDropped, mThrottled *metrics.Counter
+	mSubs                                   *metrics.Gauge
+	mFanoutNs                               *metrics.Histogram
 }
 
 // NewPublisher creates a publisher for cfg.Topic, declares the topic's
@@ -81,14 +117,31 @@ func NewPublisher(d *core.Domain, dir Directory, cfg PublisherConfig) (*Publishe
 	if cfg.RefreshEvery <= 0 {
 		cfg.RefreshEvery = 64
 	}
+	if cfg.CreditBuffers <= 0 {
+		cfg.CreditBuffers = 64
+	}
 	out, err := msglib.NewOutboxPrio(d, cfg.Depth, cfg.Window, cfg.Class.EndpointPriority())
 	if err != nil {
 		return nil, err
 	}
 	p := &Publisher{
 		d: d, dir: dir, cfg: cfg, out: out,
-		drops:    make(map[core.Addr]uint64),
-		nowNanos: func() int64 { return time.Now().UnixNano() },
+		drops:     make(map[core.Addr]uint64),
+		throttles: make(map[core.Addr]uint64),
+		nowNanos:  func() int64 { return time.Now().UnixNano() },
+	}
+	if cfg.Credit {
+		// The inbox endpoint queue must hold every posted buffer.
+		depth := 2
+		for depth < cfg.CreditBuffers+1 {
+			depth *= 2
+		}
+		in, err := msglib.NewInbox(d, depth, cfg.CreditBuffers)
+		if err != nil {
+			return nil, fmt.Errorf("topic: credit inbox: %w", err)
+		}
+		p.creditIn = in
+		p.creditState = make(map[core.Addr]*subCredit)
 	}
 	if err := p.Refresh(); err != nil {
 		return nil, err
@@ -103,19 +156,29 @@ func (p *Publisher) Instrument(reg *metrics.Registry) {
 	p.mPublished = reg.Counter(metrics.Name("flipc_topic_published_total", "topic", tp))
 	p.mSent = reg.Counter(metrics.Name("flipc_topic_fanout_sent_total", "topic", tp))
 	p.mDropped = reg.Counter(metrics.Name("flipc_topic_fanout_dropped_total", "topic", tp))
+	p.mThrottled = reg.Counter(metrics.Name("flipc_topic_fanout_throttled_total", "topic", tp))
 	p.mSubs = reg.Gauge(metrics.Name("flipc_topic_subscribers", "topic", tp))
 	p.mFanoutNs = reg.Histogram(metrics.Name("flipc_topic_fanout_ns", "topic", tp))
+	p.mu.Lock()
 	p.mSubs.Set(float64(len(p.plan)))
+	p.mu.Unlock()
 }
 
 // Refresh rebuilds the fanout plan from the directory unconditionally.
 func (p *Publisher) Refresh() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.refreshLocked()
+}
+
+func (p *Publisher) refreshLocked() error {
 	snap, err := p.dir.Snapshot(p.cfg.Topic)
 	if err != nil {
 		return err
 	}
 	p.sinceRefresh = 0
 	if snap.Gen == p.planGen && p.plan != nil {
+		p.helloLocked()
 		return nil
 	}
 	// Snapshot order is address-sorted, which groups subscribers by
@@ -126,44 +189,158 @@ func (p *Publisher) Refresh() error {
 	if p.mSubs != nil {
 		p.mSubs.Set(float64(len(p.plan)))
 	}
+	if p.creditState != nil {
+		// Keep accounts only for planned subscribers; a departed
+		// address (or a re-allocated endpoint generation) starts over.
+		planned := make(map[core.Addr]bool, len(p.plan))
+		for _, a := range p.plan {
+			planned[a] = true
+		}
+		for a := range p.creditState {
+			if !planned[a] {
+				delete(p.creditState, a)
+			}
+		}
+	}
+	p.helloLocked()
 	return nil
 }
 
-// refreshIfStale probes the directory every RefreshEvery publishes.
-func (p *Publisher) refreshIfStale() error {
+// helloLocked sends a credit hello to every planned subscriber the
+// publisher has not yet heard an advertisement from, (re)announcing
+// the credit-return address. Idempotent and cheap: the handshake
+// completes on the first advertisement, after which a subscriber gets
+// no further hellos. Caller holds p.mu.
+func (p *Publisher) helloLocked() {
+	if p.creditIn == nil {
+		return
+	}
+	var buf [flowctl.HelloFrameBytes]byte
+	n := flowctl.EncodeHello(buf[:], p.creditIn.Addr())
+	flags := ctlFlag | p.cfg.Class.Flags()
+	for _, dst := range p.plan {
+		cs := p.creditState[dst]
+		if cs == nil {
+			cs = &subCredit{}
+			p.creditState[dst] = cs
+		}
+		if cs.advert {
+			continue
+		}
+		if err := p.out.SendFlags(dst, buf[:n], flags); err == nil {
+			// The hello is disposed of by the subscriber's inbox like
+			// any frame; charge it so the ledger stays aligned.
+			cs.acct.Spend()
+		}
+	}
+}
+
+// harvestLocked drains the credit-return inbox and applies
+// advertisements to the per-subscriber accounts. Caller holds p.mu.
+func (p *Publisher) harvestLocked() {
+	if p.creditIn == nil {
+		return
+	}
+	for {
+		payload, _, ok := p.creditIn.Receive()
+		if !ok {
+			return
+		}
+		from, window, disposed, ok := flowctl.DecodeCredit(payload)
+		if !ok {
+			continue
+		}
+		cs := p.creditState[from]
+		if cs == nil {
+			// No account: the subscriber is not planned (evicted, or a
+			// frame still in flight from before it left). Ignore —
+			// accounts are created on the hello path when the plan
+			// admits a subscriber, so the map stays bounded by the plan.
+			continue
+		}
+		if !cs.advert {
+			// Handshake completes: everything disposed so far predates
+			// the account.
+			cs.acct.Baseline(disposed)
+			cs.advert = true
+		}
+		cs.acct.SetWindow(int(window))
+		if cs.acct.Ack(disposed) {
+			cs.stall = 0
+		}
+	}
+}
+
+// throttleLocked decides whether the credited subscriber must be
+// skipped this fanout, handling stall resync. Caller holds p.mu.
+func (p *Publisher) throttleLocked(cs *subCredit) bool {
+	if cs == nil || !cs.advert || cs.acct.Available() > 0 {
+		return false
+	}
+	if p.cfg.CreditStall > 0 {
+		cs.stall++
+		if cs.stall >= p.cfg.CreditStall {
+			cs.acct.Resync()
+			cs.stall = 0
+			p.resyncs++
+			return false // re-probe: send into the forgiven window
+		}
+	}
+	return true
+}
+
+// refreshIfStaleLocked probes the directory every RefreshEvery
+// publishes. Caller holds p.mu.
+func (p *Publisher) refreshIfStaleLocked() error {
 	p.sinceRefresh++
 	if p.sinceRefresh < p.cfg.RefreshEvery {
 		return nil
 	}
-	return p.Refresh()
+	return p.refreshLocked()
 }
 
 // Publish fans payload out to every subscriber in the cached plan. It
 // never blocks: a subscriber whose frame cannot be queued (window
 // exhausted) loses this message, and the loss is counted against that
-// subscriber. Publishing to a topic with no subscribers succeeds with
-// an empty result.
+// subscriber; a subscriber whose receive credit is exhausted is
+// skipped, and the skip is counted in its throttle account. Publishing
+// to a topic with no subscribers succeeds with an empty result.
 func (p *Publisher) Publish(payload []byte) (PublishResult, error) {
 	return p.PublishFlags(payload, 0)
 }
 
 // PublishFlags is Publish with application flag bits (the class's
-// priority bits are merged in; wire-internal bits are rejected by the
-// send path as usual).
+// priority bits are merged in; the topic-control bit and wire-internal
+// bits are reserved and masked).
 func (p *Publisher) PublishFlags(payload []byte, flags uint8) (PublishResult, error) {
-	if err := p.refreshIfStale(); err != nil {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.refreshIfStaleLocked(); err != nil {
 		return PublishResult{}, err
 	}
+	p.harvestLocked()
 	var res PublishResult
 	if len(p.plan) == 0 {
 		return res, nil
 	}
 	start := p.nowNanos()
-	flags |= p.cfg.Class.Flags()
+	flags = (flags &^ ctlFlag) | p.cfg.Class.Flags()
 	for _, dst := range p.plan {
+		var cs *subCredit
+		if p.creditState != nil {
+			cs = p.creditState[dst]
+			if p.throttleLocked(cs) {
+				p.throttles[dst]++
+				res.Throttled++
+				continue
+			}
+		}
 		err := p.out.SendFlags(dst, payload, flags)
 		if err == nil {
 			res.Sent++
+			if cs != nil {
+				cs.acct.Spend()
+			}
 			continue
 		}
 		if errors.Is(err, msglib.ErrBackpressure) {
@@ -178,10 +355,12 @@ func (p *Publisher) PublishFlags(payload []byte, flags uint8) (PublishResult, er
 	p.published++
 	p.sent += uint64(res.Sent)
 	p.dropped += uint64(res.Dropped)
+	p.throttled += uint64(res.Throttled)
 	if p.mPublished != nil {
 		p.mPublished.Inc()
 		p.mSent.Add(uint64(res.Sent))
 		p.mDropped.Add(uint64(res.Dropped))
+		p.mThrottled.Add(uint64(res.Throttled))
 		if d := p.nowNanos() - start; d >= 0 {
 			p.mFanoutNs.Observe(uint64(d))
 		}
@@ -189,24 +368,93 @@ func (p *Publisher) PublishFlags(payload []byte, flags uint8) (PublishResult, er
 	return res, nil
 }
 
+// CreditAdverts harvests the credit inbox and returns how many planned
+// subscribers have completed the credit handshake (sent at least one
+// advertisement). Zero for a credit-disabled publisher.
+func (p *Publisher) CreditAdverts() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.harvestLocked()
+	n := 0
+	for _, dst := range p.plan {
+		if cs := p.creditState[dst]; cs != nil && cs.advert {
+			n++
+		}
+	}
+	return n
+}
+
+// CreditAvailable returns the publisher's view of one subscriber's
+// available credit and advertised window (harvesting first). ok is
+// false if the subscriber has no live account.
+func (p *Publisher) CreditAvailable(addr core.Addr) (avail, window int, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.harvestLocked()
+	cs := p.creditState[addr]
+	if cs == nil || !cs.advert {
+		return 0, 0, false
+	}
+	return cs.acct.Available(), cs.acct.Window(), true
+}
+
 // Subscribers returns the cached plan size.
-func (p *Publisher) Subscribers() int { return len(p.plan) }
+func (p *Publisher) Subscribers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.plan)
+}
 
 // PlanGen returns the membership generation the plan was built from.
-func (p *Publisher) PlanGen() uint32 { return p.planGen }
+func (p *Publisher) PlanGen() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.planGen
+}
 
 // Published returns the number of fanouts performed.
-func (p *Publisher) Published() uint64 { return p.published }
+func (p *Publisher) Published() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.published
+}
 
 // Sent returns the total per-subscriber frames queued.
-func (p *Publisher) Sent() uint64 { return p.sent }
+func (p *Publisher) Sent() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sent
+}
 
 // Dropped returns the total per-subscriber frames lost to publisher
 // backpressure.
-func (p *Publisher) Dropped() uint64 { return p.dropped }
+func (p *Publisher) Dropped() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+// Throttled returns the total per-subscriber sends skipped on
+// exhausted receive credit. Unlike Dropped, nothing was lost: the
+// publisher deferred instead of burning the subscriber's inbox.
+func (p *Publisher) Throttled() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.throttled
+}
+
+// CreditResyncs returns how many stalled accounts were forgiven (see
+// PublisherConfig.CreditStall).
+func (p *Publisher) CreditResyncs() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.resyncs
+}
 
 // Drops returns a copy of the per-subscriber drop accounts.
 func (p *Publisher) Drops() map[core.Addr]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	out := make(map[core.Addr]uint64, len(p.drops))
 	for a, n := range p.drops {
 		out[a] = n
@@ -214,5 +462,18 @@ func (p *Publisher) Drops() map[core.Addr]uint64 {
 	return out
 }
 
+// Throttles returns a copy of the per-subscriber throttle accounts.
+func (p *Publisher) Throttles() map[core.Addr]uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[core.Addr]uint64, len(p.throttles))
+	for a, n := range p.throttles {
+		out[a] = n
+	}
+	return out
+}
+
 // Outbox exposes the wrapped outbox (flush, backpressure counters).
+// The outbox is part of the single-threaded publish path; do not drive
+// it concurrently with Publish.
 func (p *Publisher) Outbox() *msglib.Outbox { return p.out }

@@ -2,6 +2,7 @@ package topic
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"flipc/internal/core"
 	"flipc/internal/metrics"
@@ -16,17 +17,49 @@ import (
 // cadence (idempotent, never invalidates publisher plans) or the
 // registry sweep ages the subscription out — a crashed subscriber
 // stops costing fanout work without any explicit leave.
+//
+// The receive path is single-threaded like the inbox it wraps; the
+// counters (Received, Drops, CtlReceived, CreditWindow) are safe to
+// read from other goroutines.
 type Subscriber struct {
+	d     *core.Domain
 	dir   Directory
 	topic string
 	class Class
+	depth int
+	bufs  int
 	in    *msglib.Inbox
+	// subAddr is the address the directory currently maps to this
+	// subscriber. It usually equals in.Addr(), but diverges when the
+	// endpoint's generation moves (quarantine recovery re-allocates the
+	// slot) — Renew reconciles the two so the lease never resurrects a
+	// stale address.
+	subAddr   core.Addr
+	delivered atomic.Uint64 // application frames returned to the caller
+	ctlRecv   atomic.Uint64 // topic-control frames filtered out
+	credit    *subCreditState
 }
 
 // NewSubscriber creates an inbox with bufs posted buffers (size with
 // SubscriberBuffers; endpoint depth 0 = domain default) and joins
 // topic at the given class.
 func NewSubscriber(d *core.Domain, dir Directory, topic string, class Class, depth, bufs int) (*Subscriber, error) {
+	return newSubscriber(d, dir, topic, class, depth, bufs, nil)
+}
+
+// NewSubscriberCredit is NewSubscriber with dynamic receive credit: the
+// subscriber answers publisher hellos with window advertisements and
+// adapts the window from its own drop ledger on the Renew cadence (see
+// credit.go for the loop).
+func NewSubscriberCredit(d *core.Domain, dir Directory, topic string, class Class, depth, bufs int, cc CreditConfig) (*Subscriber, error) {
+	cr, err := newSubCreditState(d, cc, bufs)
+	if err != nil {
+		return nil, err
+	}
+	return newSubscriber(d, dir, topic, class, depth, bufs, cr)
+}
+
+func newSubscriber(d *core.Domain, dir Directory, topic string, class Class, depth, bufs int, cr *subCreditState) (*Subscriber, error) {
 	if topic == "" {
 		return nil, fmt.Errorf("topic: subscriber needs a topic name")
 	}
@@ -37,7 +70,11 @@ func NewSubscriber(d *core.Domain, dir Directory, topic string, class Class, dep
 	if err != nil {
 		return nil, err
 	}
-	s := &Subscriber{dir: dir, topic: topic, class: class, in: in}
+	s := &Subscriber{
+		d: d, dir: dir, topic: topic, class: class,
+		depth: depth, bufs: bufs,
+		in: in, subAddr: in.Addr(), credit: cr,
+	}
 	if err := dir.Subscribe(topic, in.Addr(), class); err != nil {
 		return nil, err
 	}
@@ -53,27 +90,92 @@ func (s *Subscriber) Class() Class { return s.class }
 // Addr returns the subscriber's receive address (the fanout target).
 func (s *Subscriber) Addr() core.Addr { return s.in.Addr() }
 
-// Renew refreshes the subscription lease (idempotent re-subscribe).
+// Renew refreshes the subscription lease (idempotent re-subscribe). It
+// always re-reads the inbox's *current* address: if the endpoint's
+// generation has moved since the last renewal (the slot was
+// re-allocated, e.g. by quarantine recovery), renewing the address
+// captured at subscribe time would resurrect a stale route — fanout to
+// a generation the engine refuses. The stale address is unsubscribed
+// first so the directory never carries both.
+//
+// For a credit-enabled subscriber, Renew is also the AIMD cadence: one
+// controller interval runs against the drop ledger and the result is
+// re-advertised (which doubles as the resync healing any credit frames
+// lost since the last renewal).
 func (s *Subscriber) Renew() error {
-	return s.dir.Subscribe(s.topic, s.in.Addr(), s.class)
+	cur := s.in.Addr()
+	if cur != s.subAddr {
+		// Best effort: the sweep ages the stale lease out anyway.
+		_ = s.dir.Unsubscribe(s.topic, s.subAddr)
+		s.subAddr = cur
+	}
+	if err := s.dir.Subscribe(s.topic, cur, s.class); err != nil {
+		return err
+	}
+	s.renewCredit()
+	return nil
+}
+
+// Rebind replaces the subscriber's inbox with a freshly allocated one
+// and renews the subscription at the new address — the recovery path
+// when the old endpoint is unusable (quarantined). Pending messages on
+// the old inbox are lost (counted at its endpoint, per the optimistic
+// discipline); the old endpoint is freed so its slot can re-enter the
+// pool.
+func (s *Subscriber) Rebind() error {
+	in, err := msglib.NewInbox(s.d, s.depth, s.bufs)
+	if err != nil {
+		return err
+	}
+	old := s.in
+	s.in = in
+	if err := s.Renew(); err != nil {
+		return err
+	}
+	old.Endpoint().Free()
+	return nil
 }
 
 // Leave removes the subscription; in-flight fanout to this endpoint is
 // discarded and counted there, like any send to an unposted receiver.
 func (s *Subscriber) Leave() error {
-	return s.dir.Unsubscribe(s.topic, s.in.Addr())
+	return s.dir.Unsubscribe(s.topic, s.subAddr)
 }
 
-// Receive returns the next message (copied payload) if one is waiting.
+// Receive returns the next application message (copied payload) if one
+// is waiting. Topic-control frames (credit hellos) are consumed
+// internally and never surface.
 func (s *Subscriber) Receive() (payload []byte, flags uint8, ok bool) {
-	return s.in.Receive()
+	for {
+		payload, flags, ok = s.in.Receive()
+		if !ok {
+			return nil, 0, false
+		}
+		if flags&ctlFlag != 0 {
+			s.handleCtl(payload)
+			continue
+		}
+		s.noteDelivery()
+		return payload, flags, true
+	}
 }
 
-// ReceiveBlock blocks for the next message at the class's scheduler
-// priority: a control-topic consumer preempts bulk consumers at the
-// real-time semaphore.
+// ReceiveBlock blocks for the next application message at the class's
+// scheduler priority: a control-topic consumer preempts bulk consumers
+// at the real-time semaphore.
 func (s *Subscriber) ReceiveBlock() ([]byte, uint8, error) {
-	return s.in.ReceiveBlock(s.class.SchedPriority())
+	for {
+		payload, flags, err := s.in.ReceiveBlock(s.class.SchedPriority())
+		if err != nil {
+			return nil, 0, err
+		}
+		if flags&ctlFlag != 0 {
+			s.handleCtl(payload)
+			continue
+		}
+		s.noteDelivery()
+		return payload, flags, nil
+	}
 }
 
 // Drops exposes the endpoint's discard counter — messages that arrived
@@ -81,19 +183,27 @@ func (s *Subscriber) ReceiveBlock() ([]byte, uint8, error) {
 // loss accounting.
 func (s *Subscriber) Drops() uint64 { return s.in.Drops() }
 
-// Received returns the number of messages consumed.
-func (s *Subscriber) Received() uint64 { return s.in.Received() }
+// Received returns the number of application messages consumed
+// (topic-control frames are excluded). Safe from any goroutine.
+func (s *Subscriber) Received() uint64 { return s.delivered.Load() }
 
 // Inbox exposes the wrapped inbox (zero-copy receive, instruments).
+// Receiving through it directly bypasses control-frame filtering and
+// credit accounting.
 func (s *Subscriber) Inbox() *msglib.Inbox { return s.in }
 
-// Instrument registers per-topic delivery instruments: deliveries and
-// endpoint discards, labeled by topic and endpoint index. Snapshot
-// funcs over the endpoint's own counters — no new hot-path stores.
+// Instrument registers per-topic delivery instruments: deliveries,
+// endpoint discards, and (for a credit-enabled subscriber) the
+// advertised credit window, labeled by topic and endpoint index.
+// Snapshot funcs over existing counters — no new hot-path stores.
 func (s *Subscriber) Instrument(reg *metrics.Registry) {
 	idx := fmt.Sprintf("%d", s.in.Addr().Index())
 	reg.Func(metrics.Name("flipc_topic_delivered_total", "topic", s.topic, "endpoint", idx),
-		func() float64 { return float64(s.in.Received()) })
+		func() float64 { return float64(s.delivered.Load()) })
 	reg.Func(metrics.Name("flipc_topic_recv_dropped_total", "topic", s.topic, "endpoint", idx),
 		func() float64 { return float64(s.in.Drops()) })
+	if s.credit != nil {
+		reg.Func(metrics.Name("flipc_topic_credit_window", "topic", s.topic, "endpoint", idx),
+			func() float64 { return float64(s.CreditWindow()) })
+	}
 }
