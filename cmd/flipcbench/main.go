@@ -126,10 +126,19 @@ func main() {
 		list      = flag.Bool("list", false, "list experiments and exit")
 		csv       = flag.Bool("csv", false, "emit CSV instead of the aligned table (single experiment only)")
 		pubsub    = flag.Bool("pubsub", false, "run the wall-clock pub/sub fanout benchmark instead of the experiments")
-		jsonPath  = flag.String("json", "", "with -pubsub: also write the JSON report to this file")
-		publishes = flag.Int("publishes", 1000, "with -pubsub: publishes per fanout width")
+		agg       = flag.Bool("agg", false, "run the adaptive-aggregation ablation (batch size x flush deadline over TCP) instead of the experiments")
+		jsonPath  = flag.String("json", "", "with -pubsub/-agg: also write the JSON report to this file")
+		publishes = flag.Int("publishes", 1000, "with -pubsub: publishes per fanout width; with -agg: bulk publishes per cell")
 	)
 	flag.Parse()
+
+	if *agg {
+		if err := runAgg(*jsonPath, *publishes); err != nil {
+			fmt.Fprintf(os.Stderr, "flipcbench: agg: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *pubsub {
 		if err := runPubsub(*jsonPath, *publishes); err != nil {

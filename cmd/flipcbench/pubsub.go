@@ -256,7 +256,7 @@ func pubsubOne(subs, publishes int, slow, credit bool) (pubsubResult, error) {
 	for time.Now().Before(deadline) {
 		var got uint64
 		for _, r := range runs {
-			got += r.s.Received() + r.s.Drops()
+			got += r.s.Received() + r.s.AppDrops()
 		}
 		if got+pub.Dropped()+pub.Throttled() == pub.Published()*uint64(subs) {
 			break
@@ -270,7 +270,10 @@ func pubsubOne(subs, publishes int, slow, credit bool) (pubsubResult, error) {
 	var lat []float64
 	for _, r := range runs {
 		delivered += r.s.Received()
-		recvDropped += r.s.Drops()
+		// AppDrops, not Drops: endpoint discards of publisher hello
+		// frames are control-plane losses outside the pub ledgers, and
+		// counting them here would break the equation below.
+		recvDropped += r.s.AppDrops()
 		if !r.slow {
 			lat = append(lat, r.lat...)
 		}

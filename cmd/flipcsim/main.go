@@ -44,6 +44,8 @@ func main() {
 
 		topics   = flag.Bool("topics", false, "run the prioritized pub/sub scenario instead of the ping stream")
 		bulkGap  = flag.Duration("bulkgap", time.Microsecond, "bulk publish period during -topics saturation phase")
+		batch    = flag.Int("batch", 0, "-topics: mesh pending-buffer batch frames (0 = frame-at-a-time)")
+		flushDl  = flag.Duration("flushdl", 0, "-topics: mesh flush deadline for corked runs (virtual time)")
 		failover = flag.Bool("failover", false, "run the registry kill/failover scenario instead of the ping stream")
 		slowsub  = flag.Bool("slowsub", false, "run the slow-subscriber credit scenario instead of the ping stream")
 		slowBy   = flag.Int("slowby", 10, "-slowsub: slow subscriber drains one message per this many publish periods")
@@ -103,6 +105,8 @@ func main() {
 			bulkGap: *bulkGap,
 			poll:    *poll,
 			window:  *window * 4,
+			batch:   *batch,
+			flushDl: *flushDl,
 		}); err != nil {
 			fatal(err)
 		}

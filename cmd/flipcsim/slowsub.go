@@ -228,7 +228,7 @@ func slowsubOnce(o slowsubOpts, credit bool) (slowsubLeg, error) {
 	deadline = start + sim.Time(o.msgs)*gap + settle
 	c.Clock.RunUntil(deadline)
 	balanced := func() bool {
-		disposed := fast.Received() + fast.Drops() + slow.Received() + slow.Drops()
+		disposed := fast.Received() + fast.AppDrops() + slow.Received() + slow.AppDrops()
 		return disposed >= pub.Sent()
 	}
 	for i := 0; i < 2000 && !balanced(); i++ {
@@ -239,12 +239,14 @@ func slowsubOnce(o slowsubOpts, credit bool) (slowsubLeg, error) {
 	// Conservation, with the new term: every fanout slot is delivered,
 	// counted at a drop ledger, or deliberately throttled.
 	slots := phaseAPub + 2*(pub.Published()-phaseAPub)
-	got := fast.Received() + fast.Drops() + slow.Received() + slow.Drops() +
+	// AppDrops: endpoint discards of control frames (hellos, credit)
+	// are outside the publisher's ledgers and must not enter the law.
+	got := fast.Received() + fast.AppDrops() + slow.Received() + slow.AppDrops() +
 		pub.Dropped() + pub.Throttled()
 	if got != slots {
 		return leg, fmt.Errorf("conservation violated: %d accounted of %d fanout slots "+
 			"(delivered f=%d s=%d, recv-dropped f=%d s=%d, pub-dropped %d, throttled %d)",
-			got, slots, fast.Received(), slow.Received(), fast.Drops(), slow.Drops(),
+			got, slots, fast.Received(), slow.Received(), fast.AppDrops(), slow.AppDrops(),
 			pub.Dropped(), pub.Throttled())
 	}
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"flipc/internal/engine"
+	"flipc/internal/interconnect"
 	"flipc/internal/nameservice"
 	"flipc/internal/sim"
 	"flipc/internal/simcluster"
@@ -21,6 +22,8 @@ type topicsOpts struct {
 	bulkGap time.Duration // bulk publish period during the contended phase
 	poll    time.Duration
 	window  int
+	batch   int           // mesh pending-buffer batch (0 = frame-at-a-time)
+	flushDl time.Duration // mesh flush deadline for corked runs (virtual)
 }
 
 // topicSub is one subscriber plus its positional latency ledger.
@@ -40,8 +43,18 @@ func runTopics(o topicsOpts) error {
 	if o.nodes < 2 {
 		return fmt.Errorf("-topics needs at least 2 nodes")
 	}
+	mesh := interconnect.DefaultMeshConfig()
+	if o.batch > 0 {
+		// Pending-buffer aggregation on the simulated wire: bulk runs
+		// cork and pay one route setup, control frames bypass, and the
+		// deadline bounds how long a corked frame can age. The ctl-p99
+		// assertion below must hold unchanged — that is the point.
+		mesh.BatchFrames = o.batch
+		mesh.FlushDeadline = sim.Time(o.flushDl.Nanoseconds())
+	}
 	scfg := simcluster.Config{
 		Nodes:        o.nodes,
+		Mesh:         mesh,
 		MessageSize:  o.msgSize,
 		NumBuffers:   4 * o.window,
 		PollInterval: sim.Time(o.poll.Nanoseconds()),
@@ -140,7 +153,7 @@ func runTopics(o topicsOpts) error {
 	balanced := func(pub *topic.Publisher, subs []*topicSub) bool {
 		var got uint64
 		for _, s := range subs {
-			got += s.sub.Received() + s.sub.Drops()
+			got += s.sub.Received() + s.sub.AppDrops()
 		}
 		return got+pub.Dropped() == pub.Published()*uint64(nsubs)
 	}
@@ -183,7 +196,7 @@ func runTopics(o topicsOpts) error {
 		var delivered, recvDrops uint64
 		for _, s := range subs {
 			delivered += s.sub.Received()
-			recvDrops += s.sub.Drops()
+			recvDrops += s.sub.AppDrops()
 		}
 		expect := pub.Published() * uint64(nsubs)
 		got := delivered + recvDrops + pub.Dropped()

@@ -127,6 +127,7 @@ type Stats struct {
 	Received      uint64 // frames taken from the transport
 	Delivered     uint64 // messages placed into posted receive buffers
 	RecvDrops     uint64 // arrivals discarded: no posted buffer
+	CtlRecvDrops  uint64 // subset of RecvDrops carrying wire.FlagCtl (in-band control)
 	AddrDrops     uint64 // arrivals discarded: bad/stale destination
 	SendRefused   uint64 // queued sends refused by validity checks (policy, per message)
 	WireBusy      uint64 // TrySend rejections, peer up (left queued, retried)
@@ -173,6 +174,15 @@ type Engine struct {
 	frame      []byte
 	sendSeqs   []uint8
 	stats      Stats
+
+	// ctlDrops tracks, per endpoint slot, the share of no-buffer
+	// discards (RecvDrops) that carried wire.FlagCtl — in-band control
+	// frames like topic credit/hello. The per-endpoint Drops counter in
+	// the communication buffer lumps both together; this side table
+	// lets the topic layer report application losses separately. Each
+	// word packs generation<<48 | count so a recycled slot restarts at
+	// zero without a sweep. Engine loop is the single writer.
+	ctlDrops []atomic.Uint64
 
 	lab   *traceLabels // typed trace labels, nil when Trace is nil
 	m     *engMetrics  // registry instruments, nil when Metrics is nil
@@ -331,6 +341,7 @@ func New(buf *commbuf.Buffer, tr interconnect.Transport, cfg Config) (*Engine, e
 		orderStale: true,
 		frame:      make([]byte, buf.Config().MessageSize),
 		sendSeqs:   make([]uint8, buf.Config().MaxEndpoints),
+		ctlDrops:   make([]atomic.Uint64, buf.Config().MaxEndpoints),
 	}
 	if h, ok := tr.(interconnect.PeerStatusReporter); ok {
 		e.health = h
@@ -355,6 +366,40 @@ func (e *Engine) Stats() Stats { return e.stats }
 
 // Config returns the engine's effective configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// noteCtlDrop records a no-buffer discard of a control-plane frame
+// against slot. The word packs gen<<48 | count; when the stored
+// generation differs (slot recycled since the last ctl drop) the count
+// restarts at one. Single writer (the engine loop), so load+store is
+// race-free; readers see a torn-free whole word.
+func (e *Engine) noteCtlDrop(slot int, gen uint16) {
+	w := e.ctlDrops[slot].Load()
+	if uint16(w>>48) != gen {
+		w = uint64(gen) << 48
+	}
+	e.ctlDrops[slot].Store(w + 1)
+}
+
+// EndpointCtlDrops returns how many control-plane frames (wire.FlagCtl
+// set — topic credit, hello, and similar in-band signalling) were
+// discarded at the endpoint with address index addrIndex for lack of a
+// posted receive buffer, for endpoint generation gen. Returns zero when
+// the slot has only recorded drops for a different generation, so a
+// recycled endpoint never inherits a predecessor's count. Unlike the
+// shared-memory Drops counter this is not read-and-reset: it grows
+// monotonically over the endpoint's lifetime. Safe to call from any
+// goroutine.
+func (e *Engine) EndpointCtlDrops(addrIndex int, gen uint16) uint64 {
+	slot, ok := e.buf.SlotForAddrIndex(addrIndex)
+	if !ok || slot < 0 || slot >= len(e.ctlDrops) {
+		return 0
+	}
+	w := e.ctlDrops[slot].Load()
+	if uint16(w>>48) != gen {
+		return 0
+	}
+	return w & (1<<48 - 1)
+}
 
 // endpoint returns the engine's cached handle for slot i, rebuilding it
 // when the shared descriptor changed (allocation, free, generation
@@ -521,6 +566,10 @@ func (e *Engine) deliver(frame []byte) {
 		// control is its job (or internal/flowctl's), not the transport's.
 		info.Drops.Incr(e.view)
 		e.stats.RecvDrops++
+		if pkt.Flags&wire.FlagCtl != 0 {
+			e.stats.CtlRecvDrops++
+			e.noteCtlDrop(slot, info.Gen)
+		}
 		if e.lab != nil {
 			e.cfg.Trace.Add1(e.lab.recvNobuffer, uint64(dst))
 		}
@@ -660,7 +709,6 @@ func (e *Engine) pollSend() bool {
 	// fanout cannot starve control-class sends of engine bandwidth.
 	lowLimit := e.cfg.SendQuantum - e.cfg.ReservedQuantum
 	lowSpent := 0
-	sent0 := e.stats.Sent
 	for _, i := range e.sendOrder() {
 		if budget <= 0 {
 			break
@@ -725,9 +773,13 @@ func (e *Engine) pollSend() bool {
 			}
 		}
 	}
-	if e.flusher != nil && e.stats.Sent != sent0 {
-		// Push every frame this pass buffered onto the wire — one write
-		// per peer (see interconnect.BatchFlusher).
+	if e.flusher != nil {
+		// End-of-pass flush: one write per peer for everything this pass
+		// corked, and — because a batching transport may hold frames
+		// across passes under a latency-budget deadline — the deadline
+		// enforcement point for frames corked on earlier passes. Called
+		// even when this pass sent nothing, or a quiet engine would
+		// strand a corked frame forever (see interconnect.BatchFlusher).
 		e.flusher.FlushSends()
 	}
 	return work

@@ -150,6 +150,16 @@ func (j *Injector) PeerUp(dst wire.NodeID) bool {
 	return true
 }
 
+// FlushSends forwards the batch-flush capability so a wrapped batching
+// transport keeps its end-of-pass deadline enforcement: the injector
+// perturbs frames at TrySend time, and the flush path below it is not
+// a fault surface. A no-op over a non-batching transport.
+func (j *Injector) FlushSends() {
+	if f, ok := j.inner.(interconnect.BatchFlusher); ok {
+		f.FlushSends()
+	}
+}
+
 // TrySend applies the send-side fault modes: partition and drop swallow
 // the frame (reporting acceptance — the loss must look like the wire,
 // not like backpressure), corrupt flips bits in a copy, duplicate sends

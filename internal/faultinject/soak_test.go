@@ -31,6 +31,19 @@ import (
 // Any engine panic fails the test; so does a quarantine that never
 // recovers, or a single unaccounted frame.
 func TestChaosSoakConservation(t *testing.T) {
+	chaosSoak(t, interconnect.NewFabric(512))
+}
+
+// TestChaosSoakConservationBatched is the same soak over a batching
+// fabric: TrySend corks frames per destination and the engines' every-
+// pass FlushSends drains the corks under the adaptive-flush contract.
+// The identical conservation law must hold — deferred delivery through
+// a cork is still delivery, never a loss.
+func TestChaosSoakConservationBatched(t *testing.T) {
+	chaosSoak(t, interconnect.NewFabricBatch(512, 8))
+}
+
+func chaosSoak(t *testing.T, fabric *interconnect.Fabric) {
 	const (
 		nodes       = 3
 		msgsPerNode = 35000
@@ -56,7 +69,6 @@ func TestChaosSoakConservation(t *testing.T) {
 		rep      *core.Endpoint // main inbox, kept stocked
 		chaosRep *core.Endpoint // inbox whose queue gets scribbled mid-run
 	}
-	fabric := interconnect.NewFabric(512)
 	ns := make([]*node, nodes)
 	for i := range ns {
 		port, err := fabric.Attach(wire.NodeID(i))

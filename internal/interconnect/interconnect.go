@@ -56,9 +56,15 @@ type PeerStatusReporter interface {
 // per peer, amortizing per-frame syscall and wire-header work across a
 // burst of frames to the same node (a topic publisher's fanout run).
 // The engine type-asserts for it and calls FlushSends at the end of
-// every send pass that put frames on the transport, so buffered frames
-// are never held across passes. The in-process transports deliver
-// synchronously and do not implement it.
+// every send pass — making FlushSends the enforcement point for any
+// flush-deadline policy the transport runs. A transport with a latency
+// budget (nettrans.Config.FlushBudget) may legitimately hold a
+// buffered frame across passes until its deadline; every accepted
+// frame is still eventually flushed or counted lost, never silently
+// stranded. Mesh and Fabric implement the same contract when batching
+// is enabled (MeshConfig.BatchFrames, NewFabricBatch), so sim and
+// bench scenarios exercise the aggregation path the wire transport
+// runs.
 type BatchFlusher interface {
 	FlushSends()
 }
@@ -87,6 +93,20 @@ type MeshConfig struct {
 	// deadlock-avoidance argument assumes nodes always drain the
 	// interconnect, so experiments use a generous depth.
 	PortDepth int
+	// BatchFrames, when > 0, gives each port the pending-buffer
+	// contract (interconnect.BatchFlusher): TrySend corks frames into
+	// per-destination runs and FlushSends transmits each run paying
+	// RouteSetup once for the whole run — the aggregation win the
+	// adaptive-flush ablations measure. A run reaching BatchFrames
+	// transmits inline; control-class frames (wire.Expedited) transmit
+	// immediately, after flushing their destination's run so per-pair
+	// order holds. 0 (the default) keeps frame-at-a-time sends with
+	// RouteSetup per frame.
+	BatchFrames int
+	// FlushDeadline holds a corked run across FlushSends calls until
+	// its oldest frame has aged this much virtual time; 0 flushes every
+	// run on every FlushSends.
+	FlushDeadline sim.Time
 }
 
 // DefaultMeshConfig returns the Paragon-calibrated mesh (values
@@ -162,35 +182,129 @@ type meshPort struct {
 	inbox  [][]byte
 	txFree sim.Time // when the injection link is next idle
 	stats  Stats
+
+	// Pending-buffer state (MeshConfig.BatchFrames > 0): per-destination
+	// corked runs, flushed by FlushSends or a full/expedited trigger.
+	pending map[wire.NodeID]*meshRun
+	order   []wire.NodeID // destinations in first-corked order
+}
+
+// meshRun is one destination's corked frames plus the age of the
+// oldest.
+type meshRun struct {
+	frames [][]byte
+	since  sim.Time
 }
 
 // TrySend implements Transport. The sending link serializes frames at
 // NSPerByte, so back-to-back sends queue behind each other — this is
-// what bounds throughput in the bandwidth experiments.
+// what bounds throughput in the bandwidth experiments. With
+// BatchFrames set, frames cork into per-destination runs instead (see
+// MeshConfig.BatchFrames); control-class frames transmit immediately.
 func (p *meshPort) TrySend(dst wire.NodeID, frame []byte) bool {
 	dp := p.mesh.ports[dst]
 	if dp == nil {
 		return false // unreachable node: drop at source
 	}
-	if p.mesh.cfg.PortDepth > 0 && len(dp.inbox) >= p.mesh.cfg.PortDepth {
+	bf := p.mesh.cfg.BatchFrames
+	var corked int
+	if bf > 0 {
+		if run := p.pending[dst]; run != nil {
+			corked = len(run.frames)
+		}
+	}
+	if p.mesh.cfg.PortDepth > 0 && len(dp.inbox)+corked >= p.mesh.cfg.PortDepth {
 		p.stats.SendBusy++
 		return false
 	}
 	cp := append([]byte(nil), frame...)
-	now := p.mesh.clock.Now()
-	start := now
+	if bf <= 0 {
+		p.transmit(dst, dp, [][]byte{cp})
+		p.stats.Sent++
+		return true
+	}
+	if wire.Expedited(frame[6]) {
+		// Control class: flush the destination's corked run first (the
+		// mesh delivers in order per pair), then go immediately.
+		p.flushRun(dst)
+		p.transmit(dst, dp, [][]byte{cp})
+		p.stats.Sent++
+		return true
+	}
+	run := p.pending[dst]
+	if run == nil {
+		run = &meshRun{}
+		if p.pending == nil {
+			p.pending = make(map[wire.NodeID]*meshRun)
+		}
+		p.pending[dst] = run
+		p.order = append(p.order, dst)
+	}
+	if len(run.frames) == 0 {
+		run.since = p.mesh.clock.Now()
+	}
+	run.frames = append(run.frames, cp)
+	p.stats.Sent++
+	if len(run.frames) >= bf {
+		p.flushRun(dst)
+	}
+	return true
+}
+
+// transmit models one wire transaction to dst: RouteSetup and the hop
+// latency are paid once for the run, serialization per byte; frame k
+// arrives as its last byte clears the link. This is the aggregation
+// win: a flushed run of n frames costs one RouteSetup where
+// frame-at-a-time sends cost n.
+func (p *meshPort) transmit(dst wire.NodeID, dp *meshPort, frames [][]byte) {
+	start := p.mesh.clock.Now()
 	if p.txFree > start {
 		start = p.txFree
 	}
-	serial := sim.Time(float64(len(frame)) * p.mesh.cfg.NSPerByte)
+	base := start + p.mesh.cfg.RouteSetup +
+		sim.Time(p.mesh.Hops(p.node, dst))*p.mesh.cfg.HopLatency
+	var serial sim.Time
+	for _, f := range frames {
+		f := f
+		serial += sim.Time(float64(len(f)) * p.mesh.cfg.NSPerByte)
+		p.mesh.clock.At(base+serial, func() {
+			dp.inbox = append(dp.inbox, f)
+		})
+	}
 	p.txFree = start + serial
-	arrive := start + p.mesh.cfg.RouteSetup +
-		sim.Time(p.mesh.Hops(p.node, dst))*p.mesh.cfg.HopLatency + serial
-	p.mesh.clock.At(arrive, func() {
-		dp.inbox = append(dp.inbox, cp)
-	})
-	p.stats.Sent++
-	return true
+}
+
+// flushRun transmits dst's corked run, if any.
+func (p *meshPort) flushRun(dst wire.NodeID) {
+	run := p.pending[dst]
+	if run == nil || len(run.frames) == 0 {
+		return
+	}
+	frames := run.frames
+	run.frames = nil
+	p.transmit(dst, p.mesh.ports[dst], frames)
+}
+
+// FlushSends implements BatchFlusher: the engine's end-of-pass call
+// transmits every corked run whose oldest frame has reached the flush
+// deadline (every run, when no deadline is configured). A no-op
+// without BatchFrames.
+func (p *meshPort) FlushSends() {
+	if p.mesh.cfg.BatchFrames <= 0 || len(p.pending) == 0 {
+		return
+	}
+	now := p.mesh.clock.Now()
+	dl := p.mesh.cfg.FlushDeadline
+	for _, dst := range p.order {
+		run := p.pending[dst]
+		if run == nil || len(run.frames) == 0 {
+			continue
+		}
+		if dl > 0 && now-run.since < dl {
+			continue
+		}
+		p.flushRun(dst)
+	}
 }
 
 // Poll implements Transport.
@@ -216,6 +330,7 @@ func (p *meshPort) Stats() Stats { return p.stats }
 // the real Go scheduler and memory system.
 type Fabric struct {
 	depth int
+	batch int
 	mu    sync.Mutex
 	ports map[wire.NodeID]*fabricPort
 }
@@ -227,6 +342,23 @@ func NewFabric(depth int) *Fabric {
 		depth = 256
 	}
 	return &Fabric{depth: depth, ports: make(map[wire.NodeID]*fabricPort)}
+}
+
+// NewFabricBatch is NewFabric with the pending-buffer contract
+// (BatchFlusher): each port corks up to batchFrames frames per
+// destination and FlushSends delivers the runs — the in-process
+// analogue of nettrans.BatchWrites, so wall-clock tests (notably the
+// chaos-soak conservation law) exercise the engine's end-of-pass flush
+// discipline. Control-class frames (wire.Expedited) never cork. A run
+// that cannot fully drain into a saturated destination stays corked
+// and retries on later flushes; when a destination's cork is full,
+// TrySend refuses (counted SendBusy) — the fabric stays lossless.
+func NewFabricBatch(depth, batchFrames int) *Fabric {
+	f := NewFabric(depth)
+	if batchFrames > 0 {
+		f.batch = batchFrames
+	}
+	return f
 }
 
 // Attach creates the port for a node.
@@ -248,6 +380,11 @@ type fabricPort struct {
 	sent      atomic.Uint64
 	delivered atomic.Uint64
 	busy      atomic.Uint64
+
+	// pendMu guards the cork (batch mode). The port's engine is the
+	// only sender, but scrapers and flushes may race it.
+	pendMu  sync.Mutex
+	pending map[wire.NodeID][][]byte
 }
 
 func (p *fabricPort) TrySend(dst wire.NodeID, frame []byte) bool {
@@ -258,6 +395,9 @@ func (p *fabricPort) TrySend(dst wire.NodeID, frame []byte) bool {
 		return false
 	}
 	cp := append([]byte(nil), frame...)
+	if p.fabric.batch > 0 {
+		return p.trySendBatched(dst, dp, cp, frame[6])
+	}
 	select {
 	case dp.ch <- cp:
 		p.sent.Add(1)
@@ -265,6 +405,94 @@ func (p *fabricPort) TrySend(dst wire.NodeID, frame []byte) bool {
 	default:
 		p.busy.Add(1)
 		return false
+	}
+}
+
+// trySendBatched corks cp for dst (or expedites it). The cork bounds
+// itself at the fabric's batch size: a full cork tries an inline flush
+// and refuses the frame if the destination still cannot absorb the
+// run — counted backpressure, so the fabric never loses a frame it
+// accepted.
+func (p *fabricPort) trySendBatched(dst wire.NodeID, dp *fabricPort, cp []byte, flags uint8) bool {
+	p.pendMu.Lock()
+	defer p.pendMu.Unlock()
+	if wire.Expedited(flags) {
+		// Per-pair ordering: the run corked for dst must go first. If
+		// the destination cannot absorb it, the control frame cannot
+		// jump the queue — refuse and let the engine retry.
+		if !p.flushDstLocked(dst, dp) {
+			p.busy.Add(1)
+			return false
+		}
+		select {
+		case dp.ch <- cp:
+			p.sent.Add(1)
+			return true
+		default:
+			p.busy.Add(1)
+			return false
+		}
+	}
+	run := p.pending[dst]
+	if len(run) >= p.fabric.batch {
+		if !p.flushDstLocked(dst, dp) {
+			p.busy.Add(1)
+			return false
+		}
+		run = p.pending[dst]
+	}
+	if p.pending == nil {
+		p.pending = make(map[wire.NodeID][][]byte)
+	}
+	p.pending[dst] = append(run, cp)
+	p.sent.Add(1)
+	return true
+}
+
+// flushDstLocked drains dst's corked run into its channel, keeping
+// whatever does not fit. Reports whether the cork is now empty.
+func (p *fabricPort) flushDstLocked(dst wire.NodeID, dp *fabricPort) bool {
+	run := p.pending[dst]
+	for len(run) > 0 {
+		select {
+		case dp.ch <- run[0]:
+			run = run[1:]
+		default:
+			p.pending[dst] = run
+			return false
+		}
+	}
+	if p.pending != nil {
+		p.pending[dst] = nil
+	}
+	return true
+}
+
+// FlushSends implements BatchFlusher (batch mode): the engine's
+// end-of-pass call drains every corked run. Runs that hit a saturated
+// destination stay corked for the next pass — delivery is deferred,
+// never dropped.
+func (p *fabricPort) FlushSends() {
+	if p.fabric.batch <= 0 {
+		return
+	}
+	p.pendMu.Lock()
+	defer p.pendMu.Unlock()
+	for dst, run := range p.pending {
+		if len(run) == 0 {
+			continue
+		}
+		p.fabric.mu.Lock()
+		dp := p.fabric.ports[dst]
+		p.fabric.mu.Unlock()
+		if dp == nil {
+			// Destination detached: nothing to deliver to. Keep the
+			// fabric's invariants simple — this cannot happen in the
+			// tests (ports never detach) — but do not wedge the cork.
+			p.pending[dst] = nil
+			continue
+		}
+		p.flushDstLocked(dst, dp)
 	}
 }
 

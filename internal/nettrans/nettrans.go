@@ -155,15 +155,40 @@ type Config struct {
 	// BatchWrites enables per-peer write coalescing (the
 	// interconnect.BatchFlusher capability): TrySend buffers accepted
 	// frames per peer and FlushSends pushes each peer's buffer in one
-	// conn.Write. The messaging engine flushes at the end of every send
-	// pass, so with an engine driving the transport a frame is never
-	// held beyond its pass; callers driving TrySend directly must call
-	// FlushSends themselves. Off by default (TrySend then writes
-	// synchronously, as before).
+	// conn.Write. The messaging engine calls FlushSends at the end of
+	// every send pass — the deadline enforcement point for the flush
+	// policy below; callers driving TrySend directly must call
+	// FlushSends themselves. Control-class frames (wire.Expedited)
+	// never cork: they flush the peer's pending run and go to the wire
+	// immediately. Off by default (TrySend then writes synchronously,
+	// as before).
 	BatchWrites bool
 	// MaxBatchFrames bounds the per-peer coalescing buffer; a TrySend
-	// that fills it flushes inline (default 64).
+	// that fills it flushes inline (default 64). The size cap is the
+	// backstop of the flush policy, not the policy itself.
 	MaxBatchFrames int
+	// FlushDeadline holds a corked frame across FlushSends calls until
+	// it has aged this long, trading latency for fewer, larger writes.
+	// Zero (the default) flushes on every FlushSends — the engine-pass
+	// granularity of PR 4. When FlushBudget is set this is the floor of
+	// the adaptive deadline.
+	FlushDeadline time.Duration
+	// FlushBudget, when > 0, derives the flush deadline adaptively from
+	// the observed one-way delivery p99 (the stamp-trailer measurement
+	// exported as flipc_recv_latency_ns): deadline = p99 × FlushBudget,
+	// clamped to [FlushDeadline, MaxFlushDelay] and refreshed on a slow
+	// cadence. A budget of 0.25 says "corking may add at most a quarter
+	// of the tail latency already being paid" — the latency-budget
+	// aggregation scheme the A-series ablation measures. Requires
+	// Metrics (or LatencyProbe) for the p99 source; until samples
+	// exist the deadline is the FlushDeadline floor.
+	FlushBudget float64
+	// MaxFlushDelay clamps the adaptive deadline (default 1ms).
+	MaxFlushDelay time.Duration
+	// LatencyProbe overrides the adaptive policy's one-way p99 source
+	// (nanoseconds); nil reads the flipc_recv_latency_ns histogram from
+	// Metrics. Tests inject deterministic latencies through it.
+	LatencyProbe func() (p99ns float64, ok bool)
 	// Trace, when non-nil, records peer lifecycle events (peer.up,
 	// peer.down, peer.redial, peer.dead, rx.drop).
 	Trace *trace.Ring
@@ -179,16 +204,17 @@ type Config struct {
 type peer struct {
 	node wire.NodeID
 
-	mu        sync.Mutex
-	conn      net.Conn // current send path; nil while down
-	addr      string   // last known dial address ("" = inbound-only)
-	state     PeerState
-	attempts  int        // consecutive failed redials this outage
-	redialing bool       // a redial goroutine is live
-	downAt    time.Time  // when the current outage began
-	wbuf      []byte     // preamble+frame send scratch, guarded by mu
-	pending   []byte     // coalesced frames awaiting FlushSends (BatchWrites)
-	reconnect stats.Ewma // smoothed outage duration, milliseconds
+	mu           sync.Mutex
+	conn         net.Conn // current send path; nil while down
+	addr         string   // last known dial address ("" = inbound-only)
+	state        PeerState
+	attempts     int        // consecutive failed redials this outage
+	redialing    bool       // a redial goroutine is live
+	downAt       time.Time  // when the current outage began
+	wbuf         []byte     // preamble+frame send scratch, guarded by mu
+	pending      []byte     // coalesced frames awaiting FlushSends (BatchWrites)
+	pendingSince time.Time  // when the oldest corked frame was accepted
+	reconnect    stats.Ewma // smoothed outage duration, milliseconds
 
 	sent       atomic.Uint64
 	sendFails  atomic.Uint64
@@ -220,7 +246,17 @@ type Stats struct {
 	// (BatchWrites) and then lost because the connection died before
 	// the flush completed — the batched-write analogue of frames lost
 	// in a dead TCP buffer, and like them a counted, never silent loss.
+	// A frame whose own TrySend was refused is never in FlushLost: it
+	// stays queued at the engine, so counting it here too would both
+	// lose and deliver it.
 	FlushLost uint64
+	// CtlBypass counts control-class frames (wire.Expedited) written
+	// straight to the wire past the cork.
+	CtlBypass uint64
+	// FlushHeld counts FlushSends passes that left a peer's cork in
+	// place because its oldest frame was still inside the flush
+	// deadline.
+	FlushHeld uint64
 }
 
 // Transport is a TCP-backed interconnect.Transport. Create one per
@@ -255,6 +291,18 @@ type Transport struct {
 	rxDrops    atomic.Uint64
 	reconnects atomic.Uint64
 	flushLost  atomic.Uint64
+	ctlBypass  atomic.Uint64
+	flushHeld  atomic.Uint64
+
+	// pendingFrames tracks corked frames across all peers so the
+	// engine's every-pass FlushSends exits without touching peer locks
+	// when nothing is corked.
+	pendingFrames atomic.Int64
+	// deadlineNs is the effective flush deadline: FlushDeadline, or the
+	// adaptive value when FlushBudget is set. lastProbe throttles the
+	// histogram scrape behind the adaptive value.
+	deadlineNs atomic.Int64
+	lastProbe  atomic.Int64
 }
 
 // Listen creates a transport for node accepting peer connections on
@@ -275,6 +323,12 @@ func ListenConfig(cfg Config) (*Transport, error) {
 	if cfg.MaxBatchFrames <= 0 {
 		cfg.MaxBatchFrames = 64
 	}
+	if cfg.MaxFlushDelay <= 0 {
+		cfg.MaxFlushDelay = time.Millisecond
+	}
+	if cfg.FlushDeadline < 0 {
+		cfg.FlushDeadline = 0
+	}
 	cfg.Reconnect.applyDefaults()
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -288,6 +342,7 @@ func ListenConfig(cfg Config) (*Transport, error) {
 		inbox:  make(chan []byte, cfg.InboxDepth),
 		closed: make(chan struct{}),
 	}
+	t.deadlineNs.Store(int64(cfg.FlushDeadline))
 	if cfg.Trace != nil {
 		t.rxDropLab = cfg.Trace.Label("rx.drop")
 	}
@@ -308,6 +363,10 @@ func (t *Transport) registerMetrics(reg *metrics.Registry) {
 	reg.Func("flipc_transport_rx_drops_total", func() float64 { return float64(t.rxDrops.Load()) })
 	reg.Func("flipc_transport_reconnects_total", func() float64 { return float64(t.reconnects.Load()) })
 	reg.Func("flipc_transport_flush_lost_total", func() float64 { return float64(t.flushLost.Load()) })
+	reg.Func("flipc_transport_ctl_bypass_total", func() float64 { return float64(t.ctlBypass.Load()) })
+	reg.Func("flipc_transport_flush_held_total", func() float64 { return float64(t.flushHeld.Load()) })
+	reg.Func("flipc_transport_flush_deadline_ns", func() float64 { return float64(t.deadlineNs.Load()) })
+	reg.Func("flipc_transport_pending_frames", func() float64 { return float64(t.pendingFrames.Load()) })
 	reg.Func("flipc_transport_inbox_depth", func() float64 { return float64(len(t.inbox)) })
 }
 
@@ -440,7 +499,7 @@ func (t *Transport) connFailedLocked(p *peer, conn net.Conn, err error) {
 		return
 	}
 	p.conn = nil
-	t.dropPendingLocked(p)
+	t.dropPendingLocked(p, 0)
 	p.downAt = time.Now()
 	p.state = PeerReconnecting
 	t.traceEvent("peer.down", p.node, err)
@@ -721,19 +780,43 @@ func (t *Transport) TrySend(dst wire.NodeID, frame []byte) bool {
 		return false
 	}
 	if t.cfg.BatchWrites {
+		if wire.Expedited(frame[6]) {
+			// Control class bypasses the cork: flush anything already
+			// corked for this peer (the TCP stream keeps per-pair
+			// ordering), then write the frame synchronously so credit
+			// adverts and registry traffic never pay the latency
+			// budget bulk frames trade against.
+			if !t.flushPeerLocked(p, 0) || t.writeFrameLocked(p, frame) != nil {
+				p.mu.Unlock()
+				p.sendFails.Add(1)
+				t.peerDowns.Add(1)
+				return false
+			}
+			p.mu.Unlock()
+			t.ctlBypass.Add(1)
+			p.sent.Add(1)
+			t.sent.Add(1)
+			return true
+		}
 		// Coalesce: append preamble+frame to the peer's pending buffer;
-		// the engine's end-of-pass FlushSends (or filling the buffer)
-		// writes the whole run in one syscall.
+		// the engine's end-of-pass FlushSends (deadline permitting) or
+		// filling the buffer writes the whole run in one syscall.
 		var pre [preambleBytes]byte
 		binary.BigEndian.PutUint16(pre[0:2], preambleMagic)
 		binary.BigEndian.PutUint16(pre[2:4], uint16(t.cfg.MessageSize))
+		if len(p.pending) == 0 {
+			p.pendingSince = time.Now()
+		}
 		p.pending = append(p.pending, pre[:]...)
 		p.pending = append(p.pending, frame...)
+		t.pendingFrames.Add(1)
 		full := len(p.pending) >= t.cfg.MaxBatchFrames*(preambleBytes+t.cfg.MessageSize)
-		if full && !t.flushPeerLocked(p) {
-			// The inline flush failed; this frame went down with the
-			// batch (already counted as FlushLost). Report refusal so
-			// the engine keeps its message queued.
+		if full && !t.flushPeerLocked(p, 1) {
+			// The inline flush failed. The rest of the batch is counted
+			// as FlushLost; this frame is excluded from the count
+			// because the refusal keeps its message queued at the
+			// engine — counting it too would record it both lost and
+			// (after the retry) delivered.
 			p.mu.Unlock()
 			p.sendFails.Add(1)
 			t.peerDowns.Add(1)
@@ -744,15 +827,7 @@ func (t *Transport) TrySend(dst wire.NodeID, frame []byte) bool {
 		t.sent.Add(1)
 		return true
 	}
-	if p.wbuf == nil {
-		p.wbuf = make([]byte, preambleBytes+t.cfg.MessageSize)
-		binary.BigEndian.PutUint16(p.wbuf[0:2], preambleMagic)
-		binary.BigEndian.PutUint16(p.wbuf[2:4], uint16(t.cfg.MessageSize))
-	}
-	copy(p.wbuf[preambleBytes:], frame)
-	_, err := conn.Write(p.wbuf)
-	if err != nil {
-		t.connFailedLocked(p, conn, err)
+	if err := t.writeFrameLocked(p, frame); err != nil {
 		p.mu.Unlock()
 		p.sendFails.Add(1)
 		t.peerDowns.Add(1)
@@ -764,44 +839,131 @@ func (t *Transport) TrySend(dst wire.NodeID, frame []byte) bool {
 	return true
 }
 
-// dropPendingLocked discards p's coalescing buffer, counting every
-// buffered frame as FlushLost. Caller holds p.mu.
-func (t *Transport) dropPendingLocked(p *peer) {
+// writeFrameLocked writes preamble+frame synchronously on p's
+// connection, tearing the link down on error. Caller holds p.mu and
+// has verified p.conn is live.
+func (t *Transport) writeFrameLocked(p *peer, frame []byte) error {
+	conn := p.conn
+	if p.wbuf == nil {
+		p.wbuf = make([]byte, preambleBytes+t.cfg.MessageSize)
+		binary.BigEndian.PutUint16(p.wbuf[0:2], preambleMagic)
+		binary.BigEndian.PutUint16(p.wbuf[2:4], uint16(t.cfg.MessageSize))
+	}
+	copy(p.wbuf[preambleBytes:], frame)
+	if _, err := conn.Write(p.wbuf); err != nil {
+		t.connFailedLocked(p, conn, err)
+		return err
+	}
+	return nil
+}
+
+// dropPendingLocked discards p's coalescing buffer, counting the
+// buffered frames as FlushLost except the last exclude of them — the
+// frames whose own TrySend is being refused, which stay queued at the
+// engine and must not be double-accounted. Caller holds p.mu.
+func (t *Transport) dropPendingLocked(p *peer, exclude int) {
 	if len(p.pending) == 0 {
 		return
 	}
-	t.flushLost.Add(uint64(len(p.pending) / (preambleBytes + t.cfg.MessageSize)))
+	n := len(p.pending) / (preambleBytes + t.cfg.MessageSize)
+	t.pendingFrames.Add(-int64(n))
+	if n > exclude {
+		t.flushLost.Add(uint64(n - exclude))
+	}
 	p.pending = p.pending[:0]
+	p.pendingSince = time.Time{}
 }
 
 // flushPeerLocked writes p's pending buffer in one conn.Write,
-// reporting whether the peer's link survived. Caller holds p.mu.
-func (t *Transport) flushPeerLocked(p *peer) bool {
+// reporting whether the peer's link survived. On a write error the
+// buffered frames are counted lost (minus exclude, see
+// dropPendingLocked) before the link is torn down. Caller holds p.mu.
+func (t *Transport) flushPeerLocked(p *peer, exclude int) bool {
 	if len(p.pending) == 0 {
 		return true
 	}
 	conn := p.conn
 	if conn == nil {
-		t.dropPendingLocked(p)
+		t.dropPendingLocked(p, exclude)
 		return false
 	}
 	_, err := conn.Write(p.pending)
 	if err != nil {
-		// connFailedLocked counts the buffered frames via dropPendingLocked.
+		// Count the cork before the teardown: connFailedLocked's own
+		// dropPendingLocked would count every frame, including one the
+		// caller is about to report refused.
+		t.dropPendingLocked(p, exclude)
 		t.connFailedLocked(p, conn, err)
 		return false
 	}
+	n := len(p.pending) / (preambleBytes + t.cfg.MessageSize)
+	t.pendingFrames.Add(-int64(n))
 	p.pending = p.pending[:0]
+	p.pendingSince = time.Time{}
 	return true
 }
 
-// FlushSends implements interconnect.BatchFlusher: it pushes every
-// peer's coalesced frames to the wire, one write per peer. A no-op for
-// peers with nothing pending (and for transports without BatchWrites).
+// flushDeadline returns the effective hold deadline for corked frames,
+// refreshing the adaptive value (observed one-way p99 × FlushBudget,
+// clamped to [FlushDeadline, MaxFlushDelay]) at most every
+// flushProbeInterval — a histogram snapshot copies every bucket, so it
+// cannot run per pass.
+func (t *Transport) flushDeadline(now time.Time) time.Duration {
+	if t.cfg.FlushBudget <= 0 {
+		return t.cfg.FlushDeadline
+	}
+	last := t.lastProbe.Load()
+	if now.UnixNano()-last >= int64(flushProbeInterval) &&
+		t.lastProbe.CompareAndSwap(last, now.UnixNano()) {
+		if p99, ok := t.probeLatency(); ok {
+			d := time.Duration(p99 * t.cfg.FlushBudget)
+			if d < t.cfg.FlushDeadline {
+				d = t.cfg.FlushDeadline
+			}
+			if d > t.cfg.MaxFlushDelay {
+				d = t.cfg.MaxFlushDelay
+			}
+			t.deadlineNs.Store(int64(d))
+		}
+	}
+	return time.Duration(t.deadlineNs.Load())
+}
+
+// flushProbeInterval is how often the adaptive deadline re-reads the
+// latency histogram.
+const flushProbeInterval = 5 * time.Millisecond
+
+// probeLatency reads the one-way delivery p99 in nanoseconds from the
+// configured probe, falling back to the metrics registry's
+// flipc_recv_latency_ns histogram (the engine's stamp-trailer
+// measurement).
+func (t *Transport) probeLatency() (float64, bool) {
+	if t.cfg.LatencyProbe != nil {
+		return t.cfg.LatencyProbe()
+	}
+	if t.cfg.Metrics == nil {
+		return 0, false
+	}
+	snap := t.cfg.Metrics.Histogram("flipc_recv_latency_ns").Snapshot()
+	if snap.Count == 0 {
+		return 0, false
+	}
+	return snap.Quantile(0.99), true
+}
+
+// FlushSends implements interconnect.BatchFlusher: it pushes corked
+// frames to the wire, one write per peer. The engine calls it at the
+// end of every send pass, which makes it the flush policy's deadline
+// enforcement point: a peer whose oldest corked frame is younger than
+// the (possibly adaptive) deadline is left corked for a later pass;
+// everything at or past the deadline flushes. A no-op when nothing is
+// corked anywhere (and for transports without BatchWrites).
 func (t *Transport) FlushSends() {
-	if !t.cfg.BatchWrites {
+	if !t.cfg.BatchWrites || t.pendingFrames.Load() == 0 {
 		return
 	}
+	now := time.Now()
+	deadline := t.flushDeadline(now)
 	t.mu.Lock()
 	ps := make([]*peer, 0, len(t.peers))
 	for _, p := range t.peers {
@@ -810,7 +972,12 @@ func (t *Transport) FlushSends() {
 	t.mu.Unlock()
 	for _, p := range ps {
 		p.mu.Lock()
-		t.flushPeerLocked(p)
+		if len(p.pending) > 0 && deadline > 0 && now.Sub(p.pendingSince) < deadline {
+			t.flushHeld.Add(1)
+			p.mu.Unlock()
+			continue
+		}
+		t.flushPeerLocked(p, 0)
 		p.mu.Unlock()
 	}
 }
@@ -922,6 +1089,8 @@ func (t *Transport) Stats() Stats {
 		RxDrops:    t.rxDrops.Load(),
 		Reconnects: t.reconnects.Load(),
 		FlushLost:  t.flushLost.Load(),
+		CtlBypass:  t.ctlBypass.Load(),
+		FlushHeld:  t.flushHeld.Load(),
 	}
 }
 
@@ -956,7 +1125,7 @@ func (t *Transport) Close() {
 			p.mu.Lock()
 			p.conn = nil
 			p.state = PeerDead
-			t.dropPendingLocked(p)
+			t.dropPendingLocked(p, 0)
 			p.mu.Unlock()
 		}
 	})

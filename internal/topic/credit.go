@@ -45,14 +45,16 @@ import (
 	"flipc/internal/core"
 	"flipc/internal/flowctl"
 	"flipc/internal/msglib"
+	"flipc/internal/wire"
 )
 
 // ctlFlag is the wire-flag bit marking topic-plane control frames
-// (hello and credit). It is one of the application flag bits, reserved
-// by this package: PublishFlags masks it from application flags, and
-// every Subscriber filters frames carrying it out of the application
-// stream (credit-unaware subscribers simply swallow them).
-const ctlFlag uint8 = 1 << 4
+// (hello and credit). It is wire.FlagCtl, reserved by this package:
+// PublishFlags masks it from application flags, every Subscriber
+// filters frames carrying it out of the application stream
+// (credit-unaware subscribers simply swallow them), and batching
+// transports flush frames carrying it past any pending cork.
+const ctlFlag uint8 = wire.FlagCtl
 
 // CreditConfig tunes a credit-enabled subscriber.
 type CreditConfig struct {

@@ -10,6 +10,7 @@ import (
 	"flipc/internal/flowctl"
 	"flipc/internal/metrics"
 	"flipc/internal/msglib"
+	"flipc/internal/wire"
 )
 
 // PublisherConfig tunes a Publisher.
@@ -324,7 +325,11 @@ func (p *Publisher) PublishFlags(payload []byte, flags uint8) (PublishResult, er
 		return res, nil
 	}
 	start := p.nowNanos()
-	flags = (flags &^ ctlFlag) | p.cfg.Class.Flags()
+	// Reserved bits really are masked: the topic-control bit, the
+	// priority field (the class owns it — caller bits would forge the
+	// frame's class at the engine, wire, and rtsched layers), and the
+	// wire-internal trailer flags.
+	flags = (flags &^ (ctlFlag | wire.PriorityMask | wire.FlagStamped | wire.FlagChecksummed)) | p.cfg.Class.Flags()
 	for _, dst := range p.plan {
 		var cs *subCredit
 		if p.creditState != nil {

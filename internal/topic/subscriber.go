@@ -180,8 +180,26 @@ func (s *Subscriber) ReceiveBlock() ([]byte, uint8, error) {
 
 // Drops exposes the endpoint's discard counter — messages that arrived
 // while no buffer was posted, the receive-side half of the topic's
-// loss accounting.
+// loss accounting. The count includes topic-control frames (publisher
+// hellos, credit updates) that found no buffer, not just application
+// payloads; use AppDrops / CtlDrops to split the two when closing a
+// publisher-side conservation equation, since control frames are never
+// charged to the publisher's ledgers.
 func (s *Subscriber) Drops() uint64 { return s.in.Drops() }
+
+// CtlDrops returns the control-frame share of Drops(): topic-control
+// frames (ctlFlag set) discarded at this endpoint for lack of a posted
+// buffer. Counted engine-side per generation, so the value resets when
+// the subscriber rebinds to a fresh endpoint.
+func (s *Subscriber) CtlDrops() uint64 {
+	a := s.in.Addr()
+	return s.d.Engine().EndpointCtlDrops(int(a.Index()), a.Gen())
+}
+
+// AppDrops returns the application-payload share of Drops() — the
+// number that pairs with the publisher's Published/Dropped/Throttled
+// ledgers in the topic conservation law.
+func (s *Subscriber) AppDrops() uint64 { return s.Drops() - s.CtlDrops() }
 
 // Received returns the number of application messages consumed
 // (topic-control frames are excluded). Safe from any goroutine.

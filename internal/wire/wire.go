@@ -117,8 +117,26 @@ const (
 	FlagUrgent      uint8 = 1 << 7 // expedited class (extension)
 	FlagStamped     uint8 = 1 << 6 // frame carries a timestamp trailer (internal)
 	FlagChecksummed uint8 = 1 << 5 // frame carries a CRC32C trailer (internal)
-	PriorityMask    uint8 = 0x07   // 8 priority levels (extension)
+	// FlagCtl marks in-band control-plane frames (topic credit hellos
+	// and advertisements, registry markers). It is reserved by the
+	// messaging planes above the transport; batching transports treat
+	// frames carrying it as expedited (see Expedited) so backpressure
+	// feedback never queues behind the bulk data it regulates.
+	FlagCtl      uint8 = 1 << 4
+	PriorityMask uint8 = 0x07 // 8 priority levels (extension)
 )
+
+// CtlPriorityFloor is the priority level at or above which a frame
+// belongs to the control class for transport purposes: the topic
+// plane's Control class maps there, while Normal and Bulk stay below.
+const CtlPriorityFloor = 4
+
+// Expedited reports whether a frame's flags mark it control-class:
+// either the explicit control bit or a priority in the top (control)
+// band. Batching transports flush such frames past any pending cork.
+func Expedited(flags uint8) bool {
+	return flags&FlagCtl != 0 || flags&PriorityMask >= CtlPriorityFloor
+}
 
 // StampBytes is the size of the optional send-timestamp trailer: a
 // big-endian UnixNano written into the last eight bytes of the fixed
