@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"flipc/internal/core"
+	"flipc/internal/duralog"
 	"flipc/internal/interconnect"
 	"flipc/internal/nameservice"
 	"flipc/internal/stats"
@@ -35,11 +36,14 @@ import (
 type pubsubResult struct {
 	Scenario      string  `json:"scenario"`
 	Credit        bool    `json:"credit"`
+	Durable       bool    `json:"durable,omitempty"`
 	Subscribers   int     `json:"subscribers"`
 	Publishes     uint64  `json:"publishes"`
 	FanoutSent    uint64  `json:"fanout_sent"`
 	FanoutDropped uint64  `json:"fanout_dropped"`
 	Throttled     uint64  `json:"throttled"`
+	Deferred      uint64  `json:"deferred,omitempty"`
+	Replayed      uint64  `json:"replayed,omitempty"`
 	Delivered     uint64  `json:"delivered"`
 	RecvDropped   uint64  `json:"recv_dropped"`
 	PublishPerSec float64 `json:"publish_per_sec"`
@@ -66,19 +70,26 @@ func runPubsub(path string, publishes int) error {
 		subs     int
 		slow     bool
 		credit   bool
+		durable  bool
 	}{
-		{"baseline", 1, false, false},
-		{"baseline", 8, false, false},
-		{"baseline", 64, false, false},
-		{"slow_nocredit", 8, true, false},
-		{"slow_credit", 8, true, true},
+		{"baseline", 1, false, false, false},
+		{"baseline", 8, false, false, false},
+		{"baseline", 64, false, false, false},
+		{"slow_nocredit", 8, true, false, false},
+		{"slow_credit", 8, true, true, false},
+		// The durability tax: same width as the fanout-8 baseline, with
+		// every publish journaled (sequence prefix + duralog append) and
+		// the subscribers running the exactly-once replay seam. The
+		// live-path p50/p99 delta against the baseline row is the cost
+		// of the durable tap.
+		{"durable", 8, false, false, true},
 	}
 	for _, m := range matrix {
-		r, err := pubsubOne(m.subs, publishes, m.slow, m.credit)
+		r, err := pubsubOne(m.subs, publishes, m.slow, m.credit, m.durable)
 		if err != nil {
 			return fmt.Errorf("pubsub %s fanout %d: %w", m.scenario, m.subs, err)
 		}
-		r.Scenario, r.Credit = m.scenario, m.credit
+		r.Scenario, r.Credit, r.Durable = m.scenario, m.credit, m.durable
 		report.Results = append(report.Results, r)
 		fmt.Printf("pubsub %-13s %2d subs: %8.0f publish/s %10.0f frames/s  p50 %7.1fµs  p99 %7.1fµs  (delivered %d, dropped pub %d + recv %d, throttled %d)\n",
 			m.scenario, r.Subscribers, r.PublishPerSec, r.FramesPerSec, r.LatencyP50Us, r.LatencyP99Us,
@@ -101,8 +112,11 @@ func runPubsub(path string, publishes int) error {
 // pubsubOne runs one cell. With slow set, subscriber 0 drains an order
 // of magnitude below the publish rate (its latency samples are excluded
 // — the fast subscribers' tail is what the scenario measures); with
-// credit set, the topic runs the per-subscriber receive-credit loop.
-func pubsubOne(subs, publishes int, slow, credit bool) (pubsubResult, error) {
+// credit set, the topic runs the per-subscriber receive-credit loop;
+// with durable set, every publish is journaled to a duralog and the
+// subscribers run the replay seam (replayed deliveries are excluded
+// from the latency sample — they measure recovery, not the pipeline).
+func pubsubOne(subs, publishes int, slow, credit, durable bool) (pubsubResult, error) {
 	const (
 		msgSize  = 128
 		subNodes = 4 // subscriber domains; fanout spreads round-robin
@@ -149,10 +163,14 @@ func pubsubOne(subs, publishes int, slow, credit bool) (pubsubResult, error) {
 	for i := range runs {
 		var s *topic.Subscriber
 		var err error
-		if credit {
+		switch {
+		case durable:
+			s, err = topic.NewSubscriberDurable(subDs[i%subNodes], dir, "bench", topic.Normal,
+				subBufs, subBufs, fmt.Sprintf("bench/sub-%02d", i))
+		case credit:
 			s, err = topic.NewSubscriberCredit(subDs[i%subNodes], dir, "bench", topic.Normal,
 				subBufs, subBufs, topic.CreditConfig{})
-		} else {
+		default:
 			s, err = topic.NewSubscriber(subDs[i%subNodes], dir, "bench", topic.Normal, subBufs, subBufs)
 		}
 		if err != nil {
@@ -164,8 +182,30 @@ func pubsubOne(subs, publishes int, slow, credit bool) (pubsubResult, error) {
 	if window < 64 {
 		window = 64
 	}
+	if durable {
+		// On a durable topic an outbox-backpressure drop is not a drop:
+		// it re-enters the subscriber into catch-up, pulling the stream
+		// through the journal until the seam re-locks. The baseline rows
+		// tolerate a few percent of window drops as counted loss; here
+		// the same shortfall would put most of the run on the replay
+		// path and measure recovery instead of the tap. Size the window
+		// to the offered burst so the measured phase stays live.
+		window *= 4
+	}
+	var dlog *duralog.Log
+	if durable {
+		durDir, err := os.MkdirTemp("", "flipcbench-duralog-")
+		if err != nil {
+			return pubsubResult{}, err
+		}
+		defer os.RemoveAll(durDir)
+		if dlog, err = duralog.Open(durDir, duralog.Options{NoSync: true}); err != nil {
+			return pubsubResult{}, err
+		}
+		defer dlog.Close()
+	}
 	pub, err := topic.NewPublisher(pubD, dir, topic.PublisherConfig{
-		Topic: "bench", Class: topic.Normal, Depth: 64, Window: window, Credit: credit})
+		Topic: "bench", Class: topic.Normal, Depth: 64, Window: window, Credit: credit, Log: dlog})
 	if err != nil {
 		return pubsubResult{}, err
 	}
@@ -173,9 +213,50 @@ func pubsubOne(subs, publishes int, slow, credit bool) (pubsubResult, error) {
 		return pubsubResult{}, fmt.Errorf("plan has %d subscribers, want %d", pub.Subscribers(), subs)
 	}
 
+	// Durable seam handshake before the drains start (and before the
+	// clock): hello → resume → grant on every subscriber, driven from
+	// this goroutine while it still owns the inboxes, so the measured
+	// phase runs entirely on the live path.
+	if durable {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			locked := true
+			for _, r := range runs {
+				for {
+					if _, _, ok := r.s.Receive(); !ok {
+						break
+					}
+				}
+				if err := r.s.Renew(); err != nil {
+					return pubsubResult{}, err
+				}
+				locked = locked && r.s.DurableLocked()
+			}
+			pub.PumpReplay(0)
+			if locked {
+				break
+			}
+			if time.Now().After(deadline) {
+				return pubsubResult{}, fmt.Errorf("durable seam handshake incomplete")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
 	// The paced publish gap (below) sets the offered rate; the slow
 	// subscriber consumes one message per slowdown gaps.
 	gap := time.Duration(subs)*2*time.Microsecond + 10*time.Microsecond
+	if durable {
+		// The baseline pacing deliberately overdrives the engine a few
+		// percent; those window drops are counted loss there. On a
+		// durable topic the same backpressure instant re-enters the
+		// subscriber into journal catch-up, and the replay pump riding
+		// each publish keeps the congestion alive — the row would
+		// measure a self-sustaining replay collapse, not the tap. Pace
+		// at the durable pipeline's sustainable rate so the seam stays
+		// live and p50/p99 price the journal append + seq prefix.
+		gap *= 2
+	}
 	const slowdown = 20
 
 	// Drain goroutines: one per subscriber (each inbox is
@@ -188,9 +269,9 @@ func pubsubOne(subs, publishes int, slow, credit bool) (pubsubResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			idle := 0
+			idle, spins := 0, 0
 			for {
-				payload, _, ok := r.s.Receive()
+				payload, flags, ok := r.s.Receive()
 				if !ok {
 					select {
 					case <-done:
@@ -200,11 +281,19 @@ func pubsubOne(subs, publishes int, slow, credit bool) (pubsubResult, error) {
 						}
 					default:
 					}
+					spins++
+					if durable && spins%20 == 0 {
+						// Ack/resume cadence: heals tail loss and moves
+						// the cursor so the run can quiesce. The drain
+						// goroutine owns the subscriber, so Renew is its
+						// call to make.
+						_ = r.s.Renew()
+					}
 					time.Sleep(50 * time.Microsecond)
 					continue
 				}
 				idle = 0
-				if len(payload) >= 8 {
+				if len(payload) >= 8 && flags&topic.ReplayFlag == 0 {
 					sent := int64(binary.BigEndian.Uint64(payload[:8]))
 					r.lat = append(r.lat, float64(time.Now().UnixNano()-sent)/1e3)
 				}
@@ -240,6 +329,13 @@ func pubsubOne(subs, publishes int, slow, credit bool) (pubsubResult, error) {
 	next := t0
 	for i := 0; i < publishes; i++ {
 		for time.Now().Before(next) {
+			if durable {
+				// Housekeeping pump in the pacing gap: a heal round
+				// opened by a backpressure deferral lands as soon as the
+				// engine frees a slot, instead of waiting for the next
+				// publish to drive it.
+				pub.PumpReplay(0)
+			}
 			runtime.Gosched()
 		}
 		next = next.Add(gap)
@@ -258,7 +354,19 @@ func pubsubOne(subs, publishes int, slow, credit bool) (pubsubResult, error) {
 		for _, r := range runs {
 			got += r.s.Received() + r.s.AppDrops()
 		}
-		if got+pub.Dropped()+pub.Throttled() == pub.Published()*uint64(subs) {
+		if durable {
+			// Durable conservation is stronger: every loss heals by
+			// replay, so the run quiesces only when every subscriber has
+			// every publish — exactly once, nothing outstanding.
+			pub.PumpReplay(0)
+			var dgot uint64
+			for _, r := range runs {
+				dgot += r.s.Received()
+			}
+			if dgot == pub.Published()*uint64(subs) {
+				break
+			}
+		} else if got+pub.Dropped()+pub.Throttled() == pub.Published()*uint64(subs) {
 			break
 		}
 		time.Sleep(time.Millisecond)
@@ -278,7 +386,12 @@ func pubsubOne(subs, publishes int, slow, credit bool) (pubsubResult, error) {
 			lat = append(lat, r.lat...)
 		}
 	}
-	if delivered+recvDropped+pub.Dropped()+pub.Throttled() != pub.Published()*uint64(subs) {
+	if durable {
+		if delivered != pub.Published()*uint64(subs) {
+			return pubsubResult{}, fmt.Errorf("durable conservation violated: %d delivered != %d published x %d (stranded %d)",
+				delivered, pub.Published(), subs, pub.ReplayStranded())
+		}
+	} else if delivered+recvDropped+pub.Dropped()+pub.Throttled() != pub.Published()*uint64(subs) {
 		return pubsubResult{}, fmt.Errorf("conservation violated: %d delivered + %d recv-dropped + %d pub-dropped + %d throttled != %d published x %d",
 			delivered, recvDropped, pub.Dropped(), pub.Throttled(), pub.Published(), subs)
 	}
@@ -288,6 +401,8 @@ func pubsubOne(subs, publishes int, slow, credit bool) (pubsubResult, error) {
 		FanoutSent:    pub.Sent(),
 		FanoutDropped: pub.Dropped(),
 		Throttled:     pub.Throttled(),
+		Deferred:      pub.Deferred(),
+		Replayed:      pub.Replayed(),
 		Delivered:     delivered,
 		RecvDropped:   recvDropped,
 		PublishPerSec: float64(pub.Published()) / elapsed.Seconds(),

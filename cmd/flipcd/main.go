@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"flipc/internal/core"
+	"flipc/internal/duralog"
 	"flipc/internal/engine"
 	"flipc/internal/metrics"
 	"flipc/internal/nameservice"
@@ -58,6 +59,7 @@ func main() {
 		backoff  = flag.Duration("reconnect-backoff", 50*time.Millisecond, "initial redial backoff")
 		maxBack  = flag.Duration("reconnect-max", 5*time.Second, "redial backoff cap")
 		httpAddr = flag.String("http", "", "observability HTTP listen address (/metrics, /healthz, /debug/trace); empty disables")
+		duraDir  = flag.String("duradir", "", "durable topic log root: health-swept read-only onto /metrics and /healthz (depth, cursor lag, retention breaches)")
 		traceBuf = flag.Int("tracebuf", 4096, "trace ring capacity when -http is set")
 		checksum = flag.Bool("checksum", false, "CRC32C-checksum outgoing frames and verify flagged arrivals")
 		checks   = flag.Bool("checks", true, "engine validity checks (quarantine on comm-buffer corruption)")
@@ -139,6 +141,15 @@ func main() {
 	var srv *obs.Server
 	if *httpAddr != "" {
 		srv = &obs.Server{Registry: reg, Health: tr.Health, Trace: ring}
+		if *duraDir != "" {
+			// Read-only sweep per scrape: ScanDir never opens (so never
+			// truncates) the logs, making it safe against live writers.
+			root := *duraDir
+			srv.DurableHealth = func() []duralog.TopicHealth {
+				ths, _ := duralog.ScanDir(root)
+				return ths
+			}
+		}
 		ln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
 			fatal(fmt.Errorf("http listen %s: %w", *httpAddr, err))

@@ -5,6 +5,7 @@ import (
 	"os"
 	"time"
 
+	"flipc/internal/duralog"
 	"flipc/internal/nameservice"
 	"flipc/internal/registrystore"
 	"flipc/internal/sim"
@@ -126,6 +127,35 @@ func runFailover(o failoverOpts) error {
 		return err
 	}
 
+	// Durable data topic: the payload-loss ledger. A durable publisher
+	// journals every publish; its single subscriber (stable cursor name)
+	// dies with the primary registry, traffic continues into the log
+	// during the blackout, and a replacement resuming under the same
+	// name must recover every payload by replay — zero loss, exactly
+	// once, with the cursor plane itself surviving the failover.
+	durDir, err := os.MkdirTemp("", "flipcsim-duralog-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(durDir)
+	dlog, err := duralog.Open(durDir, duralog.Options{NoSync: true})
+	if err != nil {
+		return err
+	}
+	defer dlog.Close()
+	const durName = "sim/ledger"
+	dsub, err := topic.NewSubscriberDurable(c.Domains[3], fdir, "data", topic.Normal, o.window, o.window, durName)
+	if err != nil {
+		return err
+	}
+	dpub, err := topic.NewPublisher(c.Domains[2], fdir, topic.PublisherConfig{
+		Topic: "data", Class: topic.Normal, Window: o.window, RefreshEvery: 8,
+		Log: dlog, CreditBuffers: 8,
+	})
+	if err != nil {
+		return err
+	}
+
 	// Bootstrap the standby with a full-state resync (the takeover
 	// records enqueued before it subscribed never reached it): sequence
 	// captured before export, so the stream overlap double-applies
@@ -141,7 +171,10 @@ func runFailover(o failoverOpts) error {
 	// that a renewing subscriber can never expire.
 	poll := sim.Time(o.poll.Nanoseconds())
 	primaryAlive := true
+	durAlive := true
+	durCur := dsub // current durable subscriber incarnation
 	c.Clock.NewTicker(50*poll, func() {
+		dpub.PumpReplay(0)
 		if !primaryAlive {
 			return
 		}
@@ -157,6 +190,11 @@ func runFailover(o failoverOpts) error {
 	c.Clock.NewTicker(200*poll, func() {
 		for _, s := range subs {
 			if err := s.sub.Renew(); err != nil {
+				fatal(err)
+			}
+		}
+		if durAlive {
+			if err := durCur.Renew(); err != nil {
 				fatal(err)
 			}
 		}
@@ -208,6 +246,34 @@ func runFailover(o failoverOpts) error {
 		c.Clock.NewTicker(poll, func() { drain(s) })
 	}
 
+	// Durable data stream: tagged payloads, delivery counted per tag
+	// across both subscriber incarnations (the loss ledger).
+	durSeen := map[int]int{}
+	durPublished := 0
+	publishData := func() {
+		tag := durPublished
+		durPublished++
+		var buf [2]byte
+		buf[0], buf[1] = byte(tag>>8), byte(tag)
+		if _, err := dpub.Publish(buf[:]); err != nil {
+			fatal(err)
+		}
+	}
+	c.Clock.NewTicker(poll, func() {
+		if !durAlive {
+			return
+		}
+		for {
+			payload, _, ok := durCur.Receive()
+			if !ok {
+				return
+			}
+			if len(payload) >= 2 {
+				durSeen[int(payload[0])<<8|int(payload[1])]++
+			}
+		}
+	})
+
 	gap := sim.Time(o.gap.Nanoseconds())
 	settle := 1000 * poll
 	balanced := func() bool {
@@ -225,14 +291,37 @@ func runFailover(o failoverOpts) error {
 		}
 	}
 
-	// Phase one: traffic against the primary.
+	// Phase one: traffic against the primary, ctl and durable data on
+	// the same cadence.
 	start := c.Clock.Now() + gap
 	for i := 0; i < o.msgs; i++ {
 		t := start + sim.Time(i)*gap
-		c.Clock.At(t, func() { publish() })
+		c.Clock.At(t, func() { publish(); publishData() })
 	}
 	settleUntil(start + sim.Time(o.msgs)*gap + settle)
 	before := collectLatencies(subs)
+
+	// The durable stream must be fully delivered and fully acked —
+	// cursor at head in the log and registered with the primary — before
+	// the kill, so the replacement's resume point is exact and the
+	// cursor record is in the replication stream the standby applies.
+	durSettled := func() bool {
+		if len(durSeen) != durPublished {
+			return false
+		}
+		cur, ok := dlog.Cursor(durName)
+		if !ok || cur != dlog.Head() {
+			return false
+		}
+		rc, rok := regA.CursorOf("data", durName)
+		return rok && rc == cur
+	}
+	for i := 0; i < 500 && !durSettled(); i++ {
+		c.Clock.RunUntil(c.Clock.Now() + settle)
+	}
+	if !durSettled() {
+		return fmt.Errorf("durable stream never settled before the kill: %d/%d delivered", len(durSeen), durPublished)
+	}
 
 	// Let the stream fully catch up, then kill the primary cold: the
 	// observer detaches, the feed stops pumping, nobody says goodbye.
@@ -249,6 +338,11 @@ func runFailover(o failoverOpts) error {
 	served := regA.ExportState()
 	regA.Observe(nil)
 	primaryAlive = false
+	// The durable subscriber dies with the primary — a compound failure:
+	// no unsubscribe, no farewell ack, the cursor's last registered
+	// position is all that survives.
+	durAlive = false
+	deadDurAddr := durCur.Addr()
 
 	// Takeover: fence strictly above the dead primary, then retarget the
 	// workload at the new registry.
@@ -289,14 +383,69 @@ func runFailover(o failoverOpts) error {
 	}
 	pub.Refresh()
 
-	// Phase two: same traffic against the new primary.
+	// Blackout tranche: data keeps publishing with its only subscriber
+	// dead — kill-mid-traffic. Every payload lands in the journal alone;
+	// the replacement owes all of them to the replay. The dead lease is
+	// reaped the way the sweep would, so plans stop carrying it.
+	if err := fdir.Unsubscribe("data", deadDurAddr); err != nil {
+		return fmt.Errorf("reap dead durable lease: %w", err)
+	}
+	dpub.Evict(deadDurAddr)
 	start = c.Clock.Now() + gap
 	for i := 0; i < o.msgs; i++ {
 		t := start + sim.Time(i)*gap
-		c.Clock.At(t, func() { publish() })
+		c.Clock.At(t, func() { publishData() })
+	}
+	c.Clock.RunUntil(start + sim.Time(o.msgs)*gap + settle)
+
+	// The replacement resumes under the same cursor name at a fresh
+	// address, from the stored cursor.
+	dsub2, err := topic.NewSubscriberDurable(c.Domains[3], fdir, "data", topic.Normal, o.window, o.window, durName)
+	if err != nil {
+		return fmt.Errorf("durable replacement: %w", err)
+	}
+	durCur = dsub2
+	durAlive = true
+	if err := dpub.Refresh(); err != nil {
+		return err
+	}
+	// Drain the blackout catch-up before the phase-two latency window:
+	// the replay burst is deliberate Bulk-priority backlog, and letting
+	// it overlap the measurement would charge the durable tranche to the
+	// control-plane p99 bound.
+	for i := 0; i < 500 && len(durSeen) != durPublished; i++ {
+		c.Clock.RunUntil(c.Clock.Now() + settle)
+	}
+	if len(durSeen) != durPublished {
+		return fmt.Errorf("blackout catch-up stalled: %d/%d delivered", len(durSeen), durPublished)
+	}
+
+	// Phase two: same traffic against the new primary, with the durable
+	// stream back live.
+	start = c.Clock.Now() + gap
+	for i := 0; i < o.msgs; i++ {
+		t := start + sim.Time(i)*gap
+		c.Clock.At(t, func() { publish(); publishData() })
 	}
 	settleUntil(start + sim.Time(o.msgs)*gap + settle)
 	after := collectLatencies(subs)
+
+	// Durable quiesce: everything delivered across incarnations, cursor
+	// back at head on the log and on the new primary.
+	durDone := func() bool {
+		if len(durSeen) != durPublished {
+			return false
+		}
+		cur, ok := dlog.Cursor(durName)
+		if !ok || cur != dlog.Head() {
+			return false
+		}
+		rc, rok := regB.CursorOf("data", durName)
+		return rok && rc == cur
+	}
+	for i := 0; i < 500 && !durDone(); i++ {
+		c.Clock.RunUntil(c.Clock.Now() + settle)
+	}
 
 	// Conservation across both phases: every publish completed without
 	// blocking and is accounted for at one end or the other.
@@ -320,6 +469,30 @@ func runFailover(o failoverOpts) error {
 		return fmt.Errorf("conservation violated across failover: %d of %d accounted", got, expect)
 	}
 	fmt.Println("conservation: ok (zero subscriptions lost, no publisher blocked)")
+
+	// The durable data-loss ledger: every payload published across the
+	// kill — including the blackout tranche nobody was alive to hear —
+	// was delivered exactly once, and the only admissible loss class
+	// (retention stranding) is empty.
+	if durPublished != 3*o.msgs || dlog.Head() != uint64(durPublished) {
+		return fmt.Errorf("durable journal short: %d published, head %d", durPublished, dlog.Head())
+	}
+	for tag := 0; tag < durPublished; tag++ {
+		if n := durSeen[tag]; n != 1 {
+			return fmt.Errorf("durable payload %d delivered %d times (zero-loss ledger violated)", tag, n)
+		}
+	}
+	if dpub.ReplayStranded() != 0 {
+		return fmt.Errorf("durable stranded %d frames on an unbreached log", dpub.ReplayStranded())
+	}
+	if dpub.Replayed() == 0 || dsub2.Replayed() == 0 {
+		return fmt.Errorf("durable blackout never exercised replay (pub %d, sub %d)",
+			dpub.Replayed(), dsub2.Replayed())
+	}
+	rc, _ := regB.CursorOf("data", durName)
+	fmt.Printf("data (durable): published %d (1/3 with its subscriber dead); delivered %d distinct, %d by replay; deferred %d, stranded 0\n",
+		durPublished, len(durSeen), dsub2.Replayed(), dpub.Deferred())
+	fmt.Printf("durable ledger: ok (zero payload loss across the kill; cursor %d at head on the new primary)\n", rc)
 
 	beforeSum, err := stats.Summarize(before)
 	if err != nil {

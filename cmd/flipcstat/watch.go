@@ -73,6 +73,27 @@ func render(doc, prev *obs.MetricsJSON, dt time.Duration, url string) {
 		}
 		fmt.Println()
 	}
+
+	// Durable topic logs (nodes hosting them only): depth is retained
+	// payload frames, max-lag the head distance of the slowest cursor —
+	// the two numbers that say whether replay debt is accumulating. A
+	// breach means retention already passed the slowest cursor: its
+	// resume will start late with a counted gap.
+	if len(doc.Durable) > 0 {
+		fmt.Printf("\n%-24s %10s %10s %9s %10s  %s\n",
+			"durable topic", "head", "depth", "segments", "max-lag", "slowest cursor")
+		for _, t := range doc.Durable {
+			fmt.Printf("%-24s %10d %10d %9d %10d  %s",
+				t.Topic, t.Head, t.Depth, t.Segments, t.MaxLag, t.LaggingSub)
+			if t.Breached {
+				fmt.Print("  RETENTION BREACHED")
+			}
+			if t.Err != "" {
+				fmt.Printf("  LOG ERROR: %s", t.Err)
+			}
+			fmt.Println()
+		}
+	}
 	fmt.Println()
 
 	// Counters: absolute value plus delta rate since the last sample.

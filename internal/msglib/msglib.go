@@ -132,6 +132,20 @@ func (o *Outbox) SendFlags(dst core.Addr, payload []byte, flags uint8) error {
 	return nil
 }
 
+// SendReady reports whether the next Send can proceed without
+// backpressure: a pooled buffer is free and the send queue has a slot.
+// Reclaims completed sends as a side effect. Callers whose staging work
+// is costlier than the send itself (replay reads, encode passes) probe
+// this before staging instead of paying for a send that will refuse.
+func (o *Outbox) SendReady() bool {
+	o.reclaim()
+	if len(o.pool) == 0 {
+		return false
+	}
+	toProc, toAcq := o.ep.Pending()
+	return toProc+toAcq < o.ep.QueueDepth()
+}
+
 // Flush reports whether all queued sends have completed (reclaiming as
 // a side effect).
 func (o *Outbox) Flush() bool {

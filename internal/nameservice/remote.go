@@ -68,6 +68,12 @@ import (
 //	                   (len byte + name). Pages until offset reaches
 //	                   total — with topic snapshots, enough for a
 //	                   replica to bootstrap a full state resync.
+//	cursor ack (9):    lookup-shaped; [5:9] is the request tag and the
+//	                   trailing bytes after the topic name carry
+//	                   acked seq(8) | subscriber name len(1) | name.
+//	                   Registers a durable-stream replay cursor
+//	                   (max-merged, so retries and reordering are
+//	                   harmless). Mutation-gated like subscribe.
 //
 // Topic mutations (subscribe/unsubscribe) are refused with
 // statusNotPrimary at a node whose info source reports it is not the
@@ -83,6 +89,7 @@ const (
 	opTopicSnap    = 6
 	opRegistryInfo = 7
 	opTopicList    = 8
+	opCursorAck    = 9
 
 	statusOK         = 0
 	statusNotFound   = 1
@@ -264,6 +271,20 @@ func (s *Server) process(req []byte, maxPayload int) (wire.Addr, []byte) {
 			break
 		}
 		s.topics.Unsubscribe(name, wire.Addr(binary.BigEndian.Uint32(req[5:9])))
+	case opCursorAck:
+		if !s.mutable() {
+			resp[0] = statusNotPrimary
+			break
+		}
+		if len(tail) < 10 || 9+int(tail[8]) > len(tail) || tail[8] == 0 {
+			resp[0] = statusBad
+			break
+		}
+		seq := binary.BigEndian.Uint64(tail[0:8])
+		sub := string(tail[9 : 9+int(tail[8])])
+		if err := s.topics.AckCursor(name, sub, seq); err != nil {
+			resp[0] = statusBad
+		}
 	case opTopicSnap:
 		return replyTo, s.snapResponse(name, pageOffset(tail), req[5:9], maxPayload)
 	case opRegistryInfo:
@@ -535,6 +556,39 @@ func (c *Client) Unsubscribe(topic string, addr wire.Addr, timeout time.Duration
 	}
 	if resp[0] != statusOK {
 		return fmt.Errorf("nameservice: unsubscribe %q failed (status %d)", topic, resp[0])
+	}
+	return nil
+}
+
+// AckCursor registers subscriber sub's acknowledged durable-stream
+// cursor on topic at the server (op 9). Acks are max-merged server-
+// side, so retrying after a timeout is safe even if the original
+// request landed.
+func (c *Client) AckCursor(topic, sub string, seq uint64, timeout time.Duration) error {
+	if len(sub) == 0 || len(sub) > 255 {
+		return fmt.Errorf("nameservice: bad cursor subscriber name length %d", len(sub))
+	}
+	c.tag++
+	want := c.tag
+	tail := make([]byte, 9+len(sub))
+	binary.BigEndian.PutUint64(tail[0:8], seq)
+	tail[8] = byte(len(sub))
+	copy(tail[9:], sub)
+	req, err := c.buildReq(opCursorAck, topic, want, tail)
+	if err != nil {
+		return err
+	}
+	resp, err := c.roundtrip(req, timeout, func(resp []byte) bool {
+		return binary.BigEndian.Uint32(resp[5:9]) == want
+	})
+	if err != nil {
+		return err
+	}
+	if resp[0] == statusNotPrimary {
+		return fmt.Errorf("%w: cursor ack %q", ErrNotPrimary, topic)
+	}
+	if resp[0] != statusOK {
+		return fmt.Errorf("nameservice: cursor ack %q failed (status %d)", topic, resp[0])
 	}
 	return nil
 }

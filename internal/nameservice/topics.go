@@ -37,6 +37,18 @@ type Subscription struct {
 	Epoch uint64
 }
 
+// Cursor is one named subscriber's acknowledged durable-stream
+// position in a topic (see internal/duralog): every payload sequence
+// at or below Seq has been delivered and acknowledged, so replay after
+// a disconnect resumes at Seq+1. Cursors are keyed by a stable
+// subscriber name, not an endpoint address, because addresses change
+// across rebinds and quarantine recoveries while the replay position
+// must not.
+type Cursor struct {
+	Sub string
+	Seq uint64
+}
+
 // TopicSnapshot is an immutable view of one topic's membership.
 type TopicSnapshot struct {
 	Name  string
@@ -45,6 +57,9 @@ type TopicSnapshot struct {
 	// plan only when it moves.
 	Gen  uint32
 	Subs []Subscription // ordered by address for deterministic fanout
+	// Cursors are the durable-stream replay positions registered for
+	// this topic, ordered by subscriber name.
+	Cursors []Cursor
 }
 
 // Addrs returns the subscriber addresses in snapshot order.
@@ -57,9 +72,10 @@ func (s TopicSnapshot) Addrs() []wire.Addr {
 }
 
 type topicRecord struct {
-	class uint8
-	gen   uint32
-	subs  map[wire.Addr]uint64 // addr -> epoch of last renewal
+	class   uint8
+	gen     uint32
+	subs    map[wire.Addr]uint64 // addr -> epoch of last renewal
+	cursors map[string]uint64    // subscriber name -> acked durable seq
 }
 
 // MutationOp identifies one kind of registry state change.
@@ -73,6 +89,11 @@ const (
 	MutRenew
 	MutUnsubscribe
 	MutAdvance
+	// MutCursor records a durable-stream cursor advance: subscriber Sub
+	// acknowledged every payload sequence through Ack on Topic. Emitted
+	// only when the cursor actually moves (acks are max-merged), so the
+	// journal carries progress, not the ack cadence.
+	MutCursor
 )
 
 // Mutation describes one acknowledged registry state change, in exactly
@@ -85,6 +106,10 @@ type Mutation struct {
 	Topic string
 	Addr  wire.Addr
 	Class uint8
+	// Sub and Ack carry MutCursor's subscriber name and acknowledged
+	// sequence.
+	Sub string
+	Ack uint64
 }
 
 // MutationObserver receives every acknowledged mutation. It is called
@@ -211,6 +236,46 @@ func (r *TopicRegistry) Unsubscribe(topic string, addr wire.Addr) {
 	}
 }
 
+// AckCursor records subscriber sub's acknowledged durable-stream
+// position on topic. Acks are max-merged: a late or replayed ack below
+// the recorded position is a no-op, so the call is idempotent and safe
+// against reordered in-band acknowledgements. Cursor changes never bump
+// the membership generation (they do not change fanout), and the
+// observer sees MutCursor only when the cursor actually advances.
+func (r *TopicRegistry) AckCursor(topic, sub string, seq uint64) error {
+	if topic == "" {
+		return fmt.Errorf("nameservice: empty topic name")
+	}
+	if sub == "" || len(sub) > 255 {
+		return fmt.Errorf("nameservice: bad cursor subscriber name length %d", len(sub))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.record(topic)
+	if t.cursors == nil {
+		t.cursors = make(map[string]uint64)
+	}
+	if cur, ok := t.cursors[sub]; ok && cur >= seq {
+		return nil
+	}
+	t.cursors[sub] = seq
+	r.notify(Mutation{Op: MutCursor, Topic: topic, Sub: sub, Ack: seq})
+	return nil
+}
+
+// CursorOf returns subscriber sub's acknowledged cursor on topic; ok
+// reports whether one is registered.
+func (r *TopicRegistry) CursorOf(topic, sub string) (uint64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.topics[topic]
+	if t == nil {
+		return 0, false
+	}
+	seq, ok := t.cursors[sub]
+	return seq, ok
+}
+
 // EvictEndpoint removes every subscription whose address names the
 // given node and endpoint index, regardless of generation, bumping the
 // affected topics' generations so cached fanout plans rebuild on their
@@ -253,6 +318,10 @@ func (r *TopicRegistry) Snapshot(topic string) (TopicSnapshot, bool) {
 		snap.Subs = append(snap.Subs, Subscription{Addr: a, Epoch: e})
 	}
 	sort.Slice(snap.Subs, func(i, j int) bool { return snap.Subs[i].Addr < snap.Subs[j].Addr })
+	for s, seq := range t.cursors {
+		snap.Cursors = append(snap.Cursors, Cursor{Sub: s, Seq: seq})
+	}
+	sort.Slice(snap.Cursors, func(i, j int) bool { return snap.Cursors[i].Sub < snap.Cursors[j].Sub })
 	return snap, true
 }
 
@@ -326,10 +395,11 @@ func (r *TopicRegistry) Topics() []string {
 
 // TopicState is one topic's full durable state (snapshot/restore unit).
 type TopicState struct {
-	Name  string
-	Class uint8
-	Gen   uint32
-	Subs  []Subscription // ordered by address
+	Name    string
+	Class   uint8
+	Gen     uint32
+	Subs    []Subscription // ordered by address
+	Cursors []Cursor       // ordered by subscriber name
 }
 
 // RegistryState is the registry's full durable state: what a compacted
@@ -352,6 +422,10 @@ func (r *TopicRegistry) ExportState() RegistryState {
 			ts.Subs = append(ts.Subs, Subscription{Addr: a, Epoch: e})
 		}
 		sort.Slice(ts.Subs, func(i, j int) bool { return ts.Subs[i].Addr < ts.Subs[j].Addr })
+		for s, seq := range t.cursors {
+			ts.Cursors = append(ts.Cursors, Cursor{Sub: s, Seq: seq})
+		}
+		sort.Slice(ts.Cursors, func(i, j int) bool { return ts.Cursors[i].Sub < ts.Cursors[j].Sub })
 		st.Topics = append(st.Topics, ts)
 	}
 	sort.Slice(st.Topics, func(i, j int) bool { return st.Topics[i].Name < st.Topics[j].Name })
@@ -371,6 +445,12 @@ func (r *TopicRegistry) RestoreState(st RegistryState) {
 		t := &topicRecord{class: ts.Class, gen: ts.Gen, subs: make(map[wire.Addr]uint64, len(ts.Subs))}
 		for _, s := range ts.Subs {
 			t.subs[s.Addr] = s.Epoch
+		}
+		for _, c := range ts.Cursors {
+			if t.cursors == nil {
+				t.cursors = make(map[string]uint64, len(ts.Cursors))
+			}
+			t.cursors[c.Sub] = c.Seq
 		}
 		r.topics[ts.Name] = t
 	}

@@ -8,8 +8,11 @@
 //	              server-side quantiles (?format=json) — the schema
 //	              flipcstat -watch consumes.
 //	/healthz      200 when every known peer is connected (or none are
-//	              known) and no endpoint is quarantined, 503 otherwise;
-//	              JSON body with peer states and quarantined endpoints.
+//	              known), no endpoint is quarantined, and no durable
+//	              topic log is degraded (sticky I/O error, or a cursor
+//	              lagging past the retention horizon), 503 otherwise;
+//	              JSON body with peer states, quarantined endpoints,
+//	              and per-topic durable log health.
 //	/debug/trace  plain-text dump of the trace ring, oldest first.
 //
 // Scrapes never block the message path: every read is a registry
@@ -26,6 +29,7 @@ import (
 	"sort"
 	"strings"
 
+	"flipc/internal/duralog"
 	"flipc/internal/engine"
 	"flipc/internal/metrics"
 	"flipc/internal/nettrans"
@@ -54,6 +58,13 @@ type Server struct {
 	// on registry nodes. Surfaced in both /metrics?format=json and
 	// /healthz so operators and flipcstat see failover state live.
 	RegistryHealth func() registrystore.Health
+	// DurableHealth returns per-topic durable log health (typically a
+	// closure over the open logs' Health, or duralog.ScanDir for a
+	// read-only sweep) — set only on nodes hosting durable topic logs.
+	// Surfaced in /metrics?format=json and /healthz; a cursor lagging
+	// past the retention horizon (Breached) or a sticky log error marks
+	// the node degraded.
+	DurableHealth func() []duralog.TopicHealth
 }
 
 func (s *Server) registryHealth() *registrystore.Health {
@@ -80,6 +91,53 @@ func (s *Server) quarantined() []QuarantineJSON {
 	for _, q := range qs {
 		out = append(out, QuarantineJSON{Slot: q.Slot, Kind: q.Kind.String(), Pass: q.Pass})
 	}
+	return out
+}
+
+// DurableJSON is one durable topic log's health in the JSON
+// exposition: depth and cursor lag are what flipcstat -watch renders;
+// breached means the slowest cursor's next needed sequence was
+// force-retired by retention, so its resume will start late with a
+// counted gap.
+type DurableJSON struct {
+	Topic             string            `json:"topic"`
+	Head              uint64            `json:"head"`
+	First             uint64            `json:"first"`
+	Depth             uint64            `json:"depth"`
+	Segments          int               `json:"segments"`
+	Cursors           map[string]uint64 `json:"cursors,omitempty"`
+	MaxLag            uint64            `json:"max_lag"`
+	LaggingSub        string            `json:"lagging_sub,omitempty"`
+	Breached          bool              `json:"breached"`
+	RetentionBreaches uint64            `json:"retention_breaches"`
+	Err               string            `json:"err,omitempty"`
+}
+
+func (s *Server) durable() []DurableJSON {
+	if s.DurableHealth == nil {
+		return nil
+	}
+	ths := s.DurableHealth()
+	out := make([]DurableJSON, 0, len(ths))
+	for _, t := range ths {
+		j := DurableJSON{
+			Topic:             t.Topic,
+			Head:              t.Head,
+			First:             t.First,
+			Depth:             t.Depth,
+			Segments:          t.Segments,
+			Cursors:           t.Cursors,
+			MaxLag:            t.MaxLag,
+			LaggingSub:        t.LaggingSub,
+			Breached:          t.Breached,
+			RetentionBreaches: t.RetentionBreaches,
+		}
+		if t.Err != nil {
+			j.Err = t.Err.Error()
+		}
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Topic < out[j].Topic })
 	return out
 }
 
@@ -118,6 +176,7 @@ type MetricsJSON struct {
 	Histograms map[string]HistJSON   `json:"histograms"`
 	Peers      []PeerJSON            `json:"peers"`
 	Registry   *registrystore.Health `json:"registry,omitempty"`
+	Durable    []DurableJSON         `json:"durable,omitempty"`
 }
 
 // Handler returns the HTTP handler serving the observability routes.
@@ -168,6 +227,7 @@ func (s *Server) MetricsDoc() MetricsJSON {
 		Histograms: map[string]HistJSON{},
 		Peers:      s.peers(),
 		Registry:   s.registryHealth(),
+		Durable:    s.durable(),
 	}
 	if s.Registry == nil {
 		return doc
@@ -277,9 +337,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	peers := s.peers()
 	quarantined := s.quarantined()
 	reg := s.registryHealth()
+	durable := s.durable()
 	healthy := len(quarantined) == 0
 	if reg != nil && reg.StoreErr != "" {
 		healthy = false // the registry can no longer make mutations durable
+	}
+	for _, t := range durable {
+		if t.Breached || t.Err != "" {
+			// A cursor lagged past the retention horizon (its resume
+			// will start late with a counted gap) or the log can no
+			// longer journal: durability is degraded.
+			healthy = false
+			break
+		}
 	}
 	for _, p := range peers {
 		if p.State != nettrans.PeerConnected.String() {
@@ -299,7 +369,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Peers       []PeerJSON            `json:"peers"`
 		Quarantined []QuarantineJSON      `json:"quarantined,omitempty"`
 		Registry    *registrystore.Health `json:"registry,omitempty"`
-	}{healthy, peers, quarantined, reg})
+		Durable     []DurableJSON         `json:"durable,omitempty"`
+	}{healthy, peers, quarantined, reg, durable})
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

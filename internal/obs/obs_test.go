@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"flipc/internal/core"
+	"flipc/internal/duralog"
 	"flipc/internal/engine"
 	"flipc/internal/metrics"
 	"flipc/internal/nettrans"
@@ -255,5 +256,55 @@ func TestEmptyServer(t *testing.T) {
 	code, _ = get(t, s.Handler(), "/healthz")
 	if code != http.StatusOK {
 		t.Fatalf("no peers should be healthy: %d", code)
+	}
+}
+
+func TestHealthzDurable(t *testing.T) {
+	// A durable-log health source flips /healthz exactly when a cursor
+	// breached retention or the log carries a sticky error; a merely
+	// lagging cursor is reported but healthy.
+	th := duralog.TopicHealth{Topic: "orders", Health: duralog.Health{
+		Head: 100, First: 1, Depth: 100, Segments: 2,
+		Cursors: map[string]uint64{"slow": 10}, MaxLag: 90, LaggingSub: "slow",
+	}}
+	s := &Server{DurableHealth: func() []duralog.TopicHealth { return []duralog.TopicHealth{th} }}
+	code, body := get(t, s.Handler(), "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("lagging-but-covered cursor should be healthy: %d %s", code, body)
+	}
+	if !strings.Contains(body, `"max_lag":90`) || !strings.Contains(body, `"orders"`) {
+		t.Fatalf("healthz body missing durable lag: %s", body)
+	}
+
+	th.Breached = true
+	code, body = get(t, s.Handler(), "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("breached cursor must degrade healthz: %d %s", code, body)
+	}
+	if !strings.Contains(body, `"breached":true`) {
+		t.Fatalf("healthz body missing breach: %s", body)
+	}
+
+	th.Breached = false
+	th.Err = fmt.Errorf("disk on fire")
+	code, body = get(t, s.Handler(), "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("sticky log error must degrade healthz: %d %s", code, body)
+	}
+	if !strings.Contains(body, "disk on fire") {
+		t.Fatalf("healthz body missing log error: %s", body)
+	}
+
+	// The same health rides /metrics?format=json for flipcstat -watch.
+	code, body = get(t, s.Handler(), "/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("metrics json: %d", code)
+	}
+	var doc MetricsJSON
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Durable) != 1 || doc.Durable[0].LaggingSub != "slow" {
+		t.Fatalf("metrics durable section = %+v", doc.Durable)
 	}
 }

@@ -1,0 +1,134 @@
+package recio
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRoundTripBothVersions(t *testing.T) {
+	cases := []Frame{
+		{Type: 1, Ver: V0, Seq: 7, Payload: []byte("hello")},
+		{Type: 2, Ver: V0, Seq: 0, Payload: nil},
+		{Type: 1, Ver: V1, Seq: 7, Payload: []byte("hello")},
+		{Type: 3, Ver: V1, Seq: 1 << 40, Ext: []byte{0xAA, 0xBB}, Payload: []byte("with-ext")},
+		{Type: 4, Ver: V1, Seq: 9, Ext: []byte{1}, Payload: nil},
+	}
+	for _, want := range cases {
+		enc, err := Append(nil, &want)
+		if err != nil {
+			t.Fatalf("Append(%+v): %v", want, err)
+		}
+		got, n, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%+v): %v", want, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("consumed %d of %d", n, len(enc))
+		}
+		if got.Type != want.Type || got.Ver != want.Ver || got.Seq != want.Seq ||
+			!bytes.Equal(got.Ext, want.Ext) || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("round trip: got %+v want %+v", got, want)
+		}
+		re, err := Append(nil, &got)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(re, enc) {
+			t.Fatalf("not canonical:\n in  %x\n out %x", enc, re)
+		}
+	}
+}
+
+func TestMixedVersionStream(t *testing.T) {
+	// A stream with a v0 frame, a v1 frame with an extension, and a v1
+	// frame without one — what a log looks like across an upgrade.
+	var stream []byte
+	frames := []Frame{
+		{Type: 1, Ver: V0, Seq: 1, Payload: []byte("old")},
+		{Type: 1, Ver: V1, Seq: 2, Ext: []byte("future-field"), Payload: []byte("new")},
+		{Type: 2, Ver: V1, Seq: 3, Payload: []byte("plain-v1")},
+	}
+	for i := range frames {
+		var err error
+		stream, err = Append(stream, &frames[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []Frame
+	consumed, err := Scan(stream, func(f Frame, size int) error {
+		got = append(got, f)
+		return nil
+	})
+	if err != nil || consumed != len(stream) {
+		t.Fatalf("Scan consumed %d of %d, err %v", consumed, len(stream), err)
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("scanned %d frames, want %d", len(got), len(frames))
+	}
+	for i, f := range got {
+		if f.Seq != frames[i].Seq || f.Ver != frames[i].Ver ||
+			!bytes.Equal(f.Payload, frames[i].Payload) || !bytes.Equal(f.Ext, frames[i].Ext) {
+			t.Fatalf("frame %d: got %+v want %+v", i, f, frames[i])
+		}
+	}
+}
+
+func TestTornTailAndCorruption(t *testing.T) {
+	a, _ := Append(nil, &Frame{Type: 1, Ver: V1, Seq: 1, Payload: []byte("first")})
+	b, _ := Append(nil, &Frame{Type: 1, Ver: V1, Seq: 2, Payload: []byte("second")})
+
+	// Torn tail: scan stops at the durable prefix, no error.
+	torn := append(append([]byte{}, a...), b[:len(b)-3]...)
+	n := 0
+	consumed, err := Scan(torn, func(Frame, int) error { n++; return nil })
+	if err != nil || consumed != len(a) || n != 1 {
+		t.Fatalf("torn tail: consumed %d want %d, frames %d, err %v", consumed, len(a), n, err)
+	}
+
+	// Corruption mid-stream stops the scan at the same place.
+	bad := append(append([]byte{}, a...), b...)
+	bad[len(a)] ^= 0xFF
+	consumed, _ = Scan(bad, func(Frame, int) error { return nil })
+	if consumed != len(a) {
+		t.Fatalf("corrupt frame: consumed %d want %d", consumed, len(a))
+	}
+
+	// Direct decode classifies: short is ErrShort, corrupt is ErrCorrupt.
+	if _, _, err := Decode(a[:10]); !errors.Is(err, ErrShort) {
+		t.Fatalf("short prefix: %v", err)
+	}
+	if _, _, err := Decode(bad[len(a):]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt frame: %v", err)
+	}
+
+	// Unknown version is corruption, not a crash.
+	future := append([]byte{}, a...)
+	future[7] = 9
+	if _, _, err := Decode(future); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown version: %v", err)
+	}
+}
+
+func TestScanCallbackError(t *testing.T) {
+	var stream []byte
+	for i := uint64(1); i <= 3; i++ {
+		stream, _ = Append(stream, &Frame{Type: 1, Ver: V1, Seq: i})
+	}
+	stop := errors.New("stop")
+	seen := 0
+	consumed, err := Scan(stream, func(f Frame, size int) error {
+		seen++
+		if f.Seq == 2 {
+			return stop
+		}
+		return nil
+	})
+	if !errors.Is(err, stop) || seen != 2 {
+		t.Fatalf("callback error: err %v, seen %d", err, seen)
+	}
+	if consumed != len(stream)/3 {
+		t.Fatalf("consumed %d, want only the first frame (%d)", consumed, len(stream)/3)
+	}
+}

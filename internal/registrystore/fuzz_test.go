@@ -4,6 +4,7 @@ import (
 	"errors"
 	"testing"
 
+	"flipc/internal/recio"
 	"flipc/internal/wire"
 )
 
@@ -38,6 +39,11 @@ func FuzzDecodeRecord(f *testing.F) {
 	f.Add(seed(Record{Type: RecAdvance, Seq: 5}))
 	f.Add(seed(Record{Type: RecFence, Seq: 6, Gen: 42}))
 	f.Add(seed(Record{Type: RecHeartbeat, Seq: 7, Gen: 43}))
+	// v1 frames (what Journal stamps now) and the cursor-ack body.
+	f.Add(seed(Record{Type: RecDeclare, Seq: 10, Topic: "alpha", Class: 2, Ver: recio.V1}))
+	f.Add(seed(Record{Type: RecSubscribe, Seq: 11, Topic: "alpha", Addr: a, Ver: recio.V1}))
+	f.Add(seed(Record{Type: RecCursorAck, Seq: 12, Topic: "alpha", Sub: "node3/analytics", Ack: 999}))
+	f.Add(seed(Record{Type: RecCursorAck, Seq: 13, Topic: "t", Sub: "s", Ack: 1, Ver: recio.V1}))
 	// Two records back to back (stream framing).
 	f.Add(append(seed(Record{Type: RecAdvance, Seq: 1}),
 		seed(Record{Type: RecFence, Seq: 2, Gen: 1})...))

@@ -23,10 +23,10 @@ package registrystore
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 
 	"flipc/internal/nameservice"
+	"flipc/internal/recio"
 	"flipc/internal/wire"
 )
 
@@ -47,6 +47,11 @@ const (
 	RecAdvance
 	RecFence
 	RecHeartbeat
+	// RecCursorAck persists a durable-stream replay cursor advance
+	// (subscriber Sub acknowledged through Ack on Topic). Unsynced like
+	// renewals: an ack lost to a crash is re-merged from the next in-band
+	// acknowledgement, and cursors only ever move forward.
+	RecCursorAck
 
 	recTypeSentinel
 )
@@ -68,6 +73,8 @@ func (t RecType) String() string {
 		return "fence"
 	case RecHeartbeat:
 		return "heartbeat"
+	case RecCursorAck:
+		return "cursor-ack"
 	}
 	return fmt.Sprintf("rectype(%d)", uint8(t))
 }
@@ -86,39 +93,36 @@ type Record struct {
 	// Gen is the registry generation carried by Fence and Heartbeat
 	// records.
 	Gen uint64
+	// Sub and Ack carry RecCursorAck's subscriber name and acknowledged
+	// durable sequence.
+	Sub string
+	Ack uint64
+	// Ver is the frame format version (recio.V0 or recio.V1), preserved
+	// across decode so re-encoding a decoded record is byte-exact.
+	// Journal stamps newly written records recio.V1.
+	Ver uint8
 }
 
-// Record wire layout:
-//
-//	[0:4]   CRC32C over bytes [4:16+n] (wire.Checksum — the frame
-//	        checksum machinery reused for durable records)
-//	[4:6]   body length n
-//	[6]     record type
-//	[7]     format version (0)
-//	[8:16]  sequence number
-//	[16:16+n] body
-//
-// Bodies: declare = class(1) | topic; subscribe/renew/unsubscribe =
-// addr(4) | topic; advance = empty; fence/heartbeat = generation(8).
+// Record framing is internal/recio's CRC-framed layout (the codec is
+// shared with internal/duralog); this package owns only the bodies:
+// declare = class(1) | topic; subscribe/renew/unsubscribe = addr(4) |
+// topic; advance = empty; fence/heartbeat = generation(8); cursor-ack =
+// ackSeq(8) | subLen(1) | sub | topic.
 const (
-	recHeaderBytes = 16
-	recVersion     = 0
-
 	// MaxTopicLen bounds topic names in records (matches the remote
 	// protocol's name limit).
 	MaxTopicLen = 200
 )
 
-// ErrCorrupt is wrapped by every record-parsing failure: bad checksum,
-// unknown type, impossible length, malformed body. A log reader stops
-// at the first corrupt record (torn tail); a replica treats it as a
-// stream gap.
-var ErrCorrupt = errors.New("registrystore: corrupt record")
-
-// ErrShort reports a structurally incomplete record prefix — fewer
-// bytes than the header (or the header-claimed body) needs. A log
-// reader treats a short tail as a torn final write, not corruption.
-var ErrShort = errors.New("registrystore: short record")
+// ErrCorrupt and ErrShort are recio's parse-failure classes: ErrShort
+// is a structurally incomplete prefix (a torn tail, truncated at
+// recovery); ErrCorrupt is everything else — bad checksum, unknown
+// type or version, malformed body. A log reader stops at the first
+// corrupt record; a replica treats it as a stream gap.
+var (
+	ErrCorrupt = recio.ErrCorrupt
+	ErrShort   = recio.ErrShort
+)
 
 // body builds the record's type-specific body.
 func (r *Record) body() ([]byte, error) {
@@ -148,6 +152,19 @@ func (r *Record) body() ([]byte, error) {
 		b := make([]byte, 8)
 		binary.BigEndian.PutUint64(b, r.Gen)
 		return b, nil
+	case RecCursorAck:
+		if len(r.Topic) == 0 || len(r.Topic) > MaxTopicLen {
+			return nil, fmt.Errorf("registrystore: bad topic length %d", len(r.Topic))
+		}
+		if len(r.Sub) == 0 || len(r.Sub) > 255 {
+			return nil, fmt.Errorf("registrystore: bad cursor subscriber length %d", len(r.Sub))
+		}
+		b := make([]byte, 9+len(r.Sub)+len(r.Topic))
+		binary.BigEndian.PutUint64(b[0:8], r.Ack)
+		b[8] = byte(len(r.Sub))
+		copy(b[9:], r.Sub)
+		copy(b[9+len(r.Sub):], r.Topic)
+		return b, nil
 	}
 	return nil, fmt.Errorf("registrystore: cannot encode record type %v", r.Type)
 }
@@ -159,41 +176,25 @@ func AppendRecord(dst []byte, r *Record) ([]byte, error) {
 	if err != nil {
 		return dst, err
 	}
-	off := len(dst)
-	dst = append(dst, make([]byte, recHeaderBytes+len(body))...)
-	rec := dst[off:]
-	binary.BigEndian.PutUint16(rec[4:6], uint16(len(body)))
-	rec[6] = uint8(r.Type)
-	rec[7] = recVersion
-	binary.BigEndian.PutUint64(rec[8:16], r.Seq)
-	copy(rec[recHeaderBytes:], body)
-	binary.BigEndian.PutUint32(rec[0:4], wire.Checksum(rec[4:]))
-	return dst, nil
+	return recio.Append(dst, &recio.Frame{Type: uint8(r.Type), Ver: r.Ver, Seq: r.Seq, Payload: body})
 }
 
 // DecodeRecord parses one record from the front of b, returning the
 // record and the bytes consumed. ErrShort means b ends before the
-// record does (torn tail); ErrCorrupt wraps every other failure.
+// record does (torn tail); ErrCorrupt wraps every other failure. Both
+// frame versions are accepted, so a log or replication stream written
+// by an old node replays on a new one mid-upgrade.
 func DecodeRecord(b []byte) (Record, int, error) {
-	if len(b) < recHeaderBytes {
-		return Record{}, 0, ErrShort
-	}
-	n := int(binary.BigEndian.Uint16(b[4:6]))
-	if len(b) < recHeaderBytes+n {
-		return Record{}, 0, ErrShort
-	}
-	rec := b[:recHeaderBytes+n]
-	if wire.Checksum(rec[4:]) != binary.BigEndian.Uint32(rec[0:4]) {
-		return Record{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
-	}
-	if rec[7] != recVersion {
-		return Record{}, 0, fmt.Errorf("%w: unknown version %d", ErrCorrupt, rec[7])
+	f, size, err := recio.Decode(b)
+	if err != nil {
+		return Record{}, 0, err
 	}
 	r := Record{
-		Type: RecType(rec[6]),
-		Seq:  binary.BigEndian.Uint64(rec[8:16]),
+		Type: RecType(f.Type),
+		Seq:  f.Seq,
+		Ver:  f.Ver,
 	}
-	body := rec[recHeaderBytes:]
+	body := f.Payload
 	switch r.Type {
 	case RecDeclare:
 		if len(body) < 2 || len(body) > 1+MaxTopicLen {
@@ -219,10 +220,21 @@ func DecodeRecord(b []byte) (Record, int, error) {
 			return Record{}, 0, fmt.Errorf("%w: %v body %d bytes", ErrCorrupt, r.Type, len(body))
 		}
 		r.Gen = binary.BigEndian.Uint64(body)
+	case RecCursorAck:
+		if len(body) < 11 {
+			return Record{}, 0, fmt.Errorf("%w: cursor-ack body %d bytes", ErrCorrupt, len(body))
+		}
+		subLen := int(body[8])
+		if subLen == 0 || 9+subLen >= len(body) || len(body)-9-subLen > MaxTopicLen {
+			return Record{}, 0, fmt.Errorf("%w: cursor-ack body layout", ErrCorrupt)
+		}
+		r.Ack = binary.BigEndian.Uint64(body[0:8])
+		r.Sub = string(body[9 : 9+subLen])
+		r.Topic = string(body[9+subLen:])
 	default:
-		return Record{}, 0, fmt.Errorf("%w: unknown type %d", ErrCorrupt, rec[6])
+		return Record{}, 0, fmt.Errorf("%w: unknown type %d", ErrCorrupt, f.Type)
 	}
-	return r, recHeaderBytes + n, nil
+	return r, size, nil
 }
 
 // recordOf translates a registry mutation into its durable record form
@@ -239,6 +251,8 @@ func recordOf(m nameservice.Mutation) (Record, bool) {
 		return Record{Type: RecUnsubscribe, Topic: m.Topic, Addr: m.Addr}, true
 	case nameservice.MutAdvance:
 		return Record{Type: RecAdvance}, true
+	case nameservice.MutCursor:
+		return Record{Type: RecCursorAck, Topic: m.Topic, Sub: m.Sub, Ack: m.Ack}, true
 	}
 	return Record{}, false
 }
@@ -271,6 +285,8 @@ func applyRecord(reg *nameservice.TopicRegistry, r *Record) error {
 		return nil
 	case RecHeartbeat:
 		return nil
+	case RecCursorAck:
+		return reg.AckCursor(r.Topic, r.Sub, r.Ack)
 	}
 	return fmt.Errorf("registrystore: cannot apply record type %v", r.Type)
 }

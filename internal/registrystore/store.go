@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"flipc/internal/nameservice"
+	"flipc/internal/recio"
 	"flipc/internal/wire"
 )
 
@@ -21,8 +22,14 @@ const (
 // snapMagic marks a snapshot file ("FLPR").
 const snapMagic = 0x464C5052
 
-// snapVersion is the snapshot format version.
-const snapVersion = 1
+// snapVersion is the snapshot format version written. Version 2 added
+// the per-topic durable-stream cursor section; version 1 files (no
+// cursor section) are still read, so a snapshot taken before the
+// upgrade recovers cleanly.
+const (
+	snapVersion   = 2
+	snapVersionV1 = 1
+)
 
 // Store persists one registry's state: a write-ahead record log plus a
 // periodically compacted snapshot. Journal writes are ordered ahead of
@@ -132,7 +139,12 @@ func (s *Store) replayWAL(reg *nameservice.TopicRegistry) error {
 
 // needsSync reports whether t can move a membership generation and must
 // therefore reach stable storage before the mutation is acknowledged.
-func needsSync(t RecType) bool { return t != RecRenew && t != RecHeartbeat }
+// Cursor acks are unsynced like renewals: one lost to a crash is
+// re-merged from the next in-band acknowledgement, and a stale cursor
+// only means extra (idempotent) replay, never data loss.
+func needsSync(t RecType) bool {
+	return t != RecRenew && t != RecHeartbeat && t != RecCursorAck
+}
 
 // Journal assigns the next sequence number to rec, appends it to the
 // log (synced per needsSync), and returns the framed bytes — the exact
@@ -146,6 +158,9 @@ func (s *Store) Journal(rec *Record) []byte {
 	}
 	s.seq++
 	rec.Seq = s.seq
+	// Newly journaled records carry the current frame version; replayed
+	// and replicated bytes keep whatever version they were written with.
+	rec.Ver = recio.V1
 	s.enc = s.enc[:0]
 	framed, err := AppendRecord(s.enc, rec)
 	if err != nil {
@@ -372,6 +387,18 @@ func writeSnapshot(path string, state nameservice.RegistryState, seq uint64, nos
 			binary.BigEndian.PutUint64(sub[4:12], s.Epoch)
 			b = append(b, sub[:]...)
 		}
+		binary.BigEndian.PutUint32(u32[:], uint32(len(t.Cursors)))
+		b = append(b, u32[:]...)
+		var seq8 [8]byte
+		for _, c := range t.Cursors {
+			if len(c.Sub) == 0 || len(c.Sub) > 255 {
+				return fmt.Errorf("registrystore: snapshot cursor name %d bytes", len(c.Sub))
+			}
+			b = append(b, byte(len(c.Sub)))
+			b = append(b, c.Sub...)
+			binary.BigEndian.PutUint64(seq8[:], c.Seq)
+			b = append(b, seq8[:]...)
+		}
 	}
 	binary.BigEndian.PutUint32(u32[:], wire.Checksum(b))
 	b = append(b, u32[:]...)
@@ -419,9 +446,11 @@ func readSnapshot(path string) (nameservice.RegistryState, uint64, error) {
 	if wire.Checksum(body) != crc {
 		return state, 0, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
 	}
-	if binary.BigEndian.Uint32(body[0:4]) != snapMagic || body[4] != snapVersion {
+	if binary.BigEndian.Uint32(body[0:4]) != snapMagic ||
+		(body[4] != snapVersion && body[4] != snapVersionV1) {
 		return state, 0, fmt.Errorf("%w: snapshot magic/version", ErrCorrupt)
 	}
+	hasCursors := body[4] >= snapVersion
 	state.Gen = binary.BigEndian.Uint64(body[5:13])
 	seq := binary.BigEndian.Uint64(body[13:21])
 	state.Epoch = binary.BigEndian.Uint64(body[21:29])
@@ -451,6 +480,28 @@ func readSnapshot(path string) (nameservice.RegistryState, uint64, error) {
 				Epoch: binary.BigEndian.Uint64(body[off+4 : off+12]),
 			})
 			off += 12
+		}
+		if hasCursors {
+			if off+4 > len(body) {
+				return state, 0, fmt.Errorf("%w: snapshot truncated", ErrCorrupt)
+			}
+			cursors := int(binary.BigEndian.Uint32(body[off : off+4]))
+			off += 4
+			for j := 0; j < cursors; j++ {
+				if off+1 > len(body) {
+					return state, 0, fmt.Errorf("%w: snapshot truncated", ErrCorrupt)
+				}
+				subLen := int(body[off])
+				off++
+				if subLen == 0 || off+subLen+8 > len(body) {
+					return state, 0, fmt.Errorf("%w: snapshot truncated", ErrCorrupt)
+				}
+				t.Cursors = append(t.Cursors, nameservice.Cursor{
+					Sub: string(body[off : off+subLen]),
+					Seq: binary.BigEndian.Uint64(body[off+subLen : off+subLen+8]),
+				})
+				off += subLen + 8
+			}
 		}
 		state.Topics = append(state.Topics, t)
 	}

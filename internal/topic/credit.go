@@ -130,19 +130,42 @@ func newSubCreditState(d *core.Domain, cc CreditConfig, bufs int) (*subCreditSta
 }
 
 // handleCtl processes one topic-control frame from the subscriber's
-// inbox. Hello frames register the publisher's credit-return address
-// and trigger an immediate advertisement (completing the handshake);
-// anything else is swallowed — control frames never reach the
-// application.
+// inbox. Hello frames register the publisher's control-return address
+// — triggering an immediate credit advertisement and/or durable
+// resume request (completing the respective handshakes); replay done
+// markers feed the durable seam; anything else is swallowed — control
+// frames never reach the application.
 func (s *Subscriber) handleCtl(payload []byte) {
 	s.ctlRecv.Add(1)
-	c := s.credit
-	if c == nil {
+	if s.dur != nil && len(payload) > 0 {
+		switch payload[0] {
+		case doneMagic:
+			if start, head, ok := decodeDone(payload); ok {
+				s.handleDone(start, head)
+			}
+			return
+		case grantMagic:
+			if cursor, ok := decodeGrant(payload); ok {
+				s.handleGrant(cursor)
+			}
+			return
+		}
+	}
+	addr, ok := flowctl.DecodeHello(payload)
+	if !ok || !addr.Valid() {
 		return
 	}
-	if addr, ok := flowctl.DecodeHello(payload); ok && addr.Valid() {
+	if c := s.credit; c != nil {
 		c.pubs[addr] = struct{}{}
 		s.sendCredit()
+	}
+	if d := s.dur; d != nil {
+		if _, known := d.pubs[addr]; !known {
+			d.pubs[addr] = struct{}{}
+			s.sendResume()
+		} else if !d.locked.Load() || d.needResume {
+			s.sendResume()
+		}
 	}
 }
 

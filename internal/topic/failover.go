@@ -69,6 +69,14 @@ func (f *FailoverDirectory) Snapshot(topic string) (nameservice.TopicSnapshot, e
 	return dir.Snapshot(topic)
 }
 
+// AckCursor implements Directory.
+func (f *FailoverDirectory) AckCursor(topic, sub string, seq uint64) error {
+	f.mu.RLock()
+	dir := f.dir
+	f.mu.RUnlock()
+	return dir.AckCursor(topic, sub, seq)
+}
+
 // Evict removes addr from the cached fanout plan immediately, without
 // waiting for the next directory refresh — the publisher-side half of
 // quarantine integration. The directory is not touched (the registry
@@ -92,6 +100,15 @@ func (p *Publisher) Evict(addr core.Addr) bool {
 			// endpoint at this slot arrives under a new generation (a
 			// different address) and handshakes afresh.
 			delete(p.creditState, addr)
+			delete(p.durHello, addr)
+			if sr := p.catchup[addr]; sr != nil {
+				// Stop replaying into the quarantined endpoint. The
+				// cursor survives in the log under the subscriber's
+				// name; its rebind re-resumes from there at the new
+				// address.
+				sr.done = true
+				delete(p.catchup, addr)
+			}
 			return true
 		}
 	}

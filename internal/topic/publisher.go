@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"flipc/internal/core"
+	"flipc/internal/duralog"
 	"flipc/internal/flowctl"
 	"flipc/internal/metrics"
 	"flipc/internal/msglib"
@@ -49,6 +50,14 @@ type PublisherConfig struct {
 	// saturated, are counted at its endpoint as usual). 0 disables;
 	// default 0.
 	CreditStall int
+
+	// Log enables the durable tap (see durable.go): every published
+	// payload is appended to this per-topic duralog before fanout,
+	// live frames carry an 8-byte sequence prefix, and subscribers
+	// resume from per-name cursors through the replay protocol.
+	// Subscribers on the topic must be durable (NewSubscriberDurable);
+	// the Durable class attribute is merged into Class automatically.
+	Log *duralog.Log
 }
 
 // PublishResult accounts one fanout.
@@ -65,6 +74,11 @@ type PublishResult struct {
 	// not loss: the subscriber's inbox was never burned and the
 	// publisher spent no engine work on the frame.
 	Throttled int
+	// Deferred counts subscribers skipped because they are mid-replay
+	// on a durable topic: the frame was journaled inside their
+	// catch-up range, so they receive it as replay instead of live.
+	// Deferral, never loss.
+	Deferred int
 }
 
 // Publisher fans messages out to a topic's subscribers. The publish
@@ -91,14 +105,26 @@ type Publisher struct {
 	drops     map[core.Addr]uint64
 	throttles map[core.Addr]uint64
 
-	creditIn    *msglib.Inbox // credit-return inbox (credit mode only)
+	creditIn    *msglib.Inbox // topic-control return inbox (credit or durable mode)
 	creditState map[core.Addr]*subCredit
 	resyncs     uint64 // stall-triggered account resyncs
+
+	// Durable plane (cfg.Log set; see durable.go).
+	log            *duralog.Log
+	replayOut      *msglib.Outbox          // Bulk-priority replay channel
+	replay         map[string]*subReplay   // replay state by subscriber name
+	catchup        map[core.Addr]*subReplay // live-fanout suppression index
+	durHello       map[core.Addr]bool      // hello handshake tracking (durable without credit)
+	deferred       uint64                  // live sends suppressed during catch-up
+	replayed       uint64                  // replay frames sent
+	replayStranded uint64                  // frames lost to the retention horizon
+	seqScratch     []byte                  // seq-prefix staging buffer
 
 	// nowNanos is the fanout-latency clock (replaceable in tests).
 	nowNanos func() int64
 
 	mPublished, mSent, mDropped, mThrottled *metrics.Counter
+	mDeferred, mReplayed                    *metrics.Counter
 	mSubs                                   *metrics.Gauge
 	mFanoutNs                               *metrics.Histogram
 }
@@ -121,6 +147,11 @@ func NewPublisher(d *core.Domain, dir Directory, cfg PublisherConfig) (*Publishe
 	if cfg.CreditBuffers <= 0 {
 		cfg.CreditBuffers = 64
 	}
+	if cfg.Log != nil {
+		// Durable publishers declare the attribute so every party on
+		// the topic agrees on the class byte.
+		cfg.Class |= Durable
+	}
 	out, err := msglib.NewOutboxPrio(d, cfg.Depth, cfg.Window, cfg.Class.EndpointPriority())
 	if err != nil {
 		return nil, err
@@ -131,18 +162,35 @@ func NewPublisher(d *core.Domain, dir Directory, cfg PublisherConfig) (*Publishe
 		throttles: make(map[core.Addr]uint64),
 		nowNanos:  func() int64 { return time.Now().UnixNano() },
 	}
-	if cfg.Credit {
-		// The inbox endpoint queue must hold every posted buffer.
+	if cfg.Credit || cfg.Log != nil {
+		// The control-return inbox: credit advertisements, resume
+		// requests, and cursor acks all land here, dispatched by magic
+		// byte. The inbox endpoint queue must hold every posted buffer.
 		depth := 2
 		for depth < cfg.CreditBuffers+1 {
 			depth *= 2
 		}
 		in, err := msglib.NewInbox(d, depth, cfg.CreditBuffers)
 		if err != nil {
-			return nil, fmt.Errorf("topic: credit inbox: %w", err)
+			return nil, fmt.Errorf("topic: control inbox: %w", err)
 		}
 		p.creditIn = in
+	}
+	if cfg.Credit {
 		p.creditState = make(map[core.Addr]*subCredit)
+	}
+	if cfg.Log != nil {
+		p.log = cfg.Log
+		rout, err := msglib.NewOutboxPrio(d, cfg.Depth, cfg.Window, Bulk.EndpointPriority())
+		if err != nil {
+			return nil, fmt.Errorf("topic: replay outbox: %w", err)
+		}
+		p.replayOut = rout
+		p.replay = make(map[string]*subReplay)
+		p.catchup = make(map[core.Addr]*subReplay)
+		if !cfg.Credit {
+			p.durHello = make(map[core.Addr]bool)
+		}
 	}
 	if err := p.Refresh(); err != nil {
 		return nil, err
@@ -158,6 +206,10 @@ func (p *Publisher) Instrument(reg *metrics.Registry) {
 	p.mSent = reg.Counter(metrics.Name("flipc_topic_fanout_sent_total", "topic", tp))
 	p.mDropped = reg.Counter(metrics.Name("flipc_topic_fanout_dropped_total", "topic", tp))
 	p.mThrottled = reg.Counter(metrics.Name("flipc_topic_fanout_throttled_total", "topic", tp))
+	if p.log != nil {
+		p.mDeferred = reg.Counter(metrics.Name("flipc_topic_fanout_deferred_total", "topic", tp))
+		p.mReplayed = reg.Counter(metrics.Name("flipc_topic_replayed_total", "topic", tp))
+	}
 	p.mSubs = reg.Gauge(metrics.Name("flipc_topic_subscribers", "topic", tp))
 	p.mFanoutNs = reg.Histogram(metrics.Name("flipc_topic_fanout_ns", "topic", tp))
 	p.mu.Lock()
@@ -190,8 +242,8 @@ func (p *Publisher) refreshLocked() error {
 	if p.mSubs != nil {
 		p.mSubs.Set(float64(len(p.plan)))
 	}
-	if p.creditState != nil {
-		// Keep accounts only for planned subscribers; a departed
+	if p.creditState != nil || p.durHello != nil {
+		// Keep handshake state only for planned subscribers; a departed
 		// address (or a re-allocated endpoint generation) starts over.
 		planned := make(map[core.Addr]bool, len(p.plan))
 		for _, a := range p.plan {
@@ -202,16 +254,22 @@ func (p *Publisher) refreshLocked() error {
 				delete(p.creditState, a)
 			}
 		}
+		for a := range p.durHello {
+			if !planned[a] {
+				delete(p.durHello, a)
+			}
+		}
 	}
 	p.helloLocked()
 	return nil
 }
 
-// helloLocked sends a credit hello to every planned subscriber the
-// publisher has not yet heard an advertisement from, (re)announcing
-// the credit-return address. Idempotent and cheap: the handshake
-// completes on the first advertisement, after which a subscriber gets
-// no further hellos. Caller holds p.mu.
+// helloLocked sends a hello to every planned subscriber the publisher
+// has not yet heard from, (re)announcing the control-return address.
+// Idempotent and cheap: the handshake completes on the first credit
+// advertisement (credit mode) or the first resume/ack (durable-only
+// mode), after which a subscriber gets no further hellos. Caller
+// holds p.mu.
 func (p *Publisher) helloLocked() {
 	if p.creditIn == nil {
 		return
@@ -220,24 +278,33 @@ func (p *Publisher) helloLocked() {
 	n := flowctl.EncodeHello(buf[:], p.creditIn.Addr())
 	flags := ctlFlag | p.cfg.Class.Flags()
 	for _, dst := range p.plan {
-		cs := p.creditState[dst]
-		if cs == nil {
-			cs = &subCredit{}
-			p.creditState[dst] = cs
-		}
-		if cs.advert {
+		var cs *subCredit
+		if p.creditState != nil {
+			cs = p.creditState[dst]
+			if cs == nil {
+				cs = &subCredit{}
+				p.creditState[dst] = cs
+			}
+			if cs.advert {
+				continue
+			}
+		} else if p.durHello[dst] {
 			continue
 		}
 		if err := p.out.SendFlags(dst, buf[:n], flags); err == nil {
 			// The hello is disposed of by the subscriber's inbox like
 			// any frame; charge it so the ledger stays aligned.
-			cs.acct.Spend()
+			if cs != nil {
+				cs.acct.Spend()
+			}
 		}
 	}
 }
 
-// harvestLocked drains the credit-return inbox and applies
-// advertisements to the per-subscriber accounts. Caller holds p.mu.
+// harvestLocked drains the control-return inbox: credit
+// advertisements feed the per-subscriber accounts, durable resume and
+// ack frames feed the replay engine (dispatched by magic byte).
+// Caller holds p.mu.
 func (p *Publisher) harvestLocked() {
 	if p.creditIn == nil {
 		return
@@ -246,6 +313,9 @@ func (p *Publisher) harvestLocked() {
 		payload, _, ok := p.creditIn.Receive()
 		if !ok {
 			return
+		}
+		if p.handleDurCtlLocked(payload) {
+			continue
 		}
 		from, window, disposed, ok := flowctl.DecodeCredit(payload)
 		if !ok {
@@ -321,16 +391,42 @@ func (p *Publisher) PublishFlags(payload []byte, flags uint8) (PublishResult, er
 	}
 	p.harvestLocked()
 	var res PublishResult
-	if len(p.plan) == 0 {
+	if len(p.plan) == 0 && p.log == nil {
 		return res, nil
 	}
 	start := p.nowNanos()
 	// Reserved bits really are masked: the topic-control bit, the
-	// priority field (the class owns it — caller bits would forge the
-	// frame's class at the engine, wire, and rtsched layers), and the
-	// wire-internal trailer flags.
-	flags = (flags &^ (ctlFlag | wire.PriorityMask | wire.FlagStamped | wire.FlagChecksummed)) | p.cfg.Class.Flags()
+	// replay marker, the priority field (the class owns it — caller
+	// bits would forge the frame's class at the engine, wire, and
+	// rtsched layers), and the wire-internal trailer flags.
+	flags = (flags &^ (ctlFlag | replayFlag | wire.PriorityMask | wire.FlagStamped | wire.FlagChecksummed)) | p.cfg.Class.Flags()
+	var dseq uint64
+	if p.log != nil {
+		// The durable tap: journal before fanout — a frame is never on
+		// the wire without being replayable — then prefix the live
+		// frame with its log sequence. An append failure fails the
+		// publish: an unjournaled durable send would be silent loss in
+		// disguise.
+		if len(payload)+8 > p.out.MaxPayload() {
+			return res, fmt.Errorf("topic: durable payload %d exceeds frame budget %d", len(payload), p.out.MaxPayload()-8)
+		}
+		seq, err := p.log.Append(flags, payload)
+		if err != nil {
+			return res, fmt.Errorf("topic: durable append: %w", err)
+		}
+		dseq = seq
+		payload = p.stageSeq(seq, payload)
+	}
 	for _, dst := range p.plan {
+		if p.catchup != nil {
+			if sr := p.catchup[dst]; sr != nil && !sr.done {
+				// Mid-replay: the frame just journaled is inside this
+				// subscriber's catch-up range; a live copy would only
+				// race the seam. It arrives as replay instead.
+				res.Deferred++
+				continue
+			}
+		}
 		var cs *subCredit
 		if p.creditState != nil {
 			cs = p.creditState[dst]
@@ -349,6 +445,22 @@ func (p *Publisher) PublishFlags(payload []byte, flags uint8) (PublishResult, er
 			continue
 		}
 		if errors.Is(err, msglib.ErrBackpressure) {
+			if p.catchup != nil {
+				if sr := p.catchup[dst]; sr != nil {
+					// Durable subscriber: the frame is journaled, so a
+					// send the window couldn't take re-enters catch-up
+					// at this sequence and arrives as replay instead.
+					// Deferral, not loss. The heal round rides the live
+					// outbox (sr.hot): its frames stay FIFO with the
+					// live stream they repair, so the subscriber's seam
+					// never sees the heal and the live tail reorder.
+					sr.next = dseq
+					sr.done = false
+					sr.hot = true
+					res.Deferred++
+					continue
+				}
+			}
 			// Optimistic drop: this subscriber misses the message;
 			// charge its account and keep fanning out.
 			p.drops[dst]++
@@ -361,11 +473,21 @@ func (p *Publisher) PublishFlags(payload []byte, flags uint8) (PublishResult, er
 	p.sent += uint64(res.Sent)
 	p.dropped += uint64(res.Dropped)
 	p.throttled += uint64(res.Throttled)
+	p.deferred += uint64(res.Deferred)
+	if p.log != nil {
+		// Drive catch-up on the publish cadence: a burst of replay
+		// rides under each live fanout until every resumed subscriber
+		// reaches the head.
+		p.pumpReplayLocked(replayBurst)
+	}
 	if p.mPublished != nil {
 		p.mPublished.Inc()
 		p.mSent.Add(uint64(res.Sent))
 		p.mDropped.Add(uint64(res.Dropped))
 		p.mThrottled.Add(uint64(res.Throttled))
+		if p.mDeferred != nil {
+			p.mDeferred.Add(uint64(res.Deferred))
+		}
 		if d := p.nowNanos() - start; d >= 0 {
 			p.mFanoutNs.Observe(uint64(d))
 		}

@@ -38,13 +38,14 @@ type Subscriber struct {
 	delivered atomic.Uint64 // application frames returned to the caller
 	ctlRecv   atomic.Uint64 // topic-control frames filtered out
 	credit    *subCreditState
+	dur       *subDurState
 }
 
 // NewSubscriber creates an inbox with bufs posted buffers (size with
 // SubscriberBuffers; endpoint depth 0 = domain default) and joins
 // topic at the given class.
 func NewSubscriber(d *core.Domain, dir Directory, topic string, class Class, depth, bufs int) (*Subscriber, error) {
-	return newSubscriber(d, dir, topic, class, depth, bufs, nil)
+	return newSubscriber(d, dir, topic, class, depth, bufs, nil, nil)
 }
 
 // NewSubscriberCredit is NewSubscriber with dynamic receive credit: the
@@ -56,10 +57,41 @@ func NewSubscriberCredit(d *core.Domain, dir Directory, topic string, class Clas
 	if err != nil {
 		return nil, err
 	}
-	return newSubscriber(d, dir, topic, class, depth, bufs, cr)
+	return newSubscriber(d, dir, topic, class, depth, bufs, cr, nil)
 }
 
-func newSubscriber(d *core.Domain, dir Directory, topic string, class Class, depth, bufs int, cr *subCreditState) (*Subscriber, error) {
+// NewSubscriberDurable is NewSubscriber for a durable topic: name is
+// the subscriber's stable cursor identity (1..255 bytes — survive it
+// across restarts; addresses don't), the Durable class attribute is
+// merged in, and the receive path runs the replay seam (see
+// durable.go). The topic's publishers must be durable
+// (PublisherConfig.Log); live and replayed frames are de-duplicated
+// into an exactly-once, in-order stream.
+func NewSubscriberDurable(d *core.Domain, dir Directory, topic string, class Class, depth, bufs int, name string) (*Subscriber, error) {
+	ds, err := newSubDurState(d, name)
+	if err != nil {
+		return nil, err
+	}
+	return newSubscriber(d, dir, topic, class|Durable, depth, bufs, nil, ds)
+}
+
+// NewSubscriberDurableCredit combines the durable replay seam with
+// dynamic receive credit — the configuration for a slow durable
+// consumer, where credit steers the live stream away from overrun
+// while the cursor guarantees anything dropped anyway is replayed.
+func NewSubscriberDurableCredit(d *core.Domain, dir Directory, topic string, class Class, depth, bufs int, cc CreditConfig, name string) (*Subscriber, error) {
+	ds, err := newSubDurState(d, name)
+	if err != nil {
+		return nil, err
+	}
+	cr, err := newSubCreditState(d, cc, bufs)
+	if err != nil {
+		return nil, err
+	}
+	return newSubscriber(d, dir, topic, class|Durable, depth, bufs, cr, ds)
+}
+
+func newSubscriber(d *core.Domain, dir Directory, topic string, class Class, depth, bufs int, cr *subCreditState, ds *subDurState) (*Subscriber, error) {
 	if topic == "" {
 		return nil, fmt.Errorf("topic: subscriber needs a topic name")
 	}
@@ -73,7 +105,7 @@ func newSubscriber(d *core.Domain, dir Directory, topic string, class Class, dep
 	s := &Subscriber{
 		d: d, dir: dir, topic: topic, class: class,
 		depth: depth, bufs: bufs,
-		in: in, subAddr: in.Addr(), credit: cr,
+		in: in, subAddr: in.Addr(), credit: cr, dur: ds,
 	}
 	if err := dir.Subscribe(topic, in.Addr(), class); err != nil {
 		return nil, err
@@ -113,6 +145,7 @@ func (s *Subscriber) Renew() error {
 		return err
 	}
 	s.renewCredit()
+	s.renewDurable()
 	return nil
 }
 
@@ -129,6 +162,12 @@ func (s *Subscriber) Rebind() error {
 	}
 	old := s.in
 	s.in = in
+	if s.dur != nil {
+		// The replay target moved: the next resume (sent by Renew just
+		// below) re-registers the new address with every publisher and
+		// re-replays anything lost with the old inbox.
+		s.dur.needResume = true
+	}
 	if err := s.Renew(); err != nil {
 		return err
 	}
@@ -143,9 +182,20 @@ func (s *Subscriber) Leave() error {
 }
 
 // Receive returns the next application message (copied payload) if one
-// is waiting. Topic-control frames (credit hellos) are consumed
-// internally and never surface.
+// is waiting. Topic-control frames (credit hellos, replay markers) are
+// consumed internally and never surface. On a durable subscription the
+// stream is exactly-once and in-order: the sequence prefix is stripped,
+// duplicates and gaps are absorbed by the seam (see durable.go), and
+// replayed messages are delivered with the replay flag bit still set.
 func (s *Subscriber) Receive() (payload []byte, flags uint8, ok bool) {
+	if s.dur != nil {
+		// A hole the replay stream just filled may have unblocked a run
+		// of stashed frames; drain them ahead of new arrivals.
+		if payload, flags, ok = s.durStashPop(); ok {
+			s.noteDelivery()
+			return payload, flags, true
+		}
+	}
 	for {
 		payload, flags, ok = s.in.Receive()
 		if !ok {
@@ -154,6 +204,11 @@ func (s *Subscriber) Receive() (payload []byte, flags uint8, ok bool) {
 		if flags&ctlFlag != 0 {
 			s.handleCtl(payload)
 			continue
+		}
+		if s.dur != nil {
+			if payload, ok = s.durAccept(payload, flags); !ok {
+				continue
+			}
 		}
 		s.noteDelivery()
 		return payload, flags, true
@@ -164,6 +219,12 @@ func (s *Subscriber) Receive() (payload []byte, flags uint8, ok bool) {
 // scheduler priority: a control-topic consumer preempts bulk consumers
 // at the real-time semaphore.
 func (s *Subscriber) ReceiveBlock() ([]byte, uint8, error) {
+	if s.dur != nil {
+		if payload, flags, ok := s.durStashPop(); ok {
+			s.noteDelivery()
+			return payload, flags, nil
+		}
+	}
 	for {
 		payload, flags, err := s.in.ReceiveBlock(s.class.SchedPriority())
 		if err != nil {
@@ -172,6 +233,12 @@ func (s *Subscriber) ReceiveBlock() ([]byte, uint8, error) {
 		if flags&ctlFlag != 0 {
 			s.handleCtl(payload)
 			continue
+		}
+		if s.dur != nil {
+			var ok bool
+			if payload, ok = s.durAccept(payload, flags); !ok {
+				continue
+			}
 		}
 		s.noteDelivery()
 		return payload, flags, nil

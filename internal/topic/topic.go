@@ -57,30 +57,55 @@ const (
 	// messages (mode changes, alarms); its sends bypass bulk backlogs
 	// via the engine's priority policy and quantum reservation.
 	Control Class = 2
+
+	// Durable is an attribute bit carried alongside the priority level
+	// in the directory's class byte, not a priority level itself: a
+	// durable topic's publishers journal every payload to a duralog
+	// and its subscribers resume from per-name replay cursors (see
+	// durable.go). Every party on a durable topic must declare the
+	// same class byte — mixing durable and non-durable declarations
+	// churns the topic generation on each lease renewal — so combine
+	// it explicitly (Normal | Durable). Ordering decisions mask it
+	// out via Base.
+	Durable Class = 0x80
 )
+
+// Base strips attribute bits, leaving the priority level.
+func (c Class) Base() Class { return c &^ Durable }
+
+// IsDurable reports whether the class carries the durability
+// attribute.
+func (c Class) IsDurable() bool { return c&Durable != 0 }
 
 // String names the class.
 func (c Class) String() string {
-	switch c {
+	name := ""
+	switch c.Base() {
 	case Bulk:
-		return "bulk"
+		name = "bulk"
 	case Normal:
-		return "normal"
+		name = "normal"
 	case Control:
-		return "control"
+		name = "control"
+	default:
+		name = fmt.Sprintf("class(%d)", uint8(c.Base()))
 	}
-	return fmt.Sprintf("class(%d)", uint8(c))
+	if c.IsDurable() {
+		name += "+durable"
+	}
+	return name
 }
 
-// Valid reports whether c is a defined class.
-func (c Class) Valid() bool { return c <= Control }
+// Valid reports whether c is a defined class (with or without
+// attribute bits).
+func (c Class) Valid() bool { return c.Base() <= Control }
 
 // EndpointPriority maps the class to the transport priority of the
 // publisher's send endpoint — the value engine.PolicyPriority orders by
 // and engine.Config.ReservePriority thresholds against (Bulk stays at
 // 0, so it is the class a quantum reservation caps).
 func (c Class) EndpointPriority() uint8 {
-	switch c {
+	switch c.Base() {
 	case Control:
 		return 5
 	case Normal:
@@ -92,7 +117,7 @@ func (c Class) EndpointPriority() uint8 {
 // SchedPriority maps the class to the rtsched priority a blocking
 // receive waits at (higher runs first).
 func (c Class) SchedPriority() core.Priority {
-	switch c {
+	switch c.Base() {
 	case Control:
 		return 16
 	case Normal:
@@ -106,7 +131,10 @@ func (c Class) SchedPriority() core.Priority {
 // frame without consulting the directory.
 func (c Class) Flags() uint8 { return c.EndpointPriority() & wire.PriorityMask }
 
-// ClassFromFlags recovers the class from a received message's flags.
+// ClassFromFlags recovers the priority class from a received
+// message's flags. The wire never carries the Durable attribute —
+// durability is a directory and endpoint property, so the result is
+// always a base class.
 func ClassFromFlags(flags uint8) Class {
 	switch uint8(wire.Priority(flags)) {
 	case Control.EndpointPriority():
@@ -127,6 +155,11 @@ type Directory interface {
 	Subscribe(topic string, addr core.Addr, class Class) error
 	Unsubscribe(topic string, addr core.Addr) error
 	Snapshot(topic string) (nameservice.TopicSnapshot, error)
+	// AckCursor registers a durable subscriber's replay cursor (by its
+	// stable name, not its address) with the registry, so the cursor
+	// survives registry failover alongside the membership. Max-merged:
+	// a stale acknowledgment never regresses the stored cursor.
+	AckCursor(topic, sub string, seq uint64) error
 }
 
 // LocalDirectory adapts an in-process TopicRegistry (single-node
@@ -153,6 +186,11 @@ func (l LocalDirectory) Unsubscribe(topic string, addr core.Addr) error {
 func (l LocalDirectory) Snapshot(topic string) (nameservice.TopicSnapshot, error) {
 	snap, _ := l.R.Snapshot(topic)
 	return snap, nil
+}
+
+// AckCursor implements Directory.
+func (l LocalDirectory) AckCursor(topic, sub string, seq uint64) error {
+	return l.R.AckCursor(topic, sub, seq)
 }
 
 // RemoteDirectory adapts the nameservice client: membership ops travel
@@ -187,6 +225,11 @@ func (r RemoteDirectory) Snapshot(topic string) (nameservice.TopicSnapshot, erro
 		return nameservice.TopicSnapshot{Name: topic}, nil
 	}
 	return snap, err
+}
+
+// AckCursor implements Directory.
+func (r RemoteDirectory) AckCursor(topic, sub string, seq uint64) error {
+	return r.C.AckCursor(topic, sub, seq, r.timeout())
 }
 
 // SubscriberBuffers sizes a subscriber's posted-buffer pool for a
