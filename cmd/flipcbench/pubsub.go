@@ -37,6 +37,7 @@ type pubsubResult struct {
 	Scenario      string  `json:"scenario"`
 	Credit        bool    `json:"credit"`
 	Durable       bool    `json:"durable,omitempty"`
+	PayloadBytes  int     `json:"payload_bytes"`
 	Subscribers   int     `json:"subscribers"`
 	Publishes     uint64  `json:"publishes"`
 	FanoutSent    uint64  `json:"fanout_sent"`
@@ -68,24 +69,32 @@ func runPubsub(path string, publishes int) error {
 	matrix := []struct {
 		scenario string
 		subs     int
+		payload  int // publish payload bytes (0 = the 8-byte stamp alone)
 		slow     bool
 		credit   bool
 		durable  bool
 	}{
-		{"baseline", 1, false, false, false},
-		{"baseline", 8, false, false, false},
-		{"baseline", 64, false, false, false},
-		{"slow_nocredit", 8, true, false, false},
-		{"slow_credit", 8, true, true, false},
+		{"baseline", 1, 0, false, false, false},
+		{"baseline", 8, 0, false, false, false},
+		{"baseline", 64, 0, false, false, false},
+		// Copy ablation at the widest fanout: identical descriptor work
+		// (64 sends, 64 inbox passes per publish) with the payload grown
+		// from the bare 8-byte stamp to the full 120-byte MTU. The fanout
+		// path stages the payload once and the engine copies per send, so
+		// the delta against baseline-64 prices the per-byte copy cost in
+		// isolation from the per-frame descriptor cost.
+		{"fullpayload", 64, 120, false, false, false},
+		{"slow_nocredit", 8, 0, true, false, false},
+		{"slow_credit", 8, 0, true, true, false},
 		// The durability tax: same width as the fanout-8 baseline, with
 		// every publish journaled (sequence prefix + duralog append) and
 		// the subscribers running the exactly-once replay seam. The
 		// live-path p50/p99 delta against the baseline row is the cost
 		// of the durable tap.
-		{"durable", 8, false, false, true},
+		{"durable", 8, 0, false, false, true},
 	}
 	for _, m := range matrix {
-		r, err := pubsubOne(m.subs, publishes, m.slow, m.credit, m.durable)
+		r, err := pubsubOne(m.subs, publishes, m.payload, m.slow, m.credit, m.durable)
 		if err != nil {
 			return fmt.Errorf("pubsub %s fanout %d: %w", m.scenario, m.subs, err)
 		}
@@ -109,14 +118,16 @@ func runPubsub(path string, publishes int) error {
 	return enc.Encode(report)
 }
 
-// pubsubOne runs one cell. With slow set, subscriber 0 drains an order
+// pubsubOne runs one cell. payloadBytes pads every publish to that
+// size (minimum and default the 8-byte latency stamp) — the copy
+// ablation's lever. With slow set, subscriber 0 drains an order
 // of magnitude below the publish rate (its latency samples are excluded
 // — the fast subscribers' tail is what the scenario measures); with
 // credit set, the topic runs the per-subscriber receive-credit loop;
 // with durable set, every publish is journaled to a duralog and the
 // subscribers run the replay seam (replayed deliveries are excluded
 // from the latency sample — they measure recovery, not the pipeline).
-func pubsubOne(subs, publishes int, slow, credit, durable bool) (pubsubResult, error) {
+func pubsubOne(subs, publishes, payloadBytes int, slow, credit, durable bool) (pubsubResult, error) {
 	const (
 		msgSize  = 128
 		subNodes = 4 // subscriber domains; fanout spreads round-robin
@@ -324,7 +335,10 @@ func pubsubOne(subs, publishes int, slow, credit, durable bool) (pubsubResult, e
 	// on the clock (time.Sleep granularity is too coarse at these
 	// gaps) but yields each turn so the engine goroutines make
 	// progress on small core counts.
-	var payload [8]byte
+	if payloadBytes < 8 {
+		payloadBytes = 8
+	}
+	payload := make([]byte, payloadBytes)
 	t0 := time.Now()
 	next := t0
 	for i := 0; i < publishes; i++ {
@@ -339,8 +353,8 @@ func pubsubOne(subs, publishes int, slow, credit, durable bool) (pubsubResult, e
 			runtime.Gosched()
 		}
 		next = next.Add(gap)
-		binary.BigEndian.PutUint64(payload[:], uint64(time.Now().UnixNano()))
-		if _, err := pub.Publish(payload[:]); err != nil {
+		binary.BigEndian.PutUint64(payload[:8], uint64(time.Now().UnixNano()))
+		if _, err := pub.Publish(payload); err != nil {
 			return pubsubResult{}, err
 		}
 	}
@@ -396,6 +410,7 @@ func pubsubOne(subs, publishes int, slow, credit, durable bool) (pubsubResult, e
 			delivered, recvDropped, pub.Dropped(), pub.Throttled(), pub.Published(), subs)
 	}
 	res := pubsubResult{
+		PayloadBytes:  payloadBytes,
 		Subscribers:   subs,
 		Publishes:     pub.Published(),
 		FanoutSent:    pub.Sent(),

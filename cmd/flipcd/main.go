@@ -87,6 +87,13 @@ func main() {
 		leaseInt      = flag.Duration("lease-interval", 2*time.Second, "registry housekeeping cadence (lease sweeps, replication pump)")
 		compactEvery  = flag.Int("compact-every", 1024, "compact the registry WAL once it holds this many records")
 		failoverAfter = flag.Duration("failover-after", 0, "standby self-promotes after this much stream silence (0 = only on SIGUSR1)")
+
+		// Sharded registry: -shardmap partitions the topic namespace
+		// across N registry shards (consistent hash); this node serves
+		// shard -shard, replicates over its own !registry/<shard>
+		// stream, and redirects topic ops it does not own.
+		shardID  = flag.Uint("shard", 0, "this registry node's shard id (with -shardmap)")
+		shardMap = flag.String("shardmap", "", "shard map: inline spec id[@hexaddr][*weight],... or a journal file path; empty runs unsharded")
 	)
 	flag.Parse()
 
@@ -206,6 +213,8 @@ func main() {
 			LeaseInterval: *leaseInt,
 			CompactEvery:  *compactEvery,
 			FailoverAfter: *failoverAfter,
+			Shard:         uint32(*shardID),
+			ShardMap:      *shardMap,
 		})
 		if err != nil {
 			fatal(err)
@@ -213,12 +222,20 @@ func main() {
 		if srv != nil && rn.mgr != nil {
 			srv.RegistryHealth = rn.mgr.Health
 		}
+		if srv != nil && rn.sharded() {
+			srv.ShardHealth = rn.shardHealth
+		}
 		role := "primary"
 		if rn.mgr != nil {
 			role = rn.mgr.Role().String()
 		}
 		fmt.Printf("flipcd: registry server address %#x (%v), role %s\n",
 			uint32(rn.srv.Addr()), rn.srv.Addr(), role)
+		if rn.sharded() {
+			m := rn.shardMap()
+			fmt.Printf("flipcd: registry shard %d of %d (map epoch %d), stream %s\n",
+				*shardID, m.Len(), m.Epoch(), rn.replicationTopic())
+		}
 		hkStop := make(chan struct{})
 		defer close(hkStop)
 		go rn.housekeeping(hkStop)

@@ -3,11 +3,15 @@ package main
 import (
 	"fmt"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"flipc/internal/core"
 	"flipc/internal/nameservice"
+	"flipc/internal/obs"
 	"flipc/internal/registrystore"
+	"flipc/internal/shardmap"
 	"flipc/internal/topic"
 	"flipc/internal/wire"
 )
@@ -33,6 +37,16 @@ type registryOpts struct {
 	// FailoverAfter promotes a standby that has seen no stream progress
 	// for this long (0 = promote only on SIGUSR1).
 	FailoverAfter time.Duration
+	// Shard is this node's shard id in a sharded registry deployment
+	// (meaningful only with ShardMap).
+	Shard uint32
+	// ShardMap makes the registry sharded: either an inline spec
+	// ("0@hexaddr,1@hexaddr*weight,...", see shardmap.ParseSpec) or a
+	// path to a shard-map journal (detected by a path separator). The
+	// node serves only topics the map assigns to Shard, replicates over
+	// its own "!registry/<shard>" stream, and answers the shard-map
+	// remote op.
+	ShardMap string
 }
 
 // registryNode bundles the registry pieces of one flipcd process: the
@@ -56,6 +70,37 @@ type registryNode struct {
 	lastHeartbeats uint64
 	lastMoved      time.Time
 	promoteReq     chan struct{}
+
+	// Sharded deployments: the shard map (journaled or static), this
+	// node's shard id, and the peer-shard probe state behind the
+	// /healthz roll-up.
+	smap       *shardmap.Map     // static map (spec-configured)
+	sjournal   *shardmap.Journal // journal-backed map (takes precedence)
+	peerMu     sync.Mutex
+	peerCli    map[uint32]*nameservice.Client // lazy per-shard probe clients
+	peerStatus map[uint32]obs.ShardJSON       // last probe result per shard
+}
+
+// sharded reports whether this node runs a sharded registry.
+func (rn *registryNode) sharded() bool { return rn.smap != nil || rn.sjournal != nil }
+
+// shardMap returns the current shard map (nil when unsharded).
+func (rn *registryNode) shardMap() *shardmap.Map {
+	if rn.sjournal != nil {
+		return rn.sjournal.Map()
+	}
+	return rn.smap
+}
+
+// replicationTopic is this node's replication stream: the shared
+// "!registry" when unsharded, the shard's own "!registry/<n>" stream
+// in a sharded deployment — so one shard's failover never disturbs
+// another shard's feed or standby subscription.
+func (rn *registryNode) replicationTopic() string {
+	if rn.sharded() {
+		return registrystore.ShardReplicationTopic(rn.opts.Shard)
+	}
+	return registrystore.ReplicationTopic
 }
 
 // startRegistry brings up the registry role on domain d: recovers the
@@ -71,6 +116,26 @@ func startRegistry(d *core.Domain, dir *nameservice.Directory, opts registryOpts
 	}
 	if opts.Standby && (opts.WALDir == "" || opts.StreamAddr == "") {
 		return nil, fmt.Errorf("flipcd: -standby requires -waldir and -registry-stream")
+	}
+	if opts.ShardMap != "" {
+		if strings.ContainsRune(opts.ShardMap, '/') || strings.ContainsRune(opts.ShardMap, '\\') {
+			j, err := shardmap.OpenJournal(opts.ShardMap, shardmap.JournalOptions{})
+			if err != nil {
+				return nil, err
+			}
+			rn.sjournal = j
+		} else {
+			m, err := shardmap.ParseSpec(opts.ShardMap)
+			if err != nil {
+				return nil, err
+			}
+			rn.smap = m
+		}
+		if _, ok := rn.shardMap().Entry(opts.Shard); !ok {
+			return nil, fmt.Errorf("flipcd: shard %d not in map %q", opts.Shard, opts.ShardMap)
+		}
+		rn.peerCli = make(map[uint32]*nameservice.Client)
+		rn.peerStatus = make(map[uint32]obs.ShardJSON)
 	}
 	if opts.WALDir != "" {
 		st, err := registrystore.Open(opts.WALDir, rn.reg, registrystore.Options{})
@@ -92,6 +157,9 @@ func startRegistry(d *core.Domain, dir *nameservice.Directory, opts registryOpts
 				Primary: h.Role == "primary", Gen: h.RegistryGen, Seq: h.Seq, Epoch: h.Epoch,
 			}
 		})
+	}
+	if rn.sharded() {
+		srv.SetShards(opts.Shard, rn.shardMap)
 	}
 
 	switch {
@@ -129,7 +197,7 @@ func (rn *registryNode) ensureFeed() error {
 		return nil
 	}
 	pub, err := topic.NewPublisher(rn.d, topic.LocalDirectory{R: rn.reg}, topic.PublisherConfig{
-		Topic: registrystore.ReplicationTopic, Class: registrystore.ReplicationClass,
+		Topic: rn.replicationTopic(), Class: registrystore.ReplicationClass,
 		RefreshEvery: 1, Window: 64,
 	})
 	if err != nil {
@@ -151,9 +219,12 @@ func (rn *registryNode) startStandby() error {
 	if err != nil {
 		return err
 	}
+	// The standby subscribes to a reserved "!"-prefixed stream: mark
+	// the client privileged so the server admits it.
+	client.Privileged = true
 	rn.client = client
 	rdir := topic.RemoteDirectory{C: client}
-	sub, err := topic.NewSubscriber(rn.d, rdir, registrystore.ReplicationTopic,
+	sub, err := topic.NewSubscriber(rn.d, rdir, rn.replicationTopic(),
 		registrystore.ReplicationClass, 64, 64)
 	if err != nil {
 		return err
@@ -235,6 +306,9 @@ func (rn *registryNode) housekeeping(stop <-chan struct{}) {
 			rn.promote()
 		case <-tick.C:
 		}
+		if rn.sharded() {
+			rn.probeShards()
+		}
 		if rn.mgr == nil || rn.mgr.Role() == registrystore.RolePrimary {
 			rn.reg.Advance()
 			if n := topic.EvictQuarantined(rn.d, rn.reg, rn.seen); n > 0 {
@@ -290,6 +364,93 @@ func (rn *registryNode) streamSilent() bool {
 		rn.lastMoved = time.Now()
 	}
 	return rn.opts.FailoverAfter > 0 && time.Since(rn.lastMoved) > rn.opts.FailoverAfter
+}
+
+// probeTimeout bounds one peer-shard RegistryInfo probe. Short: the
+// probe runs inline on the housekeeping tick and a dead shard must not
+// stall lease sweeps.
+const probeTimeout = 250 * time.Millisecond
+
+// probeShards refreshes the per-shard status cache behind the
+// /healthz roll-up: the local shard is read from the manager; every
+// other shard is probed at its map address hint with a registry-info
+// call. Shards with no hint report unprobed (the roll-up treats them
+// as unknown, not dead).
+func (rn *registryNode) probeShards() {
+	m := rn.shardMap()
+	if m == nil {
+		return
+	}
+	for _, e := range m.Entries() {
+		st := obs.ShardJSON{Shard: e.ID, Role: "unknown"}
+		switch {
+		case e.ID == rn.opts.Shard:
+			st.Probed = true
+			if rn.mgr != nil {
+				h := rn.mgr.Health()
+				st.Role, st.Gen, st.Seq = h.Role, h.RegistryGen, h.Seq
+				st.Primary = h.Role == "primary"
+			} else {
+				st.Role, st.Primary = "primary", true // volatile registry
+			}
+		case e.Addr != 0:
+			info, err := rn.probePeer(e.ID, wire.Addr(e.Addr))
+			if err != nil {
+				st.Err = err.Error()
+				break
+			}
+			st.Probed = true
+			st.Primary = info.Primary
+			st.Gen, st.Seq = info.Gen, info.Seq
+			if info.Primary {
+				st.Role = "primary"
+			} else {
+				st.Role = "standby"
+			}
+		}
+		rn.peerMu.Lock()
+		rn.peerStatus[e.ID] = st
+		rn.peerMu.Unlock()
+	}
+}
+
+// probePeer performs one registry-info call against a peer shard,
+// lazily creating (and caching) the probe client for its address.
+func (rn *registryNode) probePeer(shard uint32, addr wire.Addr) (nameservice.RegistryInfo, error) {
+	rn.peerMu.Lock()
+	cli := rn.peerCli[shard]
+	rn.peerMu.Unlock()
+	if cli == nil {
+		var err error
+		cli, err = nameservice.NewClient(rn.d, addr)
+		if err != nil {
+			return nameservice.RegistryInfo{}, err
+		}
+		rn.peerMu.Lock()
+		rn.peerCli[shard] = cli
+		rn.peerMu.Unlock()
+	}
+	return cli.RegistryInfo(probeTimeout)
+}
+
+// shardHealth is the /healthz and /metrics roll-up source: the cached
+// per-shard status, ordered by shard id (the map's entry order).
+func (rn *registryNode) shardHealth() []obs.ShardJSON {
+	m := rn.shardMap()
+	if m == nil {
+		return nil
+	}
+	rn.peerMu.Lock()
+	defer rn.peerMu.Unlock()
+	out := make([]obs.ShardJSON, 0, m.Len())
+	for _, e := range m.Entries() {
+		if st, ok := rn.peerStatus[e.ID]; ok {
+			out = append(out, st)
+		} else {
+			out = append(out, obs.ShardJSON{Shard: e.ID, Role: "unknown"})
+		}
+	}
+	return out
 }
 
 // parseEndpointAddr parses a hex endpoint address as flipcd prints them

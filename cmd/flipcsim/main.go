@@ -47,6 +47,7 @@ func main() {
 		batch    = flag.Int("batch", 0, "-topics: mesh pending-buffer batch frames (0 = frame-at-a-time)")
 		flushDl  = flag.Duration("flushdl", 0, "-topics: mesh flush deadline for corked runs (virtual time)")
 		failover = flag.Bool("failover", false, "run the registry kill/failover scenario instead of the ping stream")
+		shards   = flag.Bool("shards", false, "run the sharded-registry failure-domain scenario instead of the ping stream")
 		slowsub  = flag.Bool("slowsub", false, "run the slow-subscriber credit scenario instead of the ping stream")
 		slowBy   = flag.Int("slowby", 10, "-slowsub: slow subscriber drains one message per this many publish periods")
 
@@ -62,6 +63,23 @@ func main() {
 	)
 	flag.Parse()
 
+	if *shards {
+		n := *nodes
+		if n < 10 {
+			n = 10 // 3 primaries + 3 standbys + publisher + 3 subscribers
+		}
+		if err := runShards(shardsOpts{
+			nodes:   n,
+			msgSize: *msgSize,
+			msgs:    *msgs,
+			gap:     *gap,
+			poll:    *poll,
+			window:  *window * 4,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *failover {
 		n := *nodes
 		if n < 6 {

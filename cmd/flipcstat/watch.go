@@ -74,6 +74,28 @@ func render(doc, prev *obs.MetricsJSON, dt time.Duration, url string) {
 		fmt.Println()
 	}
 
+	// Per-shard registry roll-up (sharded registry nodes only): one row
+	// per shard in the map — role and generation as probed from the
+	// shard's address hint, with unreachable or primary-less shards
+	// shouted (those also flip /healthz to 503).
+	if len(doc.Shards) > 0 {
+		fmt.Printf("\n%-7s %-9s %12s %12s  %s\n",
+			"shard", "role", "gen", "seq", "status")
+		for _, sh := range doc.Shards {
+			status := "ok"
+			switch {
+			case sh.Err != "":
+				status = "PROBE FAILED: " + sh.Err
+			case !sh.Probed:
+				status = "unprobed (no addr hint)"
+			case !sh.Primary:
+				status = "NO LIVE PRIMARY"
+			}
+			fmt.Printf("%-7d %-9s %12d %12d  %s\n",
+				sh.Shard, sh.Role, sh.Gen, sh.Seq, status)
+		}
+	}
+
 	// Durable topic logs (nodes hosting them only): depth is retained
 	// payload frames, max-lag the head distance of the slowest cursor —
 	// the two numbers that say whether replay debt is accumulating. A

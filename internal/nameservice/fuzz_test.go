@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"testing"
 
+	"flipc/internal/shardmap"
 	"flipc/internal/wire"
 )
 
@@ -65,49 +66,71 @@ func FuzzServerProcess(f *testing.F) {
 	f.Add(mkReq(opLookup, 0, 0, "x", nil))                  // invalid reply address
 	f.Add([]byte{opLookup, 0, 0})                           // truncated header
 	f.Add(mkReq(opSubscribe, replyAddr, 0, "t", []byte{1})) // invalid subscriber addr
+	// Sharded-registry extension: shard-map pages (in-range, past-end),
+	// reserved-topic mutations with and without the privilege marker,
+	// and a cursor ack on a reserved stream (always refused).
+	f.Add(mkReq(opShardMap, replyAddr, 17, "", []byte{0, 0, 0, 0}))
+	f.Add(mkReq(opShardMap, replyAddr, 17, "", []byte{0, 0, 0, 2}))
+	f.Add(mkReq(opShardMap, replyAddr, 17, "", []byte{0xFF, 0, 0, 0}))
+	f.Add(mkReq(opSubscribe, replyAddr, uint32(subAddr), "!registry/1", []byte{0, reservedMagic}))
+	f.Add(mkReq(opSubscribe, replyAddr, uint32(subAddr), "!registry", []byte{0}))
+	f.Add(mkReq(opUnsubscribe, replyAddr, uint32(subAddr), "!registry/1", []byte{reservedMagic}))
+	f.Add(mkReq(opUnsubscribe, replyAddr, uint32(subAddr), "!registry", nil))
+	f.Add(mkReq(opCursorAck, replyAddr, 23, "!registry", append(
+		[]byte{0, 0, 0, 0, 0, 0, 0, 9, 3}, "sub"...)))
+	f.Add(mkReq(opSubscribe, replyAddr, uint32(subAddr), "seeded-topic", []byte{2}))
 	f.Add(func() []byte {                                   // name length runs past the request
 		r := mkReq(opLookup, replyAddr, 0, "abc", nil)
 		r[9] = 200
 		return r
 	}())
 
-	f.Fuzz(func(t *testing.T, req []byte) {
-		// Fresh server per input: state seeded so snapshot/list pages
-		// have content to overflow if the paging math is wrong.
-		s := &Server{dir: New(), topics: NewTopicRegistry()}
-		for i := uint16(1); i <= 40; i++ {
-			a, err := wire.MakeAddr(3, i%64, 1)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if err := s.topics.Subscribe("seeded-topic", a); err != nil {
-				t.Fatal(err)
-			}
-		}
-		if err := s.topics.Declare("another-topic", 2); err != nil {
-			t.Fatal(err)
-		}
+	shardMap := shardmap.Restore(3, []shardmap.Entry{{ID: 0}, {ID: 1}, {ID: 2}})
 
-		replyTo, resp := s.process(req, maxPayload)
-		if resp == nil {
-			if len(req) >= 10 && wire.Addr(binary.BigEndian.Uint32(req[1:5])).Valid() {
-				t.Fatalf("no response to a request with a valid reply address: %x", req)
+	f.Fuzz(func(t *testing.T, req []byte) {
+		// Fresh servers per input — one unsharded, one shard-aware —
+		// with state seeded so snapshot/list pages have content to
+		// overflow if the paging math is wrong, and a 3-shard map so
+		// routing and the NotOwner redirect run on every topic op.
+		for _, sharded := range []bool{false, true} {
+			s := &Server{dir: New(), topics: NewTopicRegistry()}
+			if sharded {
+				s.SetShards(0, func() *shardmap.Map { return shardMap })
 			}
-			return
-		}
-		if !replyTo.Valid() {
-			t.Fatalf("response addressed to invalid %v", replyTo)
-		}
-		if len(resp) < 9 {
-			t.Fatalf("response %d bytes, below protocol minimum", len(resp))
-		}
-		if len(resp) > maxPayload {
-			t.Fatalf("response %d bytes exceeds payload capacity %d (op %d)", len(resp), maxPayload, req[0])
-		}
-		if len(req) >= 10 && int(req[9])+10 <= len(req) {
-			// Parsed far enough to dispatch: the tag field must echo.
-			if got, want := resp[5:9], req[5:9]; req[0] != opLookup && string(got) != string(want) {
-				t.Fatalf("op %d dropped the tag echo: got %x want %x", req[0], got, want)
+			for i := uint16(1); i <= 40; i++ {
+				a, err := wire.MakeAddr(3, i%64, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := s.topics.Subscribe("seeded-topic", a); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.topics.Declare("another-topic", 2); err != nil {
+				t.Fatal(err)
+			}
+
+			replyTo, resp := s.process(req, maxPayload)
+			if resp == nil {
+				if len(req) >= 10 && wire.Addr(binary.BigEndian.Uint32(req[1:5])).Valid() {
+					t.Fatalf("no response to a request with a valid reply address: %x", req)
+				}
+				continue
+			}
+			if !replyTo.Valid() {
+				t.Fatalf("response addressed to invalid %v", replyTo)
+			}
+			if len(resp) < 9 {
+				t.Fatalf("response %d bytes, below protocol minimum", len(resp))
+			}
+			if len(resp) > maxPayload {
+				t.Fatalf("response %d bytes exceeds payload capacity %d (op %d)", len(resp), maxPayload, req[0])
+			}
+			if len(req) >= 10 && int(req[9])+10 <= len(req) {
+				// Parsed far enough to dispatch: the tag field must echo.
+				if got, want := resp[5:9], req[5:9]; req[0] != opLookup && string(got) != string(want) {
+					t.Fatalf("op %d dropped the tag echo: got %x want %x", req[0], got, want)
+				}
 			}
 		}
 	})

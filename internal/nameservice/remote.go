@@ -8,6 +8,7 @@ import (
 
 	"flipc/internal/core"
 	"flipc/internal/msglib"
+	"flipc/internal/shardmap"
 	"flipc/internal/wire"
 )
 
@@ -80,6 +81,31 @@ import (
 // primary registry: a standby (or a primary that self-demoted after a
 // store failure) acknowledging them would serve non-durable,
 // non-replicated state.
+//
+// Op 10 is the sharded-registry extension:
+//
+//	shard map (10):    lookup-shaped, name empty, trailing offset bytes
+//	                   (4-byte big-endian entry index). Response:
+//	                   [0] status | [1:5] this server's shard id |
+//	                   [5:9] tag echo | [9:17] map epoch |
+//	                   [17:19] total entries | [19] page count | then
+//	                   count x 10-byte entries (shardmap encoding).
+//	                   statusNotFound when the node carries no map
+//	                   (unsharded deployment).
+//
+// At a sharded node (SetShards installed), topic ops on a name owned
+// by another shard answer statusNotOwner with the owning shard id in
+// [1:5]: the client's map is stale (split, merge, or it never fetched
+// one), and the redirect carries enough to re-route without a second
+// round trip. Reserved "!"-prefixed names are exempt — each shard's
+// replication stream is node-local infrastructure.
+//
+// Reserved "!"-prefixed topics refuse client mutations with
+// statusReserved: application traffic must not mix into a replication
+// stream. A replica authorizes itself by appending the privilege
+// marker byte to subscribe/unsubscribe tails (Client.Privileged);
+// cursor acks on reserved topics are refused unconditionally (streams
+// are not durable topics).
 const (
 	opRegister     = 1
 	opLookup       = 2
@@ -90,13 +116,27 @@ const (
 	opRegistryInfo = 7
 	opTopicList    = 8
 	opCursorAck    = 9
+	opShardMap     = 10
 
 	statusOK         = 0
 	statusNotFound   = 1
 	statusDuplicate  = 2
 	statusBad        = 3
 	statusNotPrimary = 4
+	statusNotOwner   = 5
+	statusReserved   = 6
 )
+
+// reservedMagic is the trailing privilege marker a replica appends to
+// subscribe/unsubscribe requests for reserved "!"-prefixed topics.
+// This is an anti-foot-gun, not a security boundary: anything on the
+// fabric can forge frames anyway (the paper's trust model); the marker
+// exists so no stock client wanders into a replication stream by name
+// collision or typo.
+const reservedMagic = 0x52
+
+// shardMapHeaderBytes is the fixed prefix of a shard-map response.
+const shardMapHeaderBytes = 19
 
 // snapHeaderBytes is the fixed prefix of a topic-snapshot response.
 const snapHeaderBytes = 11
@@ -127,7 +167,29 @@ var (
 	// a store failure). Callers should re-resolve the registry endpoint
 	// and retry.
 	ErrNotPrimary = errors.New("nameservice: registry is not primary")
+	// ErrNotOwner reports a topic op refused because the topic hashes
+	// to a different registry shard — the caller's shard map is stale.
+	// The concrete error is a *NotOwnerError carrying the owning shard.
+	ErrNotOwner = errors.New("nameservice: topic owned by another shard")
+	// ErrReserved reports a client mutation refused on a reserved
+	// "!"-prefixed topic (a replication stream).
+	ErrReserved = errors.New("nameservice: reserved topic")
 )
+
+// NotOwnerError is the concrete statusNotOwner error: the server's
+// redirect, carrying the shard that owns the topic so the caller can
+// re-route (or refetch the map) without a discovery round trip.
+type NotOwnerError struct {
+	Topic string
+	Shard uint32
+}
+
+func (e *NotOwnerError) Error() string {
+	return fmt.Sprintf("nameservice: topic %q owned by shard %d", e.Topic, e.Shard)
+}
+
+// Unwrap makes errors.Is(err, ErrNotOwner) true.
+func (e *NotOwnerError) Unwrap() error { return ErrNotOwner }
 
 // Server serves a Directory (and a TopicRegistry) over FLIPC. Run its
 // Serve loop on a goroutine (or call ServeOne from a poll loop).
@@ -137,6 +199,11 @@ type Server struct {
 	in     *msglib.Inbox
 	out    *msglib.Outbox
 	info   func() RegistryInfo
+
+	// Sharded deployments: this node's shard id and the shard-map
+	// source (SetShards). A nil source serves the whole namespace.
+	shardSelf uint32
+	shards    func() *shardmap.Map
 }
 
 // NewServer creates a server on domain d backed by dir. window sizes
@@ -169,6 +236,34 @@ func NewServerWith(d *core.Domain, dir *Directory, topics *TopicRegistry, window
 // requests (op 7). A plain in-memory server (nil source) reports
 // primary at the registry's current generation with sequence 0.
 func (s *Server) SetInfo(fn func() RegistryInfo) { s.info = fn }
+
+// SetShards makes the server shard-aware: it is shard self in the map
+// served by fn (called per request — the map may be swapped on splits
+// and merges). Topic ops on names the map assigns elsewhere answer
+// statusNotOwner, and op 10 serves the map to clients. Wiring-time
+// configuration, like SetInfo: install before the serve loop starts.
+func (s *Server) SetShards(self uint32, fn func() *shardmap.Map) {
+	s.shardSelf = self
+	s.shards = fn
+}
+
+// routeFor resolves a topic's owning shard, reporting whether this
+// node owns it. Unsharded servers, unroutable names, and reserved
+// "!"-prefixed infrastructure topics are always owned locally.
+func (s *Server) routeFor(name string) (uint32, bool) {
+	if s.shards == nil || name == "" || name[0] == '!' {
+		return s.shardSelf, true
+	}
+	m := s.shards()
+	if m == nil {
+		return s.shardSelf, true
+	}
+	owner, ok := m.ShardOf(name)
+	if !ok {
+		return s.shardSelf, true
+	}
+	return owner, owner == s.shardSelf
+}
 
 // Addr is the server's well-known endpoint address.
 func (s *Server) Addr() wire.Addr { return s.in.Addr() }
@@ -251,6 +346,15 @@ func (s *Server) process(req []byte, maxPayload int) (wire.Addr, []byte) {
 	case opUnregister:
 		s.dir.Unregister(name)
 	case opSubscribe:
+		if reserved(name) && !(len(tail) >= 2 && tail[1] == reservedMagic) {
+			resp[0] = statusReserved
+			break
+		}
+		if owner, owned := s.routeFor(name); !owned {
+			resp[0] = statusNotOwner
+			binary.BigEndian.PutUint32(resp[1:5], owner)
+			break
+		}
 		if !s.mutable() {
 			resp[0] = statusNotPrimary
 			break
@@ -266,12 +370,32 @@ func (s *Server) process(req []byte, maxPayload int) (wire.Addr, []byte) {
 			resp[0] = statusBad
 		}
 	case opUnsubscribe:
+		if reserved(name) && !(len(tail) >= 1 && tail[0] == reservedMagic) {
+			resp[0] = statusReserved
+			break
+		}
+		if owner, owned := s.routeFor(name); !owned {
+			resp[0] = statusNotOwner
+			binary.BigEndian.PutUint32(resp[1:5], owner)
+			break
+		}
 		if !s.mutable() {
 			resp[0] = statusNotPrimary
 			break
 		}
 		s.topics.Unsubscribe(name, wire.Addr(binary.BigEndian.Uint32(req[5:9])))
 	case opCursorAck:
+		if reserved(name) {
+			// Replication streams are not durable topics: no cursor may
+			// ever land on one, privileged or not.
+			resp[0] = statusReserved
+			break
+		}
+		if owner, owned := s.routeFor(name); !owned {
+			resp[0] = statusNotOwner
+			binary.BigEndian.PutUint32(resp[1:5], owner)
+			break
+		}
 		if !s.mutable() {
 			resp[0] = statusNotPrimary
 			break
@@ -286,16 +410,27 @@ func (s *Server) process(req []byte, maxPayload int) (wire.Addr, []byte) {
 			resp[0] = statusBad
 		}
 	case opTopicSnap:
+		if owner, owned := s.routeFor(name); !owned {
+			resp[0] = statusNotOwner
+			binary.BigEndian.PutUint32(resp[1:5], owner)
+			break
+		}
 		return replyTo, s.snapResponse(name, pageOffset(tail), req[5:9], maxPayload)
 	case opRegistryInfo:
 		return replyTo, s.infoResponse(req[5:9])
 	case opTopicList:
 		return replyTo, s.listResponse(pageOffset(tail), req[5:9], maxPayload)
+	case opShardMap:
+		return replyTo, s.shardMapResponse(pageOffset(tail), req[5:9], maxPayload)
 	default:
 		resp[0] = statusBad
 	}
 	return replyTo, resp
 }
+
+// reserved reports whether a topic name is in the reserved "!" prefix
+// (replication streams and future fabric infrastructure).
+func reserved(name string) bool { return len(name) > 0 && name[0] == '!' }
 
 // mutable reports whether this node may acknowledge topic mutations: a
 // plain in-memory server always can; a durability-aware one only while
@@ -355,6 +490,56 @@ func (s *Server) listResponse(offset int, tag []byte, maxPayload int) []byte {
 	return resp
 }
 
+// shardMapResponse builds one page of a shard-map response (op 10).
+func (s *Server) shardMapResponse(offset int, tag []byte, maxPayload int) []byte {
+	resp := make([]byte, shardMapHeaderBytes+1, maxPayload)
+	copy(resp[5:9], tag)
+	if s.shards == nil {
+		resp[0] = statusNotFound
+		return resp
+	}
+	m := s.shards()
+	if m == nil {
+		resp[0] = statusNotFound
+		return resp
+	}
+	binary.BigEndian.PutUint32(resp[1:5], s.shardSelf)
+	binary.BigEndian.PutUint64(resp[9:17], m.Epoch())
+	entries := m.Entries()
+	binary.BigEndian.PutUint16(resp[17:19], uint16(len(entries)))
+	perPage := (maxPayload - shardMapHeaderBytes - 1) / shardEntryBytes
+	if perPage > 255 {
+		perPage = 255
+	}
+	count := 0
+	for i := offset; i < len(entries) && count < perPage; i++ {
+		resp = appendShardEntry(resp, entries[i])
+		count++
+	}
+	resp[shardMapHeaderBytes] = byte(count)
+	return resp
+}
+
+// shardEntryBytes mirrors the shardmap entry encoding (id 4, weight 2,
+// addr 4) used in op-10 pages.
+const shardEntryBytes = 10
+
+func appendShardEntry(dst []byte, e shardmap.Entry) []byte {
+	var buf [shardEntryBytes]byte
+	binary.BigEndian.PutUint32(buf[0:4], e.ID)
+	binary.BigEndian.PutUint16(buf[4:6], e.Weight)
+	binary.BigEndian.PutUint32(buf[6:10], e.Addr)
+	return append(dst, buf[:]...)
+}
+
+func decodeShardEntry(b []byte) shardmap.Entry {
+	return shardmap.Entry{
+		ID:     binary.BigEndian.Uint32(b[0:4]),
+		Weight: binary.BigEndian.Uint16(b[4:6]),
+		Addr:   binary.BigEndian.Uint32(b[6:10]),
+	}
+}
+
 // snapResponse builds one page of a topic-snapshot response.
 func (s *Server) snapResponse(name string, offset int, tag []byte, maxPayload int) []byte {
 	resp := make([]byte, snapHeaderBytes, maxPayload)
@@ -401,6 +586,12 @@ type Client struct {
 	in     *msglib.Inbox
 	out    *msglib.Outbox
 	tag    uint32
+
+	// Privileged marks this client as fabric infrastructure (a registry
+	// replica): its subscribe/unsubscribe requests carry the reserved-
+	// topic marker so they are admitted on "!"-prefixed replication
+	// streams. Application clients leave it false.
+	Privileged bool
 }
 
 // NewClient creates a client on domain d targeting the server's
@@ -524,7 +715,11 @@ func (c *Client) Lookup(name string, timeout time.Duration) (wire.Addr, error) {
 // client's responsibility: re-call on the lease cadence (the server
 // ages out subscriptions not renewed within the registry TTL).
 func (c *Client) Subscribe(topic string, addr wire.Addr, class uint8, timeout time.Duration) error {
-	req, err := c.buildReq(opSubscribe, topic, uint32(addr), []byte{class})
+	tail := []byte{class}
+	if c.Privileged {
+		tail = append(tail, reservedMagic)
+	}
+	req, err := c.buildReq(opSubscribe, topic, uint32(addr), tail)
 	if err != nil {
 		return err
 	}
@@ -532,18 +727,19 @@ func (c *Client) Subscribe(topic string, addr wire.Addr, class uint8, timeout ti
 	if err != nil {
 		return err
 	}
-	if resp[0] == statusNotPrimary {
-		return fmt.Errorf("%w: subscribe %q", ErrNotPrimary, topic)
-	}
-	if resp[0] != statusOK {
-		return fmt.Errorf("nameservice: subscribe %q failed (status %d)", topic, resp[0])
+	if err := topicStatusErr(resp, "subscribe", topic); err != nil {
+		return err
 	}
 	return nil
 }
 
 // Unsubscribe removes addr's subscription to topic at the server.
 func (c *Client) Unsubscribe(topic string, addr wire.Addr, timeout time.Duration) error {
-	req, err := c.buildReq(opUnsubscribe, topic, uint32(addr), nil)
+	var tail []byte
+	if c.Privileged {
+		tail = []byte{reservedMagic}
+	}
+	req, err := c.buildReq(opUnsubscribe, topic, uint32(addr), tail)
 	if err != nil {
 		return err
 	}
@@ -551,11 +747,8 @@ func (c *Client) Unsubscribe(topic string, addr wire.Addr, timeout time.Duration
 	if err != nil {
 		return err
 	}
-	if resp[0] == statusNotPrimary {
-		return fmt.Errorf("%w: unsubscribe %q", ErrNotPrimary, topic)
-	}
-	if resp[0] != statusOK {
-		return fmt.Errorf("nameservice: unsubscribe %q failed (status %d)", topic, resp[0])
+	if err := topicStatusErr(resp, "unsubscribe", topic); err != nil {
+		return err
 	}
 	return nil
 }
@@ -584,13 +777,28 @@ func (c *Client) AckCursor(topic, sub string, seq uint64, timeout time.Duration)
 	if err != nil {
 		return err
 	}
-	if resp[0] == statusNotPrimary {
-		return fmt.Errorf("%w: cursor ack %q", ErrNotPrimary, topic)
-	}
-	if resp[0] != statusOK {
-		return fmt.Errorf("nameservice: cursor ack %q failed (status %d)", topic, resp[0])
+	if err := topicStatusErr(resp, "cursor ack", topic); err != nil {
+		return err
 	}
 	return nil
+}
+
+// topicStatusErr maps a topic-op response status to its client error:
+// nil on OK, the sentinel-wrapped errors on the retryable refusals
+// (not-primary, not-owner, reserved), and a generic error otherwise.
+func topicStatusErr(resp []byte, op, topic string) error {
+	switch resp[0] {
+	case statusOK:
+		return nil
+	case statusNotPrimary:
+		return fmt.Errorf("%w: %s %q", ErrNotPrimary, op, topic)
+	case statusNotOwner:
+		return &NotOwnerError{Topic: topic, Shard: binary.BigEndian.Uint32(resp[1:5])}
+	case statusReserved:
+		return fmt.Errorf("%w: %s %q", ErrReserved, op, topic)
+	default:
+		return fmt.Errorf("nameservice: %s %q failed (status %d)", op, topic, resp[0])
+	}
 }
 
 // TopicSnapshot fetches topic's full membership from the server,
@@ -619,6 +827,9 @@ func (c *Client) TopicSnapshot(topic string, timeout time.Duration) (TopicSnapsh
 		}
 		if resp[0] == statusNotFound {
 			return snap, fmt.Errorf("%w: topic %q", ErrNotFound, topic)
+		}
+		if resp[0] == statusNotOwner {
+			return snap, &NotOwnerError{Topic: topic, Shard: binary.BigEndian.Uint32(resp[1:5])}
 		}
 		if resp[0] != statusOK || len(resp) < snapHeaderBytes {
 			return snap, fmt.Errorf("%w: topic snapshot status %d", ErrBadReply, resp[0])
@@ -730,6 +941,71 @@ func (c *Client) TopicList(timeout time.Duration) ([]string, error) {
 			// page (or any other stall) must not let a replica
 			// bootstrap silently install incomplete state.
 			return names, fmt.Errorf("%w: topic list page at offset %d carried no entries (total %d)",
+				ErrBadReply, offset, total)
+		}
+	}
+}
+
+// ShardMap fetches the registry shard map from the server (op 10),
+// paging until the server-reported total is reached. It returns the
+// reconstructed map and the answering node's own shard id. A node
+// without a map (unsharded deployment) returns ErrNotFound.
+func (c *Client) ShardMap(timeout time.Duration) (*shardmap.Map, uint32, error) {
+	var (
+		epoch   uint64
+		self    uint32
+		entries []shardmap.Entry
+	)
+	deadline := time.Now().Add(timeout)
+	for offset := 0; ; {
+		c.tag++
+		want := c.tag
+		var tail [4]byte
+		binary.BigEndian.PutUint32(tail[:], uint32(offset))
+		req, err := c.buildReq(opShardMap, "", want, tail[:])
+		if err != nil {
+			return nil, 0, err
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, 0, ErrRemoteTimeout
+		}
+		resp, err := c.roundtrip(req, remain, func(resp []byte) bool {
+			return binary.BigEndian.Uint32(resp[5:9]) == want
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		if resp[0] == statusNotFound {
+			return nil, 0, fmt.Errorf("%w: server carries no shard map", ErrNotFound)
+		}
+		if resp[0] != statusOK || len(resp) < shardMapHeaderBytes+1 {
+			return nil, 0, fmt.Errorf("%w: shard map status %d", ErrBadReply, resp[0])
+		}
+		pageEpoch := binary.BigEndian.Uint64(resp[9:17])
+		if offset > 0 && pageEpoch != epoch {
+			// The map moved between pages: restart for a consistent view.
+			entries = entries[:0]
+			offset = 0
+			epoch = pageEpoch
+			continue
+		}
+		epoch = pageEpoch
+		self = binary.BigEndian.Uint32(resp[1:5])
+		total := int(binary.BigEndian.Uint16(resp[17:19]))
+		count := int(resp[shardMapHeaderBytes])
+		if len(resp) < shardMapHeaderBytes+1+count*shardEntryBytes {
+			return nil, 0, fmt.Errorf("%w: truncated shard map page", ErrBadReply)
+		}
+		for i := 0; i < count; i++ {
+			entries = append(entries, decodeShardEntry(resp[shardMapHeaderBytes+1+i*shardEntryBytes:]))
+		}
+		offset += count
+		if offset >= total {
+			return shardmap.Restore(epoch, entries), self, nil
+		}
+		if count == 0 {
+			return nil, 0, fmt.Errorf("%w: shard map page at offset %d carried no entries (total %d)",
 				ErrBadReply, offset, total)
 		}
 	}

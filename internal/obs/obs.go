@@ -8,11 +8,13 @@
 //	              server-side quantiles (?format=json) — the schema
 //	              flipcstat -watch consumes.
 //	/healthz      200 when every known peer is connected (or none are
-//	              known), no endpoint is quarantined, and no durable
+//	              known), no endpoint is quarantined, no durable
 //	              topic log is degraded (sticky I/O error, or a cursor
-//	              lagging past the retention horizon), 503 otherwise;
-//	              JSON body with peer states, quarantined endpoints,
-//	              and per-topic durable log health.
+//	              lagging past the retention horizon), and — on sharded
+//	              registry nodes — every registry shard has a live
+//	              primary; 503 otherwise. JSON body with peer states,
+//	              quarantined endpoints, per-topic durable log health,
+//	              and the per-shard registry roll-up.
 //	/debug/trace  plain-text dump of the trace ring, oldest first.
 //
 // Scrapes never block the message path: every read is a registry
@@ -65,6 +67,33 @@ type Server struct {
 	// past the retention horizon (Breached) or a sticky log error marks
 	// the node degraded.
 	DurableHealth func() []duralog.TopicHealth
+	// ShardHealth returns the per-shard registry roll-up of a sharded
+	// deployment (one entry per shard in the map, probed by the
+	// registry node's housekeeping) — set only on sharded registry
+	// nodes. Surfaced in /metrics?format=json and /healthz; a shard
+	// confirmed to have no live primary, or whose probe errors, marks
+	// the node degraded with 503.
+	ShardHealth func() []ShardJSON
+}
+
+// ShardJSON is one registry shard's status in the JSON exposition.
+// Probed false with an empty Err means the shard has no address hint
+// to probe — unknown, which the health roll-up does not treat as dead.
+type ShardJSON struct {
+	Shard   uint32 `json:"shard"`
+	Role    string `json:"role"`
+	Gen     uint64 `json:"gen"`
+	Seq     uint64 `json:"seq"`
+	Primary bool   `json:"primary"`
+	Probed  bool   `json:"probed"`
+	Err     string `json:"err,omitempty"`
+}
+
+func (s *Server) shards() []ShardJSON {
+	if s.ShardHealth == nil {
+		return nil
+	}
+	return s.ShardHealth()
 }
 
 func (s *Server) registryHealth() *registrystore.Health {
@@ -177,6 +206,7 @@ type MetricsJSON struct {
 	Peers      []PeerJSON            `json:"peers"`
 	Registry   *registrystore.Health `json:"registry,omitempty"`
 	Durable    []DurableJSON         `json:"durable,omitempty"`
+	Shards     []ShardJSON           `json:"shards,omitempty"`
 }
 
 // Handler returns the HTTP handler serving the observability routes.
@@ -228,6 +258,7 @@ func (s *Server) MetricsDoc() MetricsJSON {
 		Peers:      s.peers(),
 		Registry:   s.registryHealth(),
 		Durable:    s.durable(),
+		Shards:     s.shards(),
 	}
 	if s.Registry == nil {
 		return doc
@@ -338,9 +369,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	quarantined := s.quarantined()
 	reg := s.registryHealth()
 	durable := s.durable()
+	shards := s.shards()
 	healthy := len(quarantined) == 0
 	if reg != nil && reg.StoreErr != "" {
 		healthy = false // the registry can no longer make mutations durable
+	}
+	for _, sh := range shards {
+		if (sh.Probed && !sh.Primary) || sh.Err != "" {
+			// A shard confirmed to have no live primary (or whose probe
+			// fails outright) means part of the topic namespace cannot
+			// take mutations: the deployment is degraded even though
+			// this node itself is fine.
+			healthy = false
+			break
+		}
 	}
 	for _, t := range durable {
 		if t.Breached || t.Err != "" {
@@ -370,7 +412,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Quarantined []QuarantineJSON      `json:"quarantined,omitempty"`
 		Registry    *registrystore.Health `json:"registry,omitempty"`
 		Durable     []DurableJSON         `json:"durable,omitempty"`
-	}{healthy, peers, quarantined, reg, durable})
+		Shards      []ShardJSON           `json:"shards,omitempty"`
+	}{healthy, peers, quarantined, reg, durable, shards})
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

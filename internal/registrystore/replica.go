@@ -1,6 +1,7 @@
 package registrystore
 
 import (
+	"fmt"
 	"sync"
 
 	"flipc/internal/nameservice"
@@ -13,6 +14,16 @@ import (
 // the primary's own registry, so the stream dogfoods the full topic
 // stack (priority classes, fanout accounting, optimistic loss).
 const ReplicationTopic = "!registry"
+
+// ShardReplicationTopic is the reserved replication stream of one
+// registry shard in a sharded deployment: "!registry/<shard>". Each
+// shard streams over its own topic so one shard's failover (standby
+// resubscribes, feed re-targets) never touches another shard's stream
+// state. shardmap.Map.ShardOf routes these names to their own shard by
+// construction.
+func ShardReplicationTopic(shard uint32) string {
+	return fmt.Sprintf("%s/%d", ReplicationTopic, shard)
+}
 
 // ReplicationClass is the stream's priority class: registry mutations
 // are small and latency-critical, exactly what Control is for.

@@ -1,0 +1,311 @@
+// Package shardmap is the consistent-hash shard map that partitions
+// the topic namespace across N independent registry shards. The map is
+// deliberately tiny — a handful of entries, a virtual-node ring, and a
+// monotone epoch — because it is itself a replicated object: every
+// mutation (add, remove, address hint) is journaled as a recio v1
+// record whose extension area carries the post-mutation shard epoch,
+// so a reader that predates the extension still replays the entry
+// payload and a shard split rolls out mixed-version, no flag day.
+//
+// Routing is a pure function of the map: ShardOf hashes the topic name
+// onto a 64-bit ring of virtual points (Weight points per shard) and
+// picks the successor shard. Reserved per-shard replication streams
+// ("!registry/<n>") route to their own shard by construction, not by
+// hash — the stream for shard n must live on shard n, whatever the
+// ring says.
+//
+// The Map is not internally synchronized: it is built (or replayed)
+// once and read concurrently, and mutations go through a holder that
+// swaps whole maps (topic.ShardedDirectory, shardmap.Journal) or are
+// externally serialized.
+package shardmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultWeight is the virtual-node count used for entries added with
+// Weight 0. 64 points per shard keeps the largest/smallest ownership
+// arc within ~2x at small N, which is as balanced as a topic namespace
+// hashed by name can use.
+const DefaultWeight = 64
+
+// reservedStreamPrefix mirrors registrystore.ShardReplicationTopic:
+// "!registry/<n>" is shard n's own replication stream and must route
+// to shard n regardless of the ring.
+const reservedStreamPrefix = "!registry/"
+
+// Entry is one registry shard in the map. Addr is an optional endpoint
+// hint (a wire.Addr as uint32; 0 = none) naming the shard's current
+// primary registry server — the roll-up prober and client bootstrap
+// use it, routing does not.
+type Entry struct {
+	ID     uint32
+	Weight uint16
+	Addr   uint32
+}
+
+// entryBytes is the fixed encoding of one Entry: id(4) weight(2) addr(4).
+const entryBytes = 10
+
+type point struct {
+	hash uint64
+	id   uint32
+}
+
+// Map is a consistent-hash shard map: entries sorted by ID, virtual
+// points sorted by hash, and an epoch that moves on every mutation so
+// routers and servers can detect staleness (the NotOwner redirect).
+type Map struct {
+	epoch   uint64
+	entries []Entry
+	ring    []point
+}
+
+// New returns an empty map at epoch 0.
+func New() *Map { return &Map{} }
+
+// Restore builds a map directly from an epoch and entry set (a decoded
+// snapshot or a remote shard-map fetch).
+func Restore(epoch uint64, entries []Entry) *Map {
+	m := &Map{epoch: epoch, entries: append([]Entry(nil), entries...)}
+	m.normalize()
+	return m
+}
+
+// Epoch returns the map epoch: monotone across mutations, carried in
+// journal record extensions and the shard-map remote op.
+func (m *Map) Epoch() uint64 { return m.epoch }
+
+// Len returns the number of shards.
+func (m *Map) Len() int { return len(m.entries) }
+
+// Entries returns the shard entries, sorted by ID. The slice is a
+// copy.
+func (m *Map) Entries() []Entry { return append([]Entry(nil), m.entries...) }
+
+// Entry returns the entry for shard id.
+func (m *Map) Entry(id uint32) (Entry, bool) {
+	i := sort.Search(len(m.entries), func(i int) bool { return m.entries[i].ID >= id })
+	if i < len(m.entries) && m.entries[i].ID == id {
+		return m.entries[i], true
+	}
+	return Entry{}, false
+}
+
+// Clone returns an independent copy.
+func (m *Map) Clone() *Map { return Restore(m.epoch, m.entries) }
+
+// normalize sorts entries, applies the default weight, and rebuilds
+// the ring.
+func (m *Map) normalize() {
+	sort.Slice(m.entries, func(i, j int) bool { return m.entries[i].ID < m.entries[j].ID })
+	m.ring = m.ring[:0]
+	for i := range m.entries {
+		if m.entries[i].Weight == 0 {
+			m.entries[i].Weight = DefaultWeight
+		}
+		e := m.entries[i]
+		var key [12]byte
+		binary.BigEndian.PutUint32(key[0:4], e.ID)
+		for v := 0; v < int(e.Weight); v++ {
+			binary.BigEndian.PutUint64(key[4:12], uint64(v))
+			m.ring = append(m.ring, point{hash: fnv64(key[:]), id: e.ID})
+		}
+	}
+	sort.Slice(m.ring, func(i, j int) bool {
+		if m.ring[i].hash != m.ring[j].hash {
+			return m.ring[i].hash < m.ring[j].hash
+		}
+		return m.ring[i].id < m.ring[j].id // deterministic on (vanishingly rare) collisions
+	})
+}
+
+// Add inserts a shard and bumps the epoch. Weight 0 takes
+// DefaultWeight.
+func (m *Map) Add(e Entry) error {
+	if _, ok := m.Entry(e.ID); ok {
+		return fmt.Errorf("shardmap: shard %d already mapped", e.ID)
+	}
+	m.entries = append(m.entries, e)
+	m.normalize()
+	m.epoch++
+	return nil
+}
+
+// Remove deletes a shard (a merge: its arc falls to the ring
+// successors) and bumps the epoch.
+func (m *Map) Remove(id uint32) error {
+	for i, e := range m.entries {
+		if e.ID == id {
+			m.entries = append(m.entries[:i], m.entries[i+1:]...)
+			m.normalize()
+			m.epoch++
+			return nil
+		}
+	}
+	return fmt.Errorf("shardmap: shard %d not mapped", id)
+}
+
+// SetAddr updates a shard's endpoint hint and bumps the epoch (a
+// failover moved the shard's primary; routers re-probe).
+func (m *Map) SetAddr(id uint32, addr uint32) error {
+	for i := range m.entries {
+		if m.entries[i].ID == id {
+			m.entries[i].Addr = addr
+			m.epoch++
+			return nil
+		}
+	}
+	return fmt.Errorf("shardmap: shard %d not mapped", id)
+}
+
+// ShardOf routes a topic name to its owning shard. Reserved per-shard
+// replication streams ("!registry/<n>") route to shard n when it is
+// mapped. Returns false only for an empty map.
+func (m *Map) ShardOf(name string) (uint32, bool) {
+	if len(m.ring) == 0 {
+		return 0, false
+	}
+	if rest, ok := strings.CutPrefix(name, reservedStreamPrefix); ok {
+		if id, err := strconv.ParseUint(rest, 10, 32); err == nil {
+			if _, mapped := m.Entry(uint32(id)); mapped {
+				return uint32(id), true
+			}
+		}
+	}
+	h := fnv64([]byte(name))
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].hash >= h })
+	if i == len(m.ring) {
+		i = 0 // wrap: successor of the highest point is the lowest
+	}
+	return m.ring[i].id, true
+}
+
+// Encode appends the map's snapshot encoding to dst:
+// epoch(8) | count(2) | count x entry(10). This is both the RecSnap
+// journal payload and the shard-map remote op's entry layout.
+func (m *Map) Encode(dst []byte) []byte {
+	var hdr [10]byte
+	binary.BigEndian.PutUint64(hdr[0:8], m.epoch)
+	binary.BigEndian.PutUint16(hdr[8:10], uint16(len(m.entries)))
+	dst = append(dst, hdr[:]...)
+	for _, e := range m.entries {
+		dst = appendEntry(dst, e)
+	}
+	return dst
+}
+
+// DecodeMap parses a snapshot encoding produced by Encode.
+func DecodeMap(b []byte) (*Map, error) {
+	if len(b) < 10 {
+		return nil, fmt.Errorf("shardmap: snapshot %d bytes, need 10", len(b))
+	}
+	epoch := binary.BigEndian.Uint64(b[0:8])
+	count := int(binary.BigEndian.Uint16(b[8:10]))
+	if len(b) != 10+count*entryBytes {
+		return nil, fmt.Errorf("shardmap: snapshot %d bytes, want %d for %d entries",
+			len(b), 10+count*entryBytes, count)
+	}
+	entries := make([]Entry, count)
+	for i := 0; i < count; i++ {
+		entries[i] = decodeEntry(b[10+i*entryBytes:])
+	}
+	seen := map[uint32]bool{}
+	for _, e := range entries {
+		if seen[e.ID] {
+			return nil, fmt.Errorf("shardmap: snapshot repeats shard %d", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	return Restore(epoch, entries), nil
+}
+
+func appendEntry(dst []byte, e Entry) []byte {
+	var buf [entryBytes]byte
+	binary.BigEndian.PutUint32(buf[0:4], e.ID)
+	binary.BigEndian.PutUint16(buf[4:6], e.Weight)
+	binary.BigEndian.PutUint32(buf[6:10], e.Addr)
+	return append(dst, buf[:]...)
+}
+
+func decodeEntry(b []byte) Entry {
+	return Entry{
+		ID:     binary.BigEndian.Uint32(b[0:4]),
+		Weight: binary.BigEndian.Uint16(b[4:6]),
+		Addr:   binary.BigEndian.Uint32(b[6:10]),
+	}
+}
+
+// ParseSpec builds a map from a flag-friendly spec: comma-separated
+// shard elements "id", "id@hexaddr", or "id@hexaddr*weight" (the addr
+// is an endpoint hint as flipcd prints them, with or without 0x). The
+// map starts at epoch = element count, as if each shard had been Added
+// in order.
+func ParseSpec(spec string) (*Map, error) {
+	m := New()
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var e Entry
+		if i := strings.IndexByte(part, '*'); i >= 0 {
+			w, err := strconv.ParseUint(part[i+1:], 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("shardmap: bad weight in %q: %w", part, err)
+			}
+			e.Weight = uint16(w)
+			part = part[:i]
+		}
+		if i := strings.IndexByte(part, '@'); i >= 0 {
+			hex := strings.TrimPrefix(strings.TrimPrefix(part[i+1:], "0x"), "0X")
+			a, err := strconv.ParseUint(hex, 16, 32)
+			if err != nil {
+				return nil, fmt.Errorf("shardmap: bad addr in %q: %w", part, err)
+			}
+			e.Addr = uint32(a)
+			part = part[:i]
+		}
+		id, err := strconv.ParseUint(part, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("shardmap: bad shard id in %q: %w", part, err)
+		}
+		e.ID = uint32(id)
+		if err := m.Add(e); err != nil {
+			return nil, err
+		}
+	}
+	if m.Len() == 0 {
+		return nil, fmt.Errorf("shardmap: empty spec %q", spec)
+	}
+	return m, nil
+}
+
+// fnv64 is FNV-1a with an avalanche finalizer, the routing hash: fast,
+// allocation-free, and stable across versions (the ring layout is part
+// of the replicated state, so this function can never change without a
+// map-epoch migration). The finalizer matters: raw FNV-1a mixes the
+// final differing byte through a single multiply, which clusters the
+// near-identical vnode keys badly enough to unbalance the ring.
+func fnv64(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,184 @@
+package shardmap
+
+import (
+	"fmt"
+	"testing"
+)
+
+func threeShards(t *testing.T) *Map {
+	t.Helper()
+	m := New()
+	for id := uint32(0); id < 3; id++ {
+		if err := m.Add(Entry{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestRoutingDeterministicAndTotal(t *testing.T) {
+	m := threeShards(t)
+	n := m.Clone()
+	counts := map[uint32]int{}
+	for i := 0; i < 3000; i++ {
+		name := fmt.Sprintf("topic-%d", i)
+		a, ok := m.ShardOf(name)
+		if !ok {
+			t.Fatalf("ShardOf(%q) not routable on a populated map", name)
+		}
+		b, _ := n.ShardOf(name)
+		if a != b {
+			t.Fatalf("ShardOf(%q) differs between identical maps: %d vs %d", name, a, b)
+		}
+		counts[a]++
+	}
+	// Balance: with 64 vnodes per shard every shard must own a
+	// substantial slice of a 3000-topic namespace.
+	for id := uint32(0); id < 3; id++ {
+		if counts[id] < 300 {
+			t.Fatalf("shard %d owns only %d/3000 topics — ring unbalanced: %v", id, counts[id], counts)
+		}
+	}
+}
+
+func TestRemoveOnlyMovesVictimsTopics(t *testing.T) {
+	m := threeShards(t)
+	owner := map[string]uint32{}
+	for i := 0; i < 1000; i++ {
+		name := fmt.Sprintf("t%d", i)
+		owner[name], _ = m.ShardOf(name)
+	}
+	if err := m.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	for name, was := range owner {
+		now, ok := m.ShardOf(name)
+		if !ok {
+			t.Fatalf("ShardOf(%q) lost after remove", name)
+		}
+		if was != 1 && now != was {
+			t.Fatalf("topic %q moved %d→%d though shard 1 was removed — consistent hashing violated",
+				name, was, now)
+		}
+		if was == 1 && now == 1 {
+			t.Fatalf("topic %q still routed to removed shard 1", name)
+		}
+	}
+}
+
+func TestEpochMovesOnEveryMutation(t *testing.T) {
+	m := New()
+	if m.Epoch() != 0 {
+		t.Fatalf("fresh map at epoch %d", m.Epoch())
+	}
+	steps := []func() error{
+		func() error { return m.Add(Entry{ID: 7}) },
+		func() error { return m.Add(Entry{ID: 9}) },
+		func() error { return m.SetAddr(9, 0xABCD) },
+		func() error { return m.Remove(7) },
+	}
+	for i, step := range steps {
+		if err := step(); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Epoch(); got != uint64(i+1) {
+			t.Fatalf("after mutation %d epoch is %d", i+1, got)
+		}
+	}
+	if err := m.Add(Entry{ID: 9}); err == nil {
+		t.Fatal("duplicate Add accepted")
+	}
+	if err := m.Remove(42); err == nil {
+		t.Fatal("Remove of unmapped shard accepted")
+	}
+	if m.Epoch() != uint64(len(steps)) {
+		t.Fatalf("failed mutations moved the epoch to %d", m.Epoch())
+	}
+}
+
+func TestReservedStreamRoutesToItsShard(t *testing.T) {
+	m := threeShards(t)
+	for id := uint32(0); id < 3; id++ {
+		got, ok := m.ShardOf(fmt.Sprintf("!registry/%d", id))
+		if !ok || got != id {
+			t.Fatalf("!registry/%d routed to shard %d (ok=%v), want its own shard", id, got, ok)
+		}
+	}
+	// An unmapped suffix falls back to the hash ring, and a foreign
+	// reserved name routes somewhere, not nowhere.
+	if _, ok := m.ShardOf("!registry/99"); !ok {
+		t.Fatal("!registry/99 (unmapped shard) not routable at all")
+	}
+	if _, ok := m.ShardOf("!registry"); !ok {
+		t.Fatal("legacy !registry not routable")
+	}
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	m := New()
+	if err := m.Add(Entry{ID: 3, Weight: 17, Addr: 0xDEAD}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(Entry{ID: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetAddr(0, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMap(m.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch() != m.Epoch() {
+		t.Fatalf("epoch %d != %d through the codec", got.Epoch(), m.Epoch())
+	}
+	ge, me := got.Entries(), m.Entries()
+	if len(ge) != len(me) {
+		t.Fatalf("entries %v != %v", ge, me)
+	}
+	for i := range ge {
+		if ge[i] != me[i] {
+			t.Fatalf("entry %d: %v != %v", i, ge[i], me[i])
+		}
+	}
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("x%d", i)
+		a, _ := m.ShardOf(name)
+		b, _ := got.ShardOf(name)
+		if a != b {
+			t.Fatalf("routing diverged through codec on %q: %d vs %d", name, a, b)
+		}
+	}
+	if _, err := DecodeMap([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+	dup := Restore(1, []Entry{{ID: 5}}).Encode(nil)
+	dup = append(dup, dup[10:10+entryBytes]...)
+	dup[9] = 2 // two copies of shard 5
+	if _, err := DecodeMap(dup); err == nil {
+		t.Fatal("duplicate-entry snapshot accepted")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	m, err := ParseSpec("0@0x1030001, 1@2030001*32 ,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 || m.Epoch() != 3 {
+		t.Fatalf("spec parsed to %d shards at epoch %d", m.Len(), m.Epoch())
+	}
+	e, _ := m.Entry(0)
+	if e.Addr != 0x1030001 || e.Weight != DefaultWeight {
+		t.Fatalf("shard 0 entry %+v", e)
+	}
+	e, _ = m.Entry(1)
+	if e.Addr != 0x2030001 || e.Weight != 32 {
+		t.Fatalf("shard 1 entry %+v", e)
+	}
+	for _, bad := range []string{"", "x", "1@zz", "1*99999999", "1,1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package topic
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"flipc/internal/core"
+	"flipc/internal/nameservice"
+	"flipc/internal/shardmap"
+)
+
+// ErrNoShard reports a topic routed to a shard this directory has no
+// target for — the map names a shard that was never installed (or the
+// map itself is missing).
+var ErrNoShard = errors.New("topic: no directory for owning shard")
+
+// ShardedDirectory routes every membership op to the registry shard
+// that owns the topic, per the consistent-hash shard map. Each shard
+// gets its own FailoverDirectory, so a failover on one shard retargets
+// exactly that shard's publishers and subscribers — the other shards'
+// leases, fanout plans, and replay cursors never observe it. That
+// per-shard indirection is the whole point: the failure domain of a
+// registry shard is the topics it owns, nothing more.
+type ShardedDirectory struct {
+	mu     sync.RWMutex
+	m      *shardmap.Map
+	shards map[uint32]*FailoverDirectory
+}
+
+// NewShardedDirectory builds a sharded directory over an initial map.
+// Shard targets are installed with SetShard.
+func NewShardedDirectory(m *shardmap.Map) *ShardedDirectory {
+	return &ShardedDirectory{m: m, shards: make(map[uint32]*FailoverDirectory)}
+}
+
+// SetShard installs (or, if the shard already has one, retargets) the
+// directory for shard id. Retargeting goes through the shard's
+// existing FailoverDirectory so handles held by publishers and
+// subscribers stay valid across the swap — exactly the single-registry
+// failover discipline, scoped to one shard.
+func (s *ShardedDirectory) SetShard(id uint32, dir Directory) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.shards[id]; ok {
+		f.Retarget(dir)
+		return
+	}
+	s.shards[id] = NewFailoverDirectory(dir)
+}
+
+// Shard returns shard id's FailoverDirectory (nil if never installed).
+// Callers needing the retarget epoch of one shard read it here.
+func (s *ShardedDirectory) Shard(id uint32) *FailoverDirectory {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.shards[id]
+}
+
+// UpdateMap swaps in a newer shard map (a split or merge rolled out;
+// the caller fetched it via the shard-map remote op). Directories of
+// shards no longer mapped are kept — in-flight ops may still resolve
+// through them until the caller tears them down.
+func (s *ShardedDirectory) UpdateMap(m *shardmap.Map) {
+	s.mu.Lock()
+	s.m = m
+	s.mu.Unlock()
+}
+
+// Map returns the current shard map.
+func (s *ShardedDirectory) Map() *shardmap.Map {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.m
+}
+
+// ShardFor resolves the shard owning topic under the current map.
+func (s *ShardedDirectory) ShardFor(topic string) (uint32, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.m == nil {
+		return 0, false
+	}
+	return s.m.ShardOf(topic)
+}
+
+// route resolves topic to its owning shard's directory.
+func (s *ShardedDirectory) route(topic string) (*FailoverDirectory, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.m == nil {
+		return nil, fmt.Errorf("%w: no shard map for %q", ErrNoShard, topic)
+	}
+	id, ok := s.m.ShardOf(topic)
+	if !ok {
+		return nil, fmt.Errorf("%w: empty shard map for %q", ErrNoShard, topic)
+	}
+	f, ok := s.shards[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: shard %d for %q", ErrNoShard, id, topic)
+	}
+	return f, nil
+}
+
+// Subscribe implements Directory.
+func (s *ShardedDirectory) Subscribe(topic string, addr core.Addr, class Class) error {
+	f, err := s.route(topic)
+	if err != nil {
+		return err
+	}
+	return f.Subscribe(topic, addr, class)
+}
+
+// Unsubscribe implements Directory.
+func (s *ShardedDirectory) Unsubscribe(topic string, addr core.Addr) error {
+	f, err := s.route(topic)
+	if err != nil {
+		return err
+	}
+	return f.Unsubscribe(topic, addr)
+}
+
+// Snapshot implements Directory.
+func (s *ShardedDirectory) Snapshot(topic string) (nameservice.TopicSnapshot, error) {
+	f, err := s.route(topic)
+	if err != nil {
+		return nameservice.TopicSnapshot{}, err
+	}
+	return f.Snapshot(topic)
+}
+
+// AckCursor implements Directory.
+func (s *ShardedDirectory) AckCursor(topic, sub string, seq uint64) error {
+	f, err := s.route(topic)
+	if err != nil {
+		return err
+	}
+	return f.AckCursor(topic, sub, seq)
+}
