@@ -127,10 +127,30 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of the aligned table (single experiment only)")
 		pubsub    = flag.Bool("pubsub", false, "run the wall-clock pub/sub fanout benchmark instead of the experiments")
 		agg       = flag.Bool("agg", false, "run the adaptive-aggregation ablation (batch size x flush deadline over TCP) instead of the experiments")
-		jsonPath  = flag.String("json", "", "with -pubsub/-agg: also write the JSON report to this file")
+		jsonPath  = flag.String("json", "", "with -pubsub/-agg/-gateway: also write the JSON report to this file")
 		publishes = flag.Int("publishes", 1000, "with -pubsub: publishes per fanout width; with -agg: bulk publishes per cell")
+		gatew     = flag.Bool("gateway", false, "run the gateway edge plane benchmark (loopback TCP clients) instead of the experiments")
+		gwSizes   = flag.String("gateway-clients", "1000,10000", "with -gateway: comma-separated client population sizes")
+		gwRounds  = flag.Int("gateway-rounds", 150, "with -gateway: steady-state publish rounds per class")
+		gwDrive   = flag.String("gwdrive", "", "internal: run as the gateway bench client driver against this address")
+		gwDriveN  = flag.Int("gwdrive-n", 0, "internal: client driver population size")
 	)
 	flag.Parse()
+
+	if *gwDrive != "" {
+		if err := runGatewayDriver(*gwDrive, *gwDriveN); err != nil {
+			fmt.Fprintf(os.Stderr, "flipcbench: gwdrive: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *gatew {
+		if err := runGatewayBench(*jsonPath, *gwSizes, *gwRounds); err != nil {
+			fmt.Fprintf(os.Stderr, "flipcbench: gateway: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *agg {
 		if err := runAgg(*jsonPath, *publishes); err != nil {

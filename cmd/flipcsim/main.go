@@ -48,6 +48,8 @@ func main() {
 		flushDl  = flag.Duration("flushdl", 0, "-topics: mesh flush deadline for corked runs (virtual time)")
 		failover = flag.Bool("failover", false, "run the registry kill/failover scenario instead of the ping stream")
 		shards   = flag.Bool("shards", false, "run the sharded-registry failure-domain scenario instead of the ping stream")
+		gwsim    = flag.Bool("gateway", false, "run the gateway-kill edge plane scenario instead of the ping stream")
+		gwcli    = flag.Int("gwclients", 4, "-gateway: clients per gateway")
 		slowsub  = flag.Bool("slowsub", false, "run the slow-subscriber credit scenario instead of the ping stream")
 		slowBy   = flag.Int("slowby", 10, "-slowsub: slow subscriber drains one message per this many publish periods")
 
@@ -75,6 +77,24 @@ func main() {
 			gap:     *gap,
 			poll:    *poll,
 			window:  *window * 4,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *gwsim {
+		n := *nodes
+		if n < nGateways+1 {
+			n = nGateways + 1 // 3 gateways + publisher
+		}
+		if err := runGateway(gatewayOpts{
+			nodes:   n,
+			msgSize: *msgSize,
+			msgs:    *msgs,
+			gap:     *gap,
+			poll:    *poll,
+			window:  *window * 4,
+			clients: *gwcli,
 		}); err != nil {
 			fatal(err)
 		}

@@ -116,6 +116,22 @@ func render(doc, prev *obs.MetricsJSON, dt time.Duration, url string) {
 			fmt.Println()
 		}
 	}
+	// Gateway edge plane (flipcgw only): the connection population and
+	// its leases, then one row per priority class — summed client queue
+	// depth, frames lost at the shared class inbox, and the saturation
+	// flag (the same condition that degrades /healthz to 503).
+	if g := doc.Gateway; g != nil {
+		fmt.Printf("\ngateway %s: conns=%d presence-leases=%d patterns=%d throttled-clients=%d renew-errors=%d\n",
+			g.Name, g.Conns, g.Presence, g.Patterns, g.Throttled, g.RenewErrs)
+		fmt.Printf("%-10s %12s %12s  %s\n", "class", "queue-depth", "inbox-drops", "status")
+		for _, pc := range g.PerClass {
+			status := "ok"
+			if pc.Saturated {
+				status = "SATURATED (inbox dropping)"
+			}
+			fmt.Printf("%-10s %12d %12d  %s\n", pc.Class, pc.QueueDepth, pc.InboxDrops, status)
+		}
+	}
 	fmt.Println()
 
 	// Counters: absolute value plus delta rate since the last sample.

@@ -1,0 +1,64 @@
+package gateway
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzClientCodec round-trips the client framing codec: any body that
+// DecodeBody accepts must re-encode with AppendFrame and decode back
+// to an identical frame — the codec has one canonical wire form per
+// frame, so a gateway and a client can never disagree about what was
+// said.
+func FuzzClientCodec(f *testing.F) {
+	seed := func(fr Frame) {
+		enc, err := AppendFrame(nil, fr)
+		if err != nil {
+			panic(err)
+		}
+		f.Add(enc[frameHeaderBytes:])
+	}
+	seed(Frame{Op: OpHello, Ver: 1, Name: "sensor-7"})
+	seed(Frame{Op: OpSub, Class: 2, Name: "metrics.*"})
+	seed(Frame{Op: OpUnsub, Name: "metrics.**"})
+	seed(Frame{Op: OpPub, Class: 1, Name: "metrics.cpu", Payload: []byte("42")})
+	seed(Frame{Op: OpDeliver, Class: 0, Name: "a.b", Payload: []byte{0, 1, 2}})
+	seed(Frame{Op: OpErr, Code: ErrCodeThrottled, Payload: []byte("slow down")})
+	seed(Frame{Op: OpPing, Payload: []byte("echo")})
+	seed(Frame{Op: OpPong})
+	f.Add([]byte{OpHello})             // truncated
+	f.Add([]byte{OpHello, 1, 0})       // zero-length id
+	f.Add([]byte{OpSub, 9, 3, 'a'})    // pattern overruns
+	f.Add([]byte{OpErr, 1, 200, 'x'})  // message overruns
+	f.Add([]byte{99, 1, 2, 3})         // unknown op
+	f.Add(bytes.Repeat([]byte{4}, 64)) // pub parsing over repeated bytes
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fr, err := DecodeBody(body)
+		if err != nil {
+			return
+		}
+		enc, err := AppendFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("decoded frame %+v refused re-encode: %v", fr, err)
+		}
+		sc := NewScanner(bytes.NewReader(enc))
+		body2, err := sc.Next()
+		if err != nil {
+			t.Fatalf("re-encoded frame unscannable: %v", err)
+		}
+		fr2, err := DecodeBody(body2)
+		if err != nil {
+			t.Fatalf("re-encoded frame undecodable: %v", err)
+		}
+		if fr.Op != fr2.Op || fr.Ver != fr2.Ver || fr.Code != fr2.Code ||
+			fr.Class != fr2.Class || fr.Name != fr2.Name || !bytes.Equal(fr.Payload, fr2.Payload) {
+			t.Fatalf("round trip drifted: %+v -> %+v", fr, fr2)
+		}
+		// Canonical form: the re-encoded body must be byte-identical
+		// to the accepted input.
+		if !bytes.Equal(body, body2) {
+			t.Fatalf("non-canonical accepted body: % x -> % x", body, body2)
+		}
+	})
+}

@@ -55,17 +55,17 @@ func FuzzServerProcess(f *testing.F) {
 	f.Add(mkReq(opSubscribe, replyAddr, uint32(subAddr), "topic", []byte{2}))
 	f.Add(mkReq(opUnsubscribe, replyAddr, uint32(subAddr), "topic", nil))
 	f.Add(mkReq(opTopicSnap, replyAddr, 9, "topic", []byte{0, 0}))
-	f.Add(mkReq(opTopicSnap, replyAddr, 9, "topic", []byte{0, 200}))       // legacy 2-byte offset past end
-	f.Add(mkReq(opTopicSnap, replyAddr, 9, "topic", []byte{0, 0, 0, 4}))   // 4-byte offset
-	f.Add(mkReq(opTopicSnap, replyAddr, 9, "topic", []byte{1, 0, 0, 0}))   // 4-byte offset past end
+	f.Add(mkReq(opTopicSnap, replyAddr, 9, "topic", []byte{0, 200}))     // legacy 2-byte offset past end
+	f.Add(mkReq(opTopicSnap, replyAddr, 9, "topic", []byte{0, 0, 0, 4})) // 4-byte offset
+	f.Add(mkReq(opTopicSnap, replyAddr, 9, "topic", []byte{1, 0, 0, 0})) // 4-byte offset past end
 	f.Add(mkReq(opRegistryInfo, replyAddr, 11, "", nil))
 	f.Add(mkReq(opTopicList, replyAddr, 13, "", []byte{0, 0}))
 	f.Add(mkReq(opTopicList, replyAddr, 13, "", []byte{0, 0, 0, 1}))       // 4-byte offset
 	f.Add(mkReq(opTopicList, replyAddr, 13, "", []byte{0xFF, 0, 0, 0xFF})) // offset far past end
-	f.Add(mkReq(99, replyAddr, 0, "x", nil))                // unknown op
-	f.Add(mkReq(opLookup, 0, 0, "x", nil))                  // invalid reply address
-	f.Add([]byte{opLookup, 0, 0})                           // truncated header
-	f.Add(mkReq(opSubscribe, replyAddr, 0, "t", []byte{1})) // invalid subscriber addr
+	f.Add(mkReq(99, replyAddr, 0, "x", nil))                               // unknown op
+	f.Add(mkReq(opLookup, 0, 0, "x", nil))                                 // invalid reply address
+	f.Add([]byte{opLookup, 0, 0})                                          // truncated header
+	f.Add(mkReq(opSubscribe, replyAddr, 0, "t", []byte{1}))                // invalid subscriber addr
 	// Sharded-registry extension: shard-map pages (in-range, past-end),
 	// reserved-topic mutations with and without the privilege marker,
 	// and a cursor ack on a reserved stream (always refused).
@@ -79,7 +79,17 @@ func FuzzServerProcess(f *testing.F) {
 	f.Add(mkReq(opCursorAck, replyAddr, 23, "!registry", append(
 		[]byte{0, 0, 0, 0, 0, 0, 0, 9, 3}, "sub"...)))
 	f.Add(mkReq(opSubscribe, replyAddr, uint32(subAddr), "seeded-topic", []byte{2}))
-	f.Add(func() []byte {                                   // name length runs past the request
+	// Edge plane: pattern subscriptions (accepted at every shard) and
+	// shard-routed presence leases with the [gwlen][gw] tail.
+	f.Add(mkReq(opPatternSub, replyAddr, uint32(subAddr), "metrics.*", nil))
+	f.Add(mkReq(opPatternSub, replyAddr, uint32(subAddr), "metrics.**", nil))
+	f.Add(mkReq(opPatternSub, replyAddr, uint32(subAddr), "bad..pattern", nil))
+	f.Add(mkReq(opPatternUnsub, replyAddr, uint32(subAddr), "metrics.*", nil))
+	f.Add(mkReq(opPresenceUp, replyAddr, uint32(subAddr), "gw-a/c1", append([]byte{4}, "gw-a"...)))
+	f.Add(mkReq(opPresenceUp, replyAddr, uint32(subAddr), "gw-a/c1", []byte{9})) // gw name overruns tail
+	f.Add(mkReq(opPresenceUp, replyAddr, uint32(subAddr), "!registry", append([]byte{2}, "gw"...)))
+	f.Add(mkReq(opPresenceDrop, replyAddr, 31, "gw-a/c1", nil))
+	f.Add(func() []byte { // name length runs past the request
 		r := mkReq(opLookup, replyAddr, 0, "abc", nil)
 		r[9] = 200
 		return r
@@ -108,6 +118,14 @@ func FuzzServerProcess(f *testing.F) {
 			}
 			if err := s.topics.Declare("another-topic", 2); err != nil {
 				t.Fatal(err)
+			}
+			// A catch-all pattern: single-segment topic snapshots now
+			// carry a pattern block on their final page, so the paging
+			// math is exercised with the block in play.
+			if patAddr, err := wire.MakeAddr(3, 63, 1); err == nil {
+				if err := s.topics.SubscribePattern("*", patAddr); err != nil {
+					t.Fatal(err)
+				}
 			}
 
 			replyTo, resp := s.process(req, maxPayload)

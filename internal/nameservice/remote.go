@@ -106,6 +106,34 @@ import (
 // marker byte to subscribe/unsubscribe tails (Client.Privileged);
 // cursor acks on reserved topics are refused unconditionally (streams
 // are not durable topics).
+//
+// Ops 11–14 are the edge-plane extension (see patterns.go):
+//
+//	pattern sub (11):   register-shaped; name is a wildcard pattern
+//	                    ("metrics.*", grammar in ValidPattern), [5:9]
+//	                    the subscriber's data address. Accepted at
+//	                    EVERY shard — a pattern can match topics on any
+//	                    shard, so the gateway broadcasts it to all of
+//	                    them and each shard merges its own matches into
+//	                    the snapshots it serves. Lease-renewed like
+//	                    subscribe; soft state (never journaled).
+//	pattern unsub (12): register-shaped, mirror of 11.
+//	presence up (13):   register-shaped; name is the client presence
+//	                    key, [5:9] the terminating gateway's control
+//	                    address, tail gateway-name len(1) | name.
+//	                    Shard-routed by the KEY's hash (statusNotOwner
+//	                    redirects apply) so the edge plane's lease load
+//	                    spreads across the registry tier. Lease-renewed
+//	                    soft state: a dead gateway's clients age out.
+//	presence drop (14): lookup-shaped; [5:9] the request tag. Shard-
+//	                    routed like 13.
+//
+// Snapshot responses additionally carry a pattern block on their final
+// page (after the exact-subscriber block, when space allows):
+// [patcount byte][patcount × 4-byte addresses] — the pattern-plane
+// subscribers matching the topic, already deduplicated against the
+// exact set. Old clients never read past the exact block; old servers
+// never append one, which new clients read as zero patterns.
 const (
 	opRegister     = 1
 	opLookup       = 2
@@ -117,6 +145,10 @@ const (
 	opTopicList    = 8
 	opCursorAck    = 9
 	opShardMap     = 10
+	opPatternSub   = 11
+	opPatternUnsub = 12
+	opPresenceUp   = 13
+	opPresenceDrop = 14
 
 	statusOK         = 0
 	statusNotFound   = 1
@@ -409,6 +441,63 @@ func (s *Server) process(req []byte, maxPayload int) (wire.Addr, []byte) {
 		if err := s.topics.AckCursor(name, sub, seq); err != nil {
 			resp[0] = statusBad
 		}
+	case opPatternSub:
+		if !s.mutable() {
+			resp[0] = statusNotPrimary
+			break
+		}
+		addr := wire.Addr(binary.BigEndian.Uint32(req[5:9]))
+		if err := s.topics.SubscribePattern(name, addr); err != nil {
+			resp[0] = statusBad
+		}
+	case opPatternUnsub:
+		if !s.mutable() {
+			resp[0] = statusNotPrimary
+			break
+		}
+		if err := ValidPattern(name); err != nil {
+			resp[0] = statusBad
+			break
+		}
+		s.topics.UnsubscribePattern(name, wire.Addr(binary.BigEndian.Uint32(req[5:9])))
+	case opPresenceUp:
+		if reserved(name) {
+			resp[0] = statusReserved
+			break
+		}
+		if owner, owned := s.routeFor(name); !owned {
+			resp[0] = statusNotOwner
+			binary.BigEndian.PutUint32(resp[1:5], owner)
+			break
+		}
+		if !s.mutable() {
+			resp[0] = statusNotPrimary
+			break
+		}
+		if len(tail) < 1 || 1+int(tail[0]) > len(tail) || tail[0] == 0 {
+			resp[0] = statusBad
+			break
+		}
+		gw := string(tail[1 : 1+int(tail[0])])
+		addr := wire.Addr(binary.BigEndian.Uint32(req[5:9]))
+		if err := s.topics.UpsertPresence(name, gw, addr); err != nil {
+			resp[0] = statusBad
+		}
+	case opPresenceDrop:
+		if reserved(name) {
+			resp[0] = statusReserved
+			break
+		}
+		if owner, owned := s.routeFor(name); !owned {
+			resp[0] = statusNotOwner
+			binary.BigEndian.PutUint32(resp[1:5], owner)
+			break
+		}
+		if !s.mutable() {
+			resp[0] = statusNotPrimary
+			break
+		}
+		s.topics.DropPresence(name)
 	case opTopicSnap:
 		if owner, owned := s.routeFor(name); !owned {
 			resp[0] = statusNotOwner
@@ -563,6 +652,29 @@ func (s *Server) snapResponse(name string, offset int, tag []byte, maxPayload in
 		count++
 	}
 	resp[10] = byte(count)
+	if offset+count >= len(snap.Subs) && count < perPage && len(snap.Pats) > 0 {
+		// Final page (the client stops paging at a short exact block):
+		// append the pattern block, capped to the space left. Pattern
+		// subscribers per topic are a handful of gateway endpoints, so
+		// a single page holds them at any realistic payload size; a
+		// truncated block self-heals on the next plan refresh once the
+		// exact set shrinks or the payload grows.
+		patFit := (maxPayload - len(resp) - 1) / 4
+		if patFit > 255 {
+			patFit = 255
+		}
+		patCount := len(snap.Pats)
+		if patCount > patFit {
+			patCount = patFit
+		}
+		if patCount > 0 {
+			resp = append(resp, byte(patCount))
+			for i := 0; i < patCount; i++ {
+				binary.BigEndian.PutUint32(addrs[:], uint32(snap.Pats[i].Addr))
+				resp = append(resp, addrs[:]...)
+			}
+		}
+	}
 	return resp
 }
 
@@ -838,6 +950,7 @@ func (c *Client) TopicSnapshot(topic string, timeout time.Duration) (TopicSnapsh
 		if offset > 0 && gen != snap.Gen {
 			// Membership moved between pages: restart for a consistent view.
 			snap.Subs = snap.Subs[:0]
+			snap.Pats = snap.Pats[:0]
 			offset = 0
 			snap.Gen = gen
 			snap.Class = resp[9]
@@ -858,10 +971,97 @@ func (c *Client) TopicSnapshot(topic string, timeout time.Duration) (TopicSnapsh
 			perPage = 255
 		}
 		if count < perPage {
+			// Final page: it may carry the pattern block (servers without
+			// the edge plane simply end the payload here).
+			off := snapHeaderBytes + 4*count
+			if len(resp) > off {
+				patCount := int(resp[off])
+				if len(resp) < off+1+4*patCount {
+					return snap, fmt.Errorf("%w: truncated snapshot pattern block", ErrBadReply)
+				}
+				snap.Pats = snap.Pats[:0]
+				for i := 0; i < patCount; i++ {
+					a := wire.Addr(binary.BigEndian.Uint32(resp[off+1+4*i:]))
+					snap.Pats = append(snap.Pats, Subscription{Addr: a})
+				}
+			}
 			return snap, nil
 		}
 		offset += count
 	}
+}
+
+// SubscribePattern adds (or renews) addr's subscription to pattern pat
+// at the server (op 11). Patterns are accepted at every shard — a
+// sharded caller broadcasts the subscription to all of them (see
+// topic.ShardedDirectory) — and lease-renewed on the same cadence as
+// exact subscriptions.
+func (c *Client) SubscribePattern(pat string, addr wire.Addr, timeout time.Duration) error {
+	if err := ValidPattern(pat); err != nil {
+		return err
+	}
+	req, err := c.buildReq(opPatternSub, pat, uint32(addr), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.roundtrip(req, timeout, nil)
+	if err != nil {
+		return err
+	}
+	return topicStatusErr(resp, "pattern subscribe", pat)
+}
+
+// UnsubscribePattern removes addr's subscription to pat (op 12).
+func (c *Client) UnsubscribePattern(pat string, addr wire.Addr, timeout time.Duration) error {
+	req, err := c.buildReq(opPatternUnsub, pat, uint32(addr), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.roundtrip(req, timeout, nil)
+	if err != nil {
+		return err
+	}
+	return topicStatusErr(resp, "pattern unsubscribe", pat)
+}
+
+// UpsertPresence records (or renews) client key's presence lease at
+// gateway gw, reachable through addr (op 13). Presence is routed by
+// the key's hash at a sharded registry, so the call can answer a
+// *NotOwnerError redirect — follow it with FollowOwner.
+func (c *Client) UpsertPresence(key, gw string, addr wire.Addr, timeout time.Duration) error {
+	if len(gw) == 0 || len(gw) > MaxPresenceName {
+		return fmt.Errorf("nameservice: bad gateway name length %d", len(gw))
+	}
+	tail := make([]byte, 1+len(gw))
+	tail[0] = byte(len(gw))
+	copy(tail[1:], gw)
+	req, err := c.buildReq(opPresenceUp, key, uint32(addr), tail)
+	if err != nil {
+		return err
+	}
+	resp, err := c.roundtrip(req, timeout, nil)
+	if err != nil {
+		return err
+	}
+	return topicStatusErr(resp, "presence upsert", key)
+}
+
+// DropPresence removes client key's presence lease (op 14). Idempotent;
+// shard-routed like UpsertPresence.
+func (c *Client) DropPresence(key string, timeout time.Duration) error {
+	c.tag++
+	want := c.tag
+	req, err := c.buildReq(opPresenceDrop, key, want, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.roundtrip(req, timeout, func(resp []byte) bool {
+		return binary.BigEndian.Uint32(resp[5:9]) == want
+	})
+	if err != nil {
+		return err
+	}
+	return topicStatusErr(resp, "presence drop", key)
 }
 
 // RegistryInfo fetches the registry node's failover status: role,

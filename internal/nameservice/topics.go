@@ -53,10 +53,19 @@ type Cursor struct {
 type TopicSnapshot struct {
 	Name  string
 	Class uint8 // priority class attribute (see internal/topic)
-	// Gen counts membership changes; publishers rebuild their fanout
-	// plan only when it moves.
+	// Gen is the topic's effective membership generation: the per-topic
+	// change counter plus the registry's pattern-plane generation, so a
+	// pattern joining or leaving moves every topic's Gen and cached
+	// fanout plans rebuild. Publishers compare for inequality, never
+	// order.
 	Gen  uint32
 	Subs []Subscription // ordered by address for deterministic fanout
+	// Pats are the pattern-plane subscribers matching this topic that
+	// are not already exact subscribers, ordered by address. Pattern
+	// subscribers receive enveloped frames (topic name prefixed) and
+	// take no part in credit, hello, or durable replay (see
+	// internal/topic's plan merge).
+	Pats []Subscription
 	// Cursors are the durable-stream replay positions registered for
 	// this topic, ordered by subscriber name.
 	Cursors []Cursor
@@ -133,11 +142,27 @@ type TopicRegistry struct {
 	ttl    uint64
 	reggen uint64
 	obs    MutationObserver
+
+	// Edge-plane soft state (see patterns.go): wildcard pattern
+	// subscriptions and client presence leases. Both are lease-renewed
+	// by their owners and swept by Advance; neither is journaled or
+	// replicated — a failed-over registry reconverges within one lease
+	// interval as gateways re-assert them.
+	pats     *PatternIndex
+	patMeta  map[patKey]uint64 // (pattern, addr) -> epoch of last renewal
+	patGen   uint32            // bumps on any pattern membership change
+	presence map[string]presenceRec
 }
 
 // NewTopicRegistry creates an empty registry with DefaultTopicTTL.
 func NewTopicRegistry() *TopicRegistry {
-	return &TopicRegistry{topics: make(map[string]*topicRecord), ttl: DefaultTopicTTL}
+	return &TopicRegistry{
+		topics:   make(map[string]*topicRecord),
+		ttl:      DefaultTopicTTL,
+		pats:     NewPatternIndex(),
+		patMeta:  make(map[patKey]uint64),
+		presence: make(map[string]presenceRec),
+	}
 }
 
 // SetTTL overrides the subscription lease, in sweep epochs (minimum 1).
@@ -183,6 +208,9 @@ func (r *TopicRegistry) Declare(topic string, class uint8) error {
 	if topic == "" {
 		return fmt.Errorf("nameservice: empty topic name")
 	}
+	if err := ValidTopicName(topic); err != nil {
+		return err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	created := r.topics[topic] == nil
@@ -207,6 +235,9 @@ func (r *TopicRegistry) Subscribe(topic string, addr wire.Addr) error {
 	}
 	if !addr.Valid() {
 		return fmt.Errorf("nameservice: subscribe %q with invalid address", topic)
+	}
+	if err := ValidTopicName(topic); err != nil {
+		return err
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -299,6 +330,7 @@ func (r *TopicRegistry) EvictEndpoint(node wire.NodeID, index uint16) int {
 			}
 		}
 	}
+	evicted += r.evictPatternEndpointLocked(node, index)
 	return evicted
 }
 
@@ -310,10 +342,16 @@ func (r *TopicRegistry) Snapshot(topic string) (TopicSnapshot, bool) {
 	defer r.mu.Unlock()
 	t := r.topics[topic]
 	if t == nil {
-		return TopicSnapshot{Name: topic}, false
+		// A topic nobody subscribed to exactly can still have pattern
+		// subscribers — it reads as found when any pattern matches, so
+		// publishers to pattern-only topics build a fanout plan.
+		snap := TopicSnapshot{Name: topic, Gen: r.patGen}
+		snap.Pats = r.patternSubsLocked(topic, nil)
+		return snap, len(snap.Pats) > 0
 	}
-	snap := TopicSnapshot{Name: topic, Class: t.class, Gen: t.gen,
+	snap := TopicSnapshot{Name: topic, Class: t.class, Gen: t.gen + r.patGen,
 		Subs: make([]Subscription, 0, len(t.subs))}
+	snap.Pats = r.patternSubsLocked(topic, t.subs)
 	for a, e := range t.subs {
 		snap.Subs = append(snap.Subs, Subscription{Addr: a, Epoch: e})
 	}
@@ -331,9 +369,9 @@ func (r *TopicRegistry) Gen(topic string) uint32 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if t := r.topics[topic]; t != nil {
-		return t.gen
+		return t.gen + r.patGen
 	}
-	return 0
+	return r.patGen
 }
 
 // Advance starts a new sweep epoch and ages out every subscription not
@@ -355,6 +393,12 @@ func (r *TopicRegistry) Advance() int {
 			}
 		}
 	}
+	// The edge plane's soft state ages out on the same cadence. Its
+	// expiries are not folded into the return value — existing callers
+	// count exact-subscription churn — but they move the pattern
+	// generation, so stale pattern fanout stops on the next plan probe.
+	r.sweepPatternsLocked()
+	r.sweepPresenceLocked()
 	return expired
 }
 

@@ -74,6 +74,33 @@ type Server struct {
 	// confirmed to have no live primary, or whose probe errors, marks
 	// the node degraded with 503.
 	ShardHealth func() []ShardJSON
+	// GatewayHealth returns the client edge plane's health — set only
+	// on gateway daemons (flipcgw), typically a closure converting
+	// gateway.Mux.Health. Surfaced in /metrics?format=json and
+	// /healthz; a saturated endpoint class (the shared class inbox
+	// dropped frames in the last housekeeping tick) marks the node
+	// degraded with 503 — clients are losing frames before per-client
+	// accounting can see them.
+	GatewayHealth func() *GatewayJSON
+}
+
+// GatewayJSON is the gateway daemon's status in the JSON exposition.
+type GatewayJSON struct {
+	Name      string             `json:"name"`
+	Conns     int                `json:"conns"`
+	Presence  int                `json:"presence_leases"`
+	Patterns  int                `json:"patterns"`
+	Throttled int                `json:"throttled_clients"`
+	RenewErrs uint64             `json:"renew_errors"`
+	PerClass  []GatewayClassJSON `json:"per_class"`
+}
+
+// GatewayClassJSON is one gateway endpoint class in the exposition.
+type GatewayClassJSON struct {
+	Class      string `json:"class"`
+	QueueDepth int    `json:"queue_depth"`
+	InboxDrops uint64 `json:"inbox_drops"`
+	Saturated  bool   `json:"saturated"`
 }
 
 // ShardJSON is one registry shard's status in the JSON exposition.
@@ -87,6 +114,13 @@ type ShardJSON struct {
 	Primary bool   `json:"primary"`
 	Probed  bool   `json:"probed"`
 	Err     string `json:"err,omitempty"`
+}
+
+func (s *Server) gateway() *GatewayJSON {
+	if s.GatewayHealth == nil {
+		return nil
+	}
+	return s.GatewayHealth()
 }
 
 func (s *Server) shards() []ShardJSON {
@@ -207,6 +241,7 @@ type MetricsJSON struct {
 	Registry   *registrystore.Health `json:"registry,omitempty"`
 	Durable    []DurableJSON         `json:"durable,omitempty"`
 	Shards     []ShardJSON           `json:"shards,omitempty"`
+	Gateway    *GatewayJSON          `json:"gateway,omitempty"`
 }
 
 // Handler returns the HTTP handler serving the observability routes.
@@ -259,6 +294,7 @@ func (s *Server) MetricsDoc() MetricsJSON {
 		Registry:   s.registryHealth(),
 		Durable:    s.durable(),
 		Shards:     s.shards(),
+		Gateway:    s.gateway(),
 	}
 	if s.Registry == nil {
 		return doc
@@ -370,7 +406,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	reg := s.registryHealth()
 	durable := s.durable()
 	shards := s.shards()
+	gw := s.gateway()
 	healthy := len(quarantined) == 0
+	if gw != nil {
+		for _, ch := range gw.PerClass {
+			if ch.Saturated {
+				// A saturated endpoint class drops frames at the
+				// shared inbox, before per-client queues: every client
+				// on that class is losing data, not just slow ones.
+				healthy = false
+				break
+			}
+		}
+	}
 	if reg != nil && reg.StoreErr != "" {
 		healthy = false // the registry can no longer make mutations durable
 	}
@@ -413,7 +461,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Registry    *registrystore.Health `json:"registry,omitempty"`
 		Durable     []DurableJSON         `json:"durable,omitempty"`
 		Shards      []ShardJSON           `json:"shards,omitempty"`
-	}{healthy, peers, quarantined, reg, durable, shards})
+		Gateway     *GatewayJSON          `json:"gateway,omitempty"`
+	}{healthy, peers, quarantined, reg, durable, shards, gw})
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,7 @@
 package topic
 
 import (
+	"fmt"
 	"sync"
 
 	"flipc/internal/core"
@@ -77,6 +78,54 @@ func (f *FailoverDirectory) AckCursor(topic, sub string, seq uint64) error {
 	return dir.AckCursor(topic, sub, seq)
 }
 
+// edge resolves the current target as an EdgeDirectory.
+func (f *FailoverDirectory) edge() (EdgeDirectory, error) {
+	f.mu.RLock()
+	dir := f.dir
+	f.mu.RUnlock()
+	ed, ok := dir.(EdgeDirectory)
+	if !ok {
+		return nil, fmt.Errorf("topic: directory %T has no edge plane", dir)
+	}
+	return ed, nil
+}
+
+// SubscribePattern implements EdgeDirectory.
+func (f *FailoverDirectory) SubscribePattern(pat string, addr core.Addr) error {
+	ed, err := f.edge()
+	if err != nil {
+		return err
+	}
+	return ed.SubscribePattern(pat, addr)
+}
+
+// UnsubscribePattern implements EdgeDirectory.
+func (f *FailoverDirectory) UnsubscribePattern(pat string, addr core.Addr) error {
+	ed, err := f.edge()
+	if err != nil {
+		return err
+	}
+	return ed.UnsubscribePattern(pat, addr)
+}
+
+// UpsertPresence implements EdgeDirectory.
+func (f *FailoverDirectory) UpsertPresence(key, gw string, addr core.Addr) error {
+	ed, err := f.edge()
+	if err != nil {
+		return err
+	}
+	return ed.UpsertPresence(key, gw, addr)
+}
+
+// DropPresence implements EdgeDirectory.
+func (f *FailoverDirectory) DropPresence(key string) error {
+	ed, err := f.edge()
+	if err != nil {
+		return err
+	}
+	return ed.DropPresence(key)
+}
+
 // Evict removes addr from the cached fanout plan immediately, without
 // waiting for the next directory refresh — the publisher-side half of
 // quarantine integration. The directory is not touched (the registry
@@ -90,11 +139,20 @@ func (f *FailoverDirectory) AckCursor(topic, sub string, seq uint64) error {
 func (p *Publisher) Evict(addr core.Addr) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	for i, a := range p.patPlan {
+		if a == addr {
+			p.patPlan = append(p.patPlan[:i], p.patPlan[i+1:]...)
+			if p.mSubs != nil {
+				p.mSubs.Set(float64(len(p.plan) + len(p.patPlan)))
+			}
+			return true
+		}
+	}
 	for i, a := range p.plan {
 		if a == addr {
 			p.plan = append(p.plan[:i], p.plan[i+1:]...)
 			if p.mSubs != nil {
-				p.mSubs.Set(float64(len(p.plan)))
+				p.mSubs.Set(float64(len(p.plan) + len(p.patPlan)))
 			}
 			// The account dies with the plan entry: a re-allocated
 			// endpoint at this slot arrives under a new generation (a

@@ -95,8 +95,10 @@ type Publisher struct {
 	// Evict/Refresh/accessor callers racing the publish path.
 	mu           sync.Mutex
 	plan         []core.Addr // fanout order: address-sorted = grouped by node
+	patPlan      []core.Addr // pattern-plane subscribers (enveloped delivery)
 	planGen      uint32
 	sinceRefresh int
+	envScratch   []byte // envelope staging buffer (pattern fanout)
 
 	published uint64 // Publish calls that fanned out (plan non-empty)
 	sent      uint64 // per-subscriber frames queued
@@ -239,8 +241,26 @@ func (p *Publisher) refreshLocked() error {
 	// transport (one write per peer per engine pass).
 	p.plan = snap.Addrs()
 	p.planGen = snap.Gen
+	// Pattern-plane subscribers fan out after the exact plan, with the
+	// topic name enveloped into each frame (see envelope.go). The
+	// registry already deduplicates them against the exact set, but a
+	// paged remote snapshot can race a membership change, so guard
+	// again: an address must never receive both a bare and an enveloped
+	// copy of one publish.
+	p.patPlan = p.patPlan[:0]
+	if len(snap.Pats) > 0 {
+		exact := make(map[core.Addr]bool, len(p.plan))
+		for _, a := range p.plan {
+			exact[a] = true
+		}
+		for _, sub := range snap.Pats {
+			if !exact[sub.Addr] {
+				p.patPlan = append(p.patPlan, sub.Addr)
+			}
+		}
+	}
 	if p.mSubs != nil {
-		p.mSubs.Set(float64(len(p.plan)))
+		p.mSubs.Set(float64(len(p.plan) + len(p.patPlan)))
 	}
 	if p.creditState != nil || p.durHello != nil {
 		// Keep handshake state only for planned subscribers; a departed
@@ -391,10 +411,11 @@ func (p *Publisher) PublishFlags(payload []byte, flags uint8) (PublishResult, er
 	}
 	p.harvestLocked()
 	var res PublishResult
-	if len(p.plan) == 0 && p.log == nil {
+	if len(p.plan) == 0 && len(p.patPlan) == 0 && p.log == nil {
 		return res, nil
 	}
 	start := p.nowNanos()
+	orig := payload // pre-staging bytes: what pattern subscribers get
 	// Reserved bits really are masked: the topic-control bit, the
 	// replay marker, the priority field (the class owns it — caller
 	// bits would forge the frame's class at the engine, wire, and
@@ -469,6 +490,11 @@ func (p *Publisher) PublishFlags(payload []byte, flags uint8) (PublishResult, er
 		}
 		return res, err
 	}
+	if len(p.patPlan) > 0 {
+		if err := p.publishPatternsLocked(orig, flags, &res); err != nil {
+			return res, err
+		}
+	}
 	p.published++
 	p.sent += uint64(res.Sent)
 	p.dropped += uint64(res.Dropped)
@@ -493,6 +519,48 @@ func (p *Publisher) PublishFlags(payload []byte, flags uint8) (PublishResult, er
 		}
 	}
 	return res, nil
+}
+
+// publishPatternsLocked fans payload out to the pattern-plane
+// subscribers, topic name enveloped into each frame. Pattern
+// subscribers are shared per-class gateway endpoints, deliberately
+// outside the per-subscriber machinery of the exact plan: no credit
+// accounts (the gateway applies its own per-client backpressure behind
+// the shared endpoint), no durable replay (the envelope wraps the
+// pre-sequence payload), no hello handshake. Losses still always
+// count: a backpressured send is charged to the subscriber's drop
+// account like any optimistic drop, and a payload the envelope cannot
+// fit drops for every pattern subscriber. Caller holds p.mu.
+func (p *Publisher) publishPatternsLocked(payload []byte, flags uint8, res *PublishResult) error {
+	need := envelopeOverhead(p.cfg.Topic) + len(payload)
+	if need > p.out.MaxPayload() {
+		for _, dst := range p.patPlan {
+			p.drops[dst]++
+			res.Dropped++
+		}
+		return nil
+	}
+	if cap(p.envScratch) < need {
+		p.envScratch = make([]byte, 0, need)
+	}
+	env := AppendEnvelope(p.envScratch[:0], p.cfg.Topic, payload)
+	// Durable attributes must not leak into the envelope path: pattern
+	// subscribers never resume, so the replay marker stays clear.
+	flags &^= replayFlag
+	for _, dst := range p.patPlan {
+		err := p.out.SendFlags(dst, env, flags)
+		if err == nil {
+			res.Sent++
+			continue
+		}
+		if errors.Is(err, msglib.ErrBackpressure) {
+			p.drops[dst]++
+			res.Dropped++
+			continue
+		}
+		return err
+	}
+	return nil
 }
 
 // CreditAdverts harvests the credit inbox and returns how many planned
@@ -525,11 +593,18 @@ func (p *Publisher) CreditAvailable(addr core.Addr) (avail, window int, ok bool)
 	return cs.acct.Available(), cs.acct.Window(), true
 }
 
-// Subscribers returns the cached plan size.
+// Subscribers returns the cached plan size, exact plus pattern.
 func (p *Publisher) Subscribers() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.plan)
+	return len(p.plan) + len(p.patPlan)
+}
+
+// PatternSubscribers returns the pattern-plane portion of the plan.
+func (p *Publisher) PatternSubscribers() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.patPlan)
 }
 
 // PlanGen returns the membership generation the plan was built from.

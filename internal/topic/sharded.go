@@ -26,12 +26,23 @@ type ShardedDirectory struct {
 	mu     sync.RWMutex
 	m      *shardmap.Map
 	shards map[uint32]*FailoverDirectory
+
+	// MaxRedirects bounds each op's NotOwner redirect chain (0 applies
+	// nameservice.DefaultMaxRedirects). Wiring-time configuration.
+	MaxRedirects int
+	redirects    nameservice.RedirectStats
 }
 
 // NewShardedDirectory builds a sharded directory over an initial map.
 // Shard targets are installed with SetShard.
 func NewShardedDirectory(m *shardmap.Map) *ShardedDirectory {
 	return &ShardedDirectory{m: m, shards: make(map[uint32]*FailoverDirectory)}
+}
+
+// RedirectStats exposes the directory's NotOwner redirect accounting
+// (followed redirects and over-bound storms).
+func (s *ShardedDirectory) RedirectStats() *nameservice.RedirectStats {
+	return &s.redirects
 }
 
 // SetShard installs (or, if the shard already has one, retargets) the
@@ -84,56 +95,121 @@ func (s *ShardedDirectory) ShardFor(topic string) (uint32, bool) {
 	return s.m.ShardOf(topic)
 }
 
-// route resolves topic to its owning shard's directory.
-func (s *ShardedDirectory) route(topic string) (*FailoverDirectory, error) {
+// startShard resolves the shard a name hashes to under the current map.
+func (s *ShardedDirectory) startShard(name string) (uint32, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.m == nil {
-		return nil, fmt.Errorf("%w: no shard map for %q", ErrNoShard, topic)
+		return 0, fmt.Errorf("%w: no shard map for %q", ErrNoShard, name)
 	}
-	id, ok := s.m.ShardOf(topic)
+	id, ok := s.m.ShardOf(name)
 	if !ok {
-		return nil, fmt.Errorf("%w: empty shard map for %q", ErrNoShard, topic)
+		return 0, fmt.Errorf("%w: empty shard map for %q", ErrNoShard, name)
 	}
-	f, ok := s.shards[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: shard %d for %q", ErrNoShard, id, topic)
+	return id, nil
+}
+
+// follow runs op against the shard owning name, following NotOwner
+// redirects (a stale local map during a split or merge) through the
+// shared bounded helper. A redirect that names a shard this directory
+// never installed surfaces as ErrNoShard — the caller must refetch the
+// map and install the target, not loop.
+func (s *ShardedDirectory) follow(name string, op func(f *FailoverDirectory) error) error {
+	start, err := s.startShard(name)
+	if err != nil {
+		return err
 	}
-	return f, nil
+	return nameservice.FollowOwner(start, s.MaxRedirects, &s.redirects, func(shard uint32) error {
+		f := s.Shard(shard)
+		if f == nil {
+			return fmt.Errorf("%w: shard %d for %q", ErrNoShard, shard, name)
+		}
+		return op(f)
+	})
 }
 
 // Subscribe implements Directory.
 func (s *ShardedDirectory) Subscribe(topic string, addr core.Addr, class Class) error {
-	f, err := s.route(topic)
-	if err != nil {
-		return err
-	}
-	return f.Subscribe(topic, addr, class)
+	return s.follow(topic, func(f *FailoverDirectory) error {
+		return f.Subscribe(topic, addr, class)
+	})
 }
 
 // Unsubscribe implements Directory.
 func (s *ShardedDirectory) Unsubscribe(topic string, addr core.Addr) error {
-	f, err := s.route(topic)
-	if err != nil {
-		return err
-	}
-	return f.Unsubscribe(topic, addr)
+	return s.follow(topic, func(f *FailoverDirectory) error {
+		return f.Unsubscribe(topic, addr)
+	})
 }
 
 // Snapshot implements Directory.
 func (s *ShardedDirectory) Snapshot(topic string) (nameservice.TopicSnapshot, error) {
-	f, err := s.route(topic)
-	if err != nil {
-		return nameservice.TopicSnapshot{}, err
-	}
-	return f.Snapshot(topic)
+	var snap nameservice.TopicSnapshot
+	err := s.follow(topic, func(f *FailoverDirectory) error {
+		var ferr error
+		snap, ferr = f.Snapshot(topic)
+		return ferr
+	})
+	return snap, err
 }
 
 // AckCursor implements Directory.
 func (s *ShardedDirectory) AckCursor(topic, sub string, seq uint64) error {
-	f, err := s.route(topic)
-	if err != nil {
-		return err
+	return s.follow(topic, func(f *FailoverDirectory) error {
+		return f.AckCursor(topic, sub, seq)
+	})
+}
+
+// SubscribePattern implements EdgeDirectory. A pattern can match
+// topics on any shard, so it is broadcast to every installed shard;
+// the first failure is returned after all shards were attempted (the
+// others hold the lease, and the next renewal retries the failed one).
+func (s *ShardedDirectory) SubscribePattern(pat string, addr core.Addr) error {
+	return s.broadcast(pat, func(f *FailoverDirectory) error {
+		return f.SubscribePattern(pat, addr)
+	})
+}
+
+// UnsubscribePattern implements EdgeDirectory (broadcast, like
+// SubscribePattern).
+func (s *ShardedDirectory) UnsubscribePattern(pat string, addr core.Addr) error {
+	return s.broadcast(pat, func(f *FailoverDirectory) error {
+		return f.UnsubscribePattern(pat, addr)
+	})
+}
+
+func (s *ShardedDirectory) broadcast(pat string, op func(f *FailoverDirectory) error) error {
+	s.mu.RLock()
+	targets := make([]*FailoverDirectory, 0, len(s.shards))
+	for _, f := range s.shards {
+		targets = append(targets, f)
 	}
-	return f.AckCursor(topic, sub, seq)
+	s.mu.RUnlock()
+	if len(targets) == 0 {
+		return fmt.Errorf("%w: no shards installed for pattern %q", ErrNoShard, pat)
+	}
+	var firstErr error
+	for _, f := range targets {
+		if err := op(f); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// UpsertPresence implements EdgeDirectory. Presence is routed by the
+// client KEY's hash — not a topic name — so the edge plane's lease
+// load spreads across the registry shards; NotOwner redirects cover a
+// map the gateway has not refreshed yet.
+func (s *ShardedDirectory) UpsertPresence(key, gw string, addr core.Addr) error {
+	return s.follow(key, func(f *FailoverDirectory) error {
+		return f.UpsertPresence(key, gw, addr)
+	})
+}
+
+// DropPresence implements EdgeDirectory (routed like UpsertPresence).
+func (s *ShardedDirectory) DropPresence(key string) error {
+	return s.follow(key, func(f *FailoverDirectory) error {
+		return f.DropPresence(key)
+	})
 }

@@ -162,6 +162,27 @@ type Directory interface {
 	AckCursor(topic, sub string, seq uint64) error
 }
 
+// EdgeDirectory extends Directory with the edge plane's membership
+// ops: wildcard pattern subscriptions and client presence leases (see
+// internal/nameservice's pattern grammar and lease discipline). Every
+// Directory implementation in this package also implements
+// EdgeDirectory; the split interface exists so code that only fans out
+// keeps the narrower dependency.
+type EdgeDirectory interface {
+	Directory
+	// SubscribePattern adds (or renews) addr's subscription to every
+	// topic matching pat. Pattern subscribers receive enveloped frames
+	// (see envelope.go) and must not also subscribe exactly.
+	SubscribePattern(pat string, addr core.Addr) error
+	// UnsubscribePattern removes addr's subscription to pat.
+	UnsubscribePattern(pat string, addr core.Addr) error
+	// UpsertPresence records (or renews) client key's presence lease at
+	// gateway gw, reachable through addr.
+	UpsertPresence(key, gw string, addr core.Addr) error
+	// DropPresence removes client key's presence lease.
+	DropPresence(key string) error
+}
+
 // LocalDirectory adapts an in-process TopicRegistry (single-node
 // deployments, tests, and the registry daemon itself).
 type LocalDirectory struct {
@@ -191,6 +212,28 @@ func (l LocalDirectory) Snapshot(topic string) (nameservice.TopicSnapshot, error
 // AckCursor implements Directory.
 func (l LocalDirectory) AckCursor(topic, sub string, seq uint64) error {
 	return l.R.AckCursor(topic, sub, seq)
+}
+
+// SubscribePattern implements EdgeDirectory.
+func (l LocalDirectory) SubscribePattern(pat string, addr core.Addr) error {
+	return l.R.SubscribePattern(pat, addr)
+}
+
+// UnsubscribePattern implements EdgeDirectory.
+func (l LocalDirectory) UnsubscribePattern(pat string, addr core.Addr) error {
+	l.R.UnsubscribePattern(pat, addr)
+	return nil
+}
+
+// UpsertPresence implements EdgeDirectory.
+func (l LocalDirectory) UpsertPresence(key, gw string, addr core.Addr) error {
+	return l.R.UpsertPresence(key, gw, addr)
+}
+
+// DropPresence implements EdgeDirectory.
+func (l LocalDirectory) DropPresence(key string) error {
+	l.R.DropPresence(key)
+	return nil
 }
 
 // RemoteDirectory adapts the nameservice client: membership ops travel
@@ -230,6 +273,26 @@ func (r RemoteDirectory) Snapshot(topic string) (nameservice.TopicSnapshot, erro
 // AckCursor implements Directory.
 func (r RemoteDirectory) AckCursor(topic, sub string, seq uint64) error {
 	return r.C.AckCursor(topic, sub, seq, r.timeout())
+}
+
+// SubscribePattern implements EdgeDirectory.
+func (r RemoteDirectory) SubscribePattern(pat string, addr core.Addr) error {
+	return r.C.SubscribePattern(pat, addr, r.timeout())
+}
+
+// UnsubscribePattern implements EdgeDirectory.
+func (r RemoteDirectory) UnsubscribePattern(pat string, addr core.Addr) error {
+	return r.C.UnsubscribePattern(pat, addr, r.timeout())
+}
+
+// UpsertPresence implements EdgeDirectory.
+func (r RemoteDirectory) UpsertPresence(key, gw string, addr core.Addr) error {
+	return r.C.UpsertPresence(key, gw, addr, r.timeout())
+}
+
+// DropPresence implements EdgeDirectory.
+func (r RemoteDirectory) DropPresence(key string) error {
+	return r.C.DropPresence(key, r.timeout())
 }
 
 // SubscriberBuffers sizes a subscriber's posted-buffer pool for a
